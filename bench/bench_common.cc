@@ -1,0 +1,107 @@
+#include "bench_common.hh"
+
+#include <cstdlib>
+
+#include "base/fmt.hh"
+
+namespace goat::bench {
+
+using engine::ToolCampaign;
+using engine::ToolKind;
+
+std::vector<ToolKind>
+allTools()
+{
+    return {ToolKind::GoatD0, ToolKind::GoatD1, ToolKind::GoatD2,
+            ToolKind::GoatD3, ToolKind::GoatD4, ToolKind::Builtin,
+            ToolKind::LockDL, ToolKind::Goleak};
+}
+
+int
+sweepMaxIter()
+{
+    if (const char *env = std::getenv("GOAT_SWEEP_MAXITER")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 1000;
+}
+
+SweepResult
+runSweep(const std::vector<ToolKind> &tools, int max_iter,
+         uint64_t seed_base)
+{
+    SweepResult result;
+    result.tools = tools;
+    for (const auto *kernel : goker::KernelRegistry::instance().all()) {
+        std::vector<SweepCell> row;
+        for (ToolKind tool : tools) {
+            SweepCell cell;
+            cell.kernel = kernel;
+            cell.tool = tool;
+            cell.campaign =
+                engine::runTool(tool, kernel->fn, max_iter, seed_base,
+                                0.02, 400'000);
+            row.push_back(std::move(cell));
+        }
+        result.rows[kernel->name] = std::move(row);
+    }
+    return result;
+}
+
+int
+iterBucket(const ToolCampaign &campaign)
+{
+    int it = campaign.firstDetectIteration;
+    if (it < 0)
+        return 4;
+    if (it == 1)
+        return 0;
+    if (it <= 10)
+        return 1;
+    if (it <= 100)
+        return 2;
+    if (it <= 1000)
+        return 3;
+    return 4;
+}
+
+const char *
+iterBucketName(int bucket)
+{
+    switch (bucket) {
+      case 0: return "1";
+      case 1: return "2-10";
+      case 2: return "11-100";
+      case 3: return "101-1000";
+      default: return "X";
+    }
+}
+
+std::string
+outcomeClass(const ToolCampaign &campaign)
+{
+    if (!campaign.verdict.detected)
+        return "X";
+    const std::string &label = campaign.verdict.label;
+    if (label.rfind("PDL", 0) == 0)
+        return "PDL";
+    if (label == "GDL" || label == "TO/GDL" || label == "DL")
+        return "GDL/TO";
+    if (label == "CRASH" || label == "HANG")
+        return "CRASH/HALT";
+    return label;
+}
+
+std::string
+bar(double fraction, int width)
+{
+    int n = static_cast<int>(fraction * width + 0.5);
+    std::string out;
+    for (int i = 0; i < width; ++i)
+        out += i < n ? '#' : '.';
+    return out;
+}
+
+} // namespace goat::bench

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared infrastructure for the evaluation harness: the 68-kernel ×
+ * 8-tool detection sweep behind Table IV and figures 2/4/5, plus
+ * output helpers. Every bench binary runs stand-alone with no
+ * arguments; GOAT_SWEEP_MAXITER overrides the per-campaign iteration
+ * cap (default 1000, the paper's budget).
+ */
+
+#ifndef GOAT_BENCH_COMMON_HH
+#define GOAT_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "goat/tool.hh"
+#include "goker/registry.hh"
+
+namespace goat::bench {
+
+/** One (kernel, tool) campaign result. */
+struct SweepCell
+{
+    const goker::KernelInfo *kernel = nullptr;
+    engine::ToolKind tool = engine::ToolKind::GoatD0;
+    engine::ToolCampaign campaign;
+};
+
+/** Full sweep result, indexed by kernel name then tool. */
+struct SweepResult
+{
+    std::vector<engine::ToolKind> tools;
+    /** kernel name → per-tool campaign (tools order). */
+    std::map<std::string, std::vector<SweepCell>> rows;
+};
+
+/** The eight tool configurations of the paper's evaluation. */
+std::vector<engine::ToolKind> allTools();
+
+/** Iteration cap from GOAT_SWEEP_MAXITER (default 1000). */
+int sweepMaxIter();
+
+/**
+ * Run detection campaigns for every registered kernel under each
+ * tool. All tools share the seed schedule, as in the evaluation.
+ */
+SweepResult runSweep(const std::vector<engine::ToolKind> &tools,
+                     int max_iter, uint64_t seed_base = 0xC0FFEE);
+
+/**
+ * Iteration-count bucket used by figs. 2 and 5:
+ * 0:"1", 1:"2-10", 2:"11-100", 3:"101-1000", 4:"X" (undetected).
+ */
+int iterBucket(const engine::ToolCampaign &campaign);
+
+const char *iterBucketName(int bucket);
+
+/** Outcome class for fig. 4: "PDL", "GDL/TO", "CRASH/HALT", "X". */
+std::string outcomeClass(const engine::ToolCampaign &campaign);
+
+/** Render a proportional ASCII bar. */
+std::string bar(double fraction, int width = 40);
+
+} // namespace goat::bench
+
+#endif // GOAT_BENCH_COMMON_HH

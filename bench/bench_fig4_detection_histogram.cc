@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates **Figure 4**: number of bugs detected by each tool on
+ * the 68 GoKer blocking bugs, broken down by outcome class — PDL
+ * (partial deadlock), GDL/TO (global deadlock or timeout, including
+ * LockDL warnings), and CRASH/HALT.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "base/logging.hh"
+#include "bench_common.hh"
+
+using namespace goat;
+using namespace goat::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    int max_iter = sweepMaxIter();
+    std::printf("=== Figure 4: bugs detected per tool, by outcome class "
+                "(68 GoKer blocking bugs, cap %d) ===\n\n",
+                max_iter);
+
+    auto tools = allTools();
+    SweepResult sweep = runSweep(tools, max_iter);
+
+    std::printf("%-10s %-5s %-8s %-11s %-4s  %s\n", "tool", "PDL",
+                "GDL/TO", "CRASH/HALT", "X", "detected");
+    for (size_t t = 0; t < tools.size(); ++t) {
+        std::map<std::string, int> classes;
+        for (const auto &[name, row] : sweep.rows)
+            classes[outcomeClass(row[t].campaign)]++;
+        int detected = static_cast<int>(sweep.rows.size()) - classes["X"];
+        std::printf("%-10s %-5d %-8d %-11d %-4d  %s (%d/68)\n",
+                    engine::toolName(tools[t]), classes["PDL"],
+                    classes["GDL/TO"], classes["CRASH/HALT"],
+                    classes["X"],
+                    bar(detected / 68.0, 34).c_str(), detected);
+    }
+    std::printf("\nExpected shape: GoAT variants detect (nearly) all "
+                "bugs;\nbuiltin sees only global deadlocks, LockDL only "
+                "lock-related bugs,\nand goleak only leaks with a "
+                "terminating main.\n");
+    return 0;
+}

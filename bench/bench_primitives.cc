@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Google-benchmark micro-suite for the runtime substrate: goroutine
+ * spawn/join, fiber context switches, channel operations, select,
+ * sync primitives, and the cost of tracing — quantifying the
+ * "automated dynamic tracing" overhead the paper's design relies on
+ * being cheap.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "runtime/api.hh"
+#include "sync/sync.hh"
+#include "trace/ect.hh"
+
+using namespace goat;
+using runtime::SchedConfig;
+using runtime::Scheduler;
+
+namespace {
+
+SchedConfig
+quietCfg()
+{
+    SchedConfig cfg;
+    cfg.noiseProb = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+static void
+BM_SpawnJoin(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            for (int i = 0; i < n; ++i)
+                go([] {});
+            yield();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpawnJoin)->Arg(10)->Arg(100)->Arg(1000);
+
+static void
+BM_ContextSwitchPingPong(benchmark::State &state)
+{
+    const int rounds = 1000;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            go([&] {
+                for (int i = 0; i < rounds; ++i)
+                    yield();
+            });
+            for (int i = 0; i < rounds; ++i)
+                yield();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_ContextSwitchPingPong);
+
+static void
+BM_ChanBufferedSendRecv(benchmark::State &state)
+{
+    const int n = 1000;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            Chan<int> c(64);
+            go([&, c]() mutable {
+                for (int i = 0; i < n; ++i)
+                    c.send(i);
+            });
+            int sink = 0;
+            for (int i = 0; i < n; ++i)
+                sink += c.recv();
+            benchmark::DoNotOptimize(sink);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChanBufferedSendRecv);
+
+static void
+BM_ChanRendezvous(benchmark::State &state)
+{
+    const int n = 500;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            Chan<int> c;
+            go([&, c]() mutable {
+                for (int i = 0; i < n; ++i)
+                    c.send(i);
+            });
+            for (int i = 0; i < n; ++i)
+                c.recv();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChanRendezvous);
+
+static void
+BM_SelectTwoReady(benchmark::State &state)
+{
+    const int n = 500;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            Chan<int> a(1), b(1);
+            for (int i = 0; i < n; ++i) {
+                a.send(1);
+                b.send(1);
+                Select().onRecv<int>(a, {}).onRecv<int>(b, {}).run();
+                // Drain whichever stayed full.
+                Select()
+                    .onRecv<int>(a, {})
+                    .onRecv<int>(b, {})
+                    .run();
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SelectTwoReady);
+
+static void
+BM_MutexLockUnlock(benchmark::State &state)
+{
+    const int n = 2000;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            gosync::Mutex m;
+            for (int i = 0; i < n; ++i) {
+                m.lock();
+                m.unlock();
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MutexLockUnlock);
+
+static void
+BM_WaitGroupCycle(benchmark::State &state)
+{
+    const int workers = 8;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        sched.run([&] {
+            gosync::WaitGroup wg;
+            wg.add(workers);
+            for (int i = 0; i < workers; ++i)
+                go([&] { wg.done(); });
+            wg.wait();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_WaitGroupCycle);
+
+static void
+BM_TracingOverhead(benchmark::State &state)
+{
+    // Same channel workload with and without an ECT recorder attached.
+    const int n = 1000;
+    const bool traced = state.range(0) != 0;
+    for (auto _ : state) {
+        Scheduler sched(quietCfg());
+        trace::EctRecorder rec;
+        if (traced)
+            sched.addSink(&rec);
+        sched.run([&] {
+            Chan<int> c(64);
+            go([&, c]() mutable {
+                for (int i = 0; i < n; ++i)
+                    c.send(i);
+            });
+            for (int i = 0; i < n; ++i)
+                c.recv();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetLabel(traced ? "traced" : "untraced");
+}
+BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1);
+
+BENCHMARK_MAIN();

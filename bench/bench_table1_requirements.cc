@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates **Table I**: the coverage-requirement taxonomy — which
+ * concurrent actions instantiate which requirement types under Req1
+ * (send/recv), Req2 (select-case), Req3 (lock), Req4 (unblocking
+ * actions), and Req5 (go) — as implemented by the coverage engine,
+ * demonstrated on a micro-program exercising every primitive.
+ */
+
+#include <cstdio>
+
+#include "analysis/coverage.hh"
+#include "base/logging.hh"
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "goat/engine.hh"
+#include "runtime/api.hh"
+#include "sync/sync.hh"
+
+using namespace goat;
+using namespace goat::analysis;
+
+namespace {
+
+/** Exercises every requirement-bearing primitive once. */
+void
+demoProgram()
+{
+    Chan<int> c(1);
+    c.send(1);
+    c.recv();
+    go([c]() mutable { c.send(2); });
+    yield();
+    c.recv();
+
+    gosync::Mutex m;
+    m.lock();
+    m.unlock();
+
+    gosync::WaitGroup wg;
+    wg.add(1);
+    wg.done();
+    wg.wait();
+
+    gosync::Mutex cm;
+    gosync::Cond cv(cm);
+    cv.signal();
+    cv.broadcast();
+
+    Chan<int> d;
+    Select().onRecv<int>(d, {}).onDefault().run();
+    d.close();
+    yield();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Table I: coverage requirements that characterize "
+                "Go concurrency behaviour ===\n\n");
+    std::printf("Req1 Send/Recv    : {blocked, unblocking, nop} per "
+                "channel send/recv CU\n");
+    std::printf("Req2 Select-Case  : {blocked, unblocking, nop} per "
+                "runtime-discovered case of default-less selects\n");
+    std::printf("Req3 Lock         : {blocked, blocking} per lock CU\n");
+    std::printf("Req4 Unblocking   : {unblocking, nop} per close/unlock/"
+                "signal/broadcast/done CU and non-blocking select\n");
+    std::printf("Req5 Go           : {nop} per goroutine creation CU\n\n");
+
+    engine::SingleRun sr = engine::runOnce(demoProgram, 1, 0, 0.0);
+    CoverageState cov;
+    cov.addEct(sr.ect);
+    std::printf("Requirement instances extracted from a micro-program "
+                "exercising every primitive\n(program-level rows; "
+                "node-level instances omitted):\n\n%s",
+                cov.tableStr().c_str());
+    std::printf("\ntotal requirements: %zu, covered: %zu (%.1f%%)\n",
+                cov.totalRequirements(), cov.coveredCount(),
+                cov.percent());
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Domain scenario: concurrent bank transfers with per-account locks —
+ * the canonical AB-BA resource deadlock. The example runs the same
+ * workload under all four detectors (GoAT, built-in, LockDL, goleak)
+ * and prints the comparison, illustrating the paper's Table IV
+ * capability matrix on a self-contained program.
+ *
+ * Build & run:  ./build/examples/bank_transfer
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "goat/tool.hh"
+#include "runtime/api.hh"
+#include "sync/sync.hh"
+
+using namespace goat;
+using namespace goat::engine;
+
+namespace {
+
+struct Account
+{
+    gosync::Mutex mu;
+    int balance = 100;
+};
+
+/**
+ * Transfers lock the two accounts in argument order — correct only if
+ * every caller orders accounts consistently. The workload below does
+ * not, so two opposite transfers can deadlock.
+ */
+void
+transfer(std::shared_ptr<Account> from, std::shared_ptr<Account> to,
+         int amount)
+{
+    from->mu.lock();
+    to->mu.lock();
+    from->balance -= amount;
+    to->balance += amount;
+    to->mu.unlock();
+    from->mu.unlock();
+}
+
+void
+workload()
+{
+    auto alice = std::make_shared<Account>();
+    auto bob = std::make_shared<Account>();
+    goNamed("alice-to-bob", [=] { transfer(alice, bob, 10); });
+    goNamed("bob-to-alice", [=] { transfer(bob, alice, 5); });
+    sleepMs(10);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Bank transfers: hunting an AB-BA deadlock ==\n\n");
+    std::printf("Two transfers lock the accounts in opposite order; the "
+                "deadlock needs a\npreemption between the two lock "
+                "acquisitions.\n\n");
+
+    std::printf("%-10s %-12s %s\n", "tool", "result", "meaning");
+    for (auto tool : {ToolKind::GoatD0, ToolKind::GoatD2,
+                      ToolKind::Builtin, ToolKind::LockDL,
+                      ToolKind::Goleak}) {
+        ToolCampaign c = runTool(tool, workload, 500, 0xBA7);
+        const char *meaning = "";
+        if (!c.verdict.detected)
+            meaning = "missed after all iterations";
+        else if (c.verdict.label == "DL")
+            meaning = "lock-order warning (Goodlock)";
+        else if (c.verdict.label.rfind("PDL", 0) == 0)
+            meaning = "leaked transfer goroutines";
+        else
+            meaning = "program-visible failure";
+        std::printf("%-10s %-12s %s\n", toolName(tool),
+                    c.cellStr().c_str(), meaning);
+    }
+
+    std::printf("\nExpected: LockDL flags the order inversion "
+                "immediately; GoAT exposes and\nproves the actual "
+                "deadlock (faster with D=2); the built-in detector "
+                "stays\nsilent because main always exits.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Domain scenario: hunting a data race with the happens-before race
+ * detector (the paper artifact's `-race` flag). A metrics registry is
+ * updated by request handlers; the "fast path" skips the mutex for
+ * reads, racing the writers. The fixed version synchronizes through a
+ * channel-based ownership handoff and comes out clean — demonstrating
+ * that the detector follows Go's happens-before rules rather than
+ * flagging every unlocked access.
+ *
+ * Build & run:  ./build/examples/race_hunt
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/happens_before.hh"
+#include "chan/chan.hh"
+#include "goat/engine.hh"
+#include "runtime/api.hh"
+#include "sync/sharedvar.hh"
+#include "sync/sync.hh"
+
+using namespace goat;
+
+namespace {
+
+/** Buggy: readers take the lock-free fast path. */
+void
+racyMetrics()
+{
+    struct Shared
+    {
+        gosync::SharedVar<int> requests{0};
+        gosync::Mutex mu;
+    };
+    auto sh = std::make_shared<Shared>();
+
+    for (int h = 0; h < 2; ++h) {
+        goNamed("handler", [sh] {
+            sh->mu.lock();
+            sh->requests.update([](int v) { return v + 1; });
+            sh->mu.unlock();
+        });
+    }
+    goNamed("stats-reporter", [sh] {
+        // BUG: lock-free fast path reads while handlers write.
+        int current = sh->requests.load();
+        (void)current;
+    });
+    sleepMs(5);
+}
+
+/** Fixed: the reporter receives the snapshot over a channel. */
+void
+fixedMetrics()
+{
+    struct Shared
+    {
+        gosync::SharedVar<int> requests{0};
+        gosync::Mutex mu;
+        Chan<int> snapshots;
+        Shared() : snapshots(0) {}
+    };
+    auto sh = std::make_shared<Shared>();
+
+    goNamed("handlers", [sh] {
+        for (int h = 0; h < 2; ++h) {
+            sh->mu.lock();
+            sh->requests.update([](int v) { return v + 1; });
+            sh->mu.unlock();
+        }
+        sh->snapshots.send(sh->requests.load());
+    });
+    goNamed("stats-reporter", [sh] {
+        int snapshot = sh->snapshots.recv(); // ordered after the writes
+        (void)snapshot;
+        (void)sh->requests.load(); // also ordered via the rendezvous
+    });
+    sleepMs(5);
+}
+
+void
+hunt(const char *title, void (*prog)())
+{
+    engine::GoatConfig cfg;
+    cfg.raceDetect = true;
+    cfg.delayBound = 2;
+    cfg.maxIterations = 200;
+    engine::GoatEngine engine(cfg);
+    engine::GoatResult result = engine.run(prog);
+    std::printf("%s:\n", title);
+    if (result.raceIteration > 0) {
+        std::printf("  %zu race(s) found at iteration %d:\n",
+                    result.firstRaces.races.size(), result.raceIteration);
+        for (const auto &race : result.firstRaces.races)
+            std::printf("    %s\n", race.str().c_str());
+    } else {
+        std::printf("  no race in %zu iterations\n",
+                    result.iterations.size());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Race hunt: metrics registry ==\n\n");
+    hunt("racy version (lock-free reader fast path)", racyMetrics);
+    hunt("fixed version (channel-ordered snapshot)", fixedMetrics);
+    std::printf("The detector uses happens-before over the trace's "
+                "synchronization edges,\nso the fixed version's "
+                "unlocked read is correctly accepted.\n");
+    return 0;
+}

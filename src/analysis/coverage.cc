@@ -1,0 +1,426 @@
+#include "analysis/coverage.hh"
+
+#include <algorithm>
+
+#include "analysis/goroutine_tree.hh"
+#include "base/fmt.hh"
+#include "runtime/goroutine.hh"
+
+namespace goat::analysis {
+
+using staticmodel::Cu;
+using staticmodel::CuKind;
+using trace::Event;
+using trace::EventType;
+
+const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::Blocked: return "blocked";
+      case ReqType::Unblocking: return "unblocking";
+      case ReqType::Nop: return "nop";
+      case ReqType::Blocking: return "blocking";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Template requirement types per CU kind (Table I rows). */
+std::vector<ReqType>
+templatesFor(CuKind kind)
+{
+    switch (kind) {
+      case CuKind::Send:
+      case CuKind::Recv:
+      case CuKind::Range:
+        return {ReqType::Blocked, ReqType::Unblocking, ReqType::Nop};
+      case CuKind::Lock:
+        return {ReqType::Blocked, ReqType::Blocking};
+      case CuKind::Unlock:
+      case CuKind::Close:
+      case CuKind::Signal:
+      case CuKind::Broadcast:
+      case CuKind::Done:
+        return {ReqType::Unblocking, ReqType::Nop};
+      case CuKind::Go:
+        return {ReqType::Nop};
+      case CuKind::Select: // cases/default discovered dynamically
+      case CuKind::Wait:
+      case CuKind::Add:
+      default:
+        return {};
+    }
+}
+
+/** Per-goroutine select context while walking a trace. */
+struct SelCtx
+{
+    Cu cu;
+    bool hasDefault = false;
+    int nCases = 0;
+};
+
+} // namespace
+
+std::string
+CoverageState::key(const Cu &cu, ReqType type, int case_idx)
+{
+    std::string k = cu.loc.str() + " " + cuKindName(cu.kind);
+    if (case_idx >= 0)
+        k += strFormat("/case%d", case_idx);
+    k += " ";
+    k += reqTypeName(type);
+    return k;
+}
+
+CoverageState::CoverageState(staticmodel::CuTable statics)
+    : table_(std::move(statics))
+{
+    for (const Cu &cu : table_.all())
+        instantiate(cu, "");
+}
+
+void
+CoverageState::instantiate(const Cu &cu, const std::string &prefix,
+                           int case_idx)
+{
+    if (case_idx >= 0) {
+        // Select-case requirement triple.
+        require(prefix + key(cu, ReqType::Blocked, case_idx));
+        require(prefix + key(cu, ReqType::Unblocking, case_idx));
+        require(prefix + key(cu, ReqType::Nop, case_idx));
+        return;
+    }
+    for (ReqType t : templatesFor(cu.kind))
+        require(prefix + key(cu, t));
+    // A select known to carry a default case is an "unblocking action"
+    // (Req4 NB-SELECT).
+    if (cu.kind == CuKind::Select && nbSelects_.count(cu.loc.str())) {
+        require(prefix + key(cu, ReqType::Unblocking));
+        require(prefix + key(cu, ReqType::Nop));
+    }
+}
+
+Cu
+CoverageState::resolveCu(const SourceLoc &loc, CuKind fallback)
+{
+    if (const Cu *cu = table_.findKind(loc, fallback))
+        return *cu;
+    // Receive events at a range statement resolve to the range CU.
+    if (fallback == CuKind::Recv) {
+        if (const Cu *cu = table_.findKind(loc, CuKind::Range))
+            return *cu;
+    }
+    Cu cu(loc, fallback);
+    table_.add(cu);
+    instantiate(cu, "");
+    return cu;
+}
+
+void
+CoverageState::cover(const Cu &cu, ReqType type, int case_idx,
+                     const std::string &node_key)
+{
+    std::string k = key(cu, type, case_idx);
+    require(k);
+    covered_.insert(k);
+    if (!node_key.empty()) {
+        std::string prefix = node_key + "|";
+        // Materialize the node-level requirement set for this CU the
+        // first time the node touches it (idempotent).
+        instantiate(cu, prefix, case_idx >= 0 ? case_idx : -1);
+        if (case_idx < 0)
+            instantiate(cu, prefix);
+        require(prefix + k);
+        covered_.insert(prefix + k);
+    }
+}
+
+void
+CoverageState::addEct(const trace::Ect &ect)
+{
+    GoroutineTree tree(ect);
+
+    // gid → node equivalence key for application-level goroutines.
+    auto nodeKey = [&](uint32_t gid) -> std::string {
+        const GoroutineNode *n = tree.node(gid);
+        return (n && n->appLevel) ? n->key : "";
+    };
+
+    // Last acquisition site per lock object id: (cu, nodeKey).
+    std::map<uint64_t, std::pair<Cu, std::string>> last_acq;
+    std::map<uint32_t, SelCtx> sel;
+
+    for (const Event &ev : ect.events()) {
+        std::string nk = nodeKey(ev.gid);
+        if (nk.empty() && ev.type != EventType::GoCreate)
+            continue; // system/scheduler context
+        auto obj = static_cast<uint64_t>(ev.args[0]);
+
+        switch (ev.type) {
+          case EventType::GoCreate: {
+            if (ev.args[1] != 0)
+                break; // system goroutine
+            const GoroutineNode *child =
+                tree.node(static_cast<uint32_t>(ev.args[0]));
+            if (!child || !child->appLevel)
+                break;
+            Cu cu = resolveCu(ev.loc, CuKind::Go);
+            cover(cu, ReqType::Nop, -1, nk);
+            break;
+          }
+
+          case EventType::GoBlockSend:
+            cover(resolveCu(ev.loc, CuKind::Send), ReqType::Blocked, -1,
+                  nk);
+            break;
+          case EventType::GoBlockRecv:
+            cover(resolveCu(ev.loc, CuKind::Recv), ReqType::Blocked, -1,
+                  nk);
+            break;
+          case EventType::GoBlockSync: {
+            // a1 carries the runtime BlockReason; only mutex/rwmutex
+            // parks instantiate Req3 (waitgroup waits have no
+            // requirement in the paper's model).
+            auto reason = static_cast<runtime::BlockReason>(ev.args[1]);
+            if (reason != runtime::BlockReason::Mutex &&
+                reason != runtime::BlockReason::RWMutex)
+                break;
+            Cu cu = resolveCu(ev.loc, CuKind::Lock);
+            if (cu.kind == CuKind::Lock)
+                cover(cu, ReqType::Blocked, -1, nk);
+            break;
+          }
+          case EventType::GoBlockSelect: {
+            // Every registered case of the parked select is blocked.
+            auto it = sel.find(ev.gid);
+            if (it == sel.end())
+                break;
+            const SelCtx &ctx = it->second;
+            if (!ctx.hasDefault) {
+                for (int i = 0; i < ctx.nCases; ++i)
+                    cover(ctx.cu, ReqType::Blocked, i, nk);
+            }
+            break;
+          }
+
+          case EventType::ChSend: {
+            Cu cu = resolveCu(ev.loc, CuKind::Send);
+            if (ev.args[1]) // blockedFirst
+                cover(cu, ReqType::Blocked, -1, nk);
+            else
+                cover(cu, ev.args[2] ? ReqType::Unblocking : ReqType::Nop,
+                      -1, nk);
+            break;
+          }
+          case EventType::ChRecv: {
+            Cu cu = resolveCu(ev.loc, CuKind::Recv);
+            if (ev.args[1])
+                cover(cu, ReqType::Blocked, -1, nk);
+            else
+                cover(cu, ev.args[2] ? ReqType::Unblocking : ReqType::Nop,
+                      -1, nk);
+            break;
+          }
+          case EventType::ChClose: {
+            Cu cu = resolveCu(ev.loc, CuKind::Close);
+            cover(cu, ev.args[1] ? ReqType::Unblocking : ReqType::Nop, -1,
+                  nk);
+            break;
+          }
+
+          case EventType::MuLockReq:
+            if (ev.args[1] != -1) {
+                auto it = last_acq.find(obj);
+                if (it != last_acq.end())
+                    cover(it->second.first, ReqType::Blocking, -1,
+                          it->second.second);
+            }
+            break;
+          case EventType::RWLockReq:
+          case EventType::RWRLockReq:
+            if (ev.args[1] != 0) {
+                auto it = last_acq.find(obj);
+                if (it != last_acq.end())
+                    cover(it->second.first, ReqType::Blocking, -1,
+                          it->second.second);
+            }
+            break;
+          case EventType::MuLock:
+          case EventType::RWLock:
+          case EventType::RWRLock: {
+            Cu cu = resolveCu(ev.loc, CuKind::Lock);
+            if (ev.args[1])
+                cover(cu, ReqType::Blocked, -1, nk);
+            last_acq[obj] = {cu, nk};
+            break;
+          }
+          case EventType::MuUnlock:
+          case EventType::RWUnlock:
+          case EventType::RWRUnlock: {
+            Cu cu = resolveCu(ev.loc, CuKind::Unlock);
+            cover(cu, ev.args[1] ? ReqType::Unblocking : ReqType::Nop, -1,
+                  nk);
+            break;
+          }
+
+          case EventType::WgAdd:
+            if (ev.args[1] < 0) { // a Done
+                Cu cu = resolveCu(ev.loc, CuKind::Done);
+                cover(cu,
+                      ev.args[3] ? ReqType::Unblocking : ReqType::Nop, -1,
+                      nk);
+            }
+            break;
+          case EventType::CvSignal: {
+            Cu cu = resolveCu(ev.loc, CuKind::Signal);
+            cover(cu, ev.args[1] ? ReqType::Unblocking : ReqType::Nop, -1,
+                  nk);
+            break;
+          }
+          case EventType::CvBroadcast: {
+            Cu cu = resolveCu(ev.loc, CuKind::Broadcast);
+            cover(cu, ev.args[1] ? ReqType::Unblocking : ReqType::Nop, -1,
+                  nk);
+            break;
+          }
+
+          case EventType::SelectBegin: {
+            SelCtx ctx;
+            ctx.cu = resolveCu(ev.loc, CuKind::Select);
+            ctx.nCases = static_cast<int>(ev.args[0]);
+            ctx.hasDefault = ev.args[1] != 0;
+            if (ctx.hasDefault &&
+                nbSelects_.insert(ctx.cu.loc.str()).second) {
+                // First observation of the default: Req4 instances.
+                require(key(ctx.cu, ReqType::Unblocking));
+                require(key(ctx.cu, ReqType::Nop));
+            }
+            sel[ev.gid] = ctx;
+            break;
+          }
+          case EventType::SelectCase: {
+            auto it = sel.find(ev.gid);
+            if (it == sel.end())
+                break;
+            SelCtx &ctx = it->second;
+            if (!ctx.hasDefault) {
+                // Req2: discovered case → requirement triple, program
+                // and node level.
+                auto idx = static_cast<int>(ev.args[0]);
+                std::string ck = key(ctx.cu, ReqType::Blocked, idx);
+                instantiate(ctx.cu, "", idx);
+                instantiate(ctx.cu, nk + "|", idx);
+                int &n = selectCases_[ctx.cu.loc.str()];
+                n = std::max(n, idx + 1);
+                (void)ck;
+            }
+            break;
+          }
+          case EventType::SelectEnd: {
+            auto it = sel.find(ev.gid);
+            if (it == sel.end())
+                break;
+            const SelCtx ctx = it->second;
+            auto chosen = static_cast<int>(ev.args[0]);
+            bool blocked_first = ev.args[1] != 0;
+            bool woke = ev.args[2] != 0;
+            if (chosen < 0) {
+                // Default taken: the select acted as a NOP (Req4).
+                cover(ctx.cu, ReqType::Nop, -1, nk);
+            } else if (ctx.hasDefault) {
+                cover(ctx.cu,
+                      woke ? ReqType::Unblocking : ReqType::Nop, -1, nk);
+            } else if (blocked_first) {
+                cover(ctx.cu, ReqType::Blocked, chosen, nk);
+            } else {
+                cover(ctx.cu,
+                      woke ? ReqType::Unblocking : ReqType::Nop, chosen,
+                      nk);
+            }
+            sel.erase(ev.gid);
+            break;
+          }
+
+          default:
+            break;
+        }
+    }
+}
+
+double
+CoverageState::percent() const
+{
+    if (required_.empty())
+        return 100.0;
+    return 100.0 * static_cast<double>(covered_.size()) /
+           static_cast<double>(required_.size());
+}
+
+size_t
+CoverageState::uncoveredAtLoc(const SourceLoc &loc) const
+{
+    // Program-level keys for a location share the "<file>:<line> "
+    // prefix and sort contiguously.
+    std::string prefix = loc.str() + " ";
+    size_t n = 0;
+    for (auto it = required_.lower_bound(prefix);
+         it != required_.end() && it->compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+        if (!covered_.count(*it))
+            ++n;
+    }
+    return n;
+}
+
+std::vector<std::string>
+CoverageState::uncovered() const
+{
+    std::vector<std::string> out;
+    for (const auto &k : required_)
+        if (!covered_.count(k))
+            out.push_back(k);
+    return out;
+}
+
+std::string
+CoverageState::tableStr() const
+{
+    std::string out;
+    out += strFormat("%-22s %-10s %-14s %s\n", "CU location", "kind",
+                     "requirement", "covered");
+    for (const Cu &cu : table_.all()) {
+        std::vector<std::pair<ReqType, int>> rows;
+        for (ReqType t : templatesFor(cu.kind))
+            rows.push_back({t, -1});
+        if (cu.kind == CuKind::Select) {
+            auto itc = selectCases_.find(cu.loc.str());
+            int ncases =
+                itc == selectCases_.end() ? 0 : itc->second;
+            for (int i = 0; i < ncases; ++i) {
+                rows.push_back({ReqType::Blocked, i});
+                rows.push_back({ReqType::Unblocking, i});
+                rows.push_back({ReqType::Nop, i});
+            }
+            if (nbSelects_.count(cu.loc.str())) {
+                rows.push_back({ReqType::Unblocking, -1});
+                rows.push_back({ReqType::Nop, -1});
+            }
+        }
+        for (auto [t, idx] : rows) {
+            std::string k = key(cu, t, idx);
+            std::string req =
+                idx >= 0 ? strFormat("case%d-%s", idx, reqTypeName(t))
+                         : reqTypeName(t);
+            out += strFormat("%-22s %-10s %-14s %s\n",
+                             cu.loc.str().c_str(), cuKindName(cu.kind),
+                             req.c_str(),
+                             covered_.count(k) ? "yes" : "no");
+        }
+    }
+    return out;
+}
+
+} // namespace goat::analysis

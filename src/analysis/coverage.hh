@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Concurrency coverage requirements and measurement (paper §III-C,
+ * Table I):
+ *
+ *  - Req1 Send/Recv: {blocked, unblocking, NOP} per channel send or
+ *    receive CU;
+ *  - Req2 Select-Case: {blocked, unblocking, NOP} per runtime-
+ *    discovered case of each default-less select CU;
+ *  - Req3 Lock: {blocked, blocking} per lock CU;
+ *  - Req4 Unblocking: {unblocking, NOP} per close / unlock / signal /
+ *    broadcast / waitgroup-done CU and per non-blocking (default-
+ *    carrying) select CU;
+ *  - Req5 Go: {NOP} per goroutine-creation CU.
+ *
+ * Requirement instances exist at two granularities: program level (one
+ * instance per CU, created from the static model), and goroutine-node
+ * level (instances materialize when a node of the *global* goroutine
+ * tree first executes the CU). Node identity across executions uses
+ * the paper's equivalence: equal parents and equal creation CU, which
+ * the GoroutineNode::key string encodes. Because select cases and
+ * goroutine nodes are discovered at run time, the requirement universe
+ * grows during testing — coverage percentage can therefore drop when
+ * an execution uncovers new behaviour (the paper's fig. 6b, D1).
+ */
+
+#ifndef GOAT_ANALYSIS_COVERAGE_HH
+#define GOAT_ANALYSIS_COVERAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "staticmodel/cutable.hh"
+#include "trace/ect.hh"
+
+namespace goat::analysis {
+
+/** Behaviour classes a requirement can demand (Table I columns). */
+enum class ReqType : uint8_t
+{
+    Blocked,    ///< The operation parked its goroutine.
+    Unblocking, ///< The operation made ≥1 parked goroutine runnable.
+    Nop,        ///< Neither blocked nor unblocking.
+    Blocking,   ///< Lock-specific: held while another goroutine waited.
+};
+
+const char *reqTypeName(ReqType t);
+
+/**
+ * Cumulative coverage state across testing iterations.
+ *
+ * Construct with the static model (scanner output) so uncovered static
+ * requirements are visible from iteration zero; CUs observed only
+ * dynamically are added on the fly.
+ */
+class CoverageState
+{
+  public:
+    explicit CoverageState(staticmodel::CuTable statics = {});
+
+    /** Fold one execution's trace into the coverage state. */
+    void addEct(const trace::Ect &ect);
+
+    /** Number of requirement instances known so far. */
+    size_t totalRequirements() const { return required_.size(); }
+
+    /** Number of requirement instances covered so far. */
+    size_t coveredCount() const { return covered_.size(); }
+
+    /** Coverage percentage in [0, 100]; 100 for an empty universe. */
+    double percent() const;
+
+    /** All uncovered requirement keys (sorted). */
+    std::vector<std::string> uncovered() const;
+
+    /** True when the given requirement key is covered. */
+    bool
+    isCovered(const std::string &key) const
+    {
+        return covered_.count(key) != 0;
+    }
+
+    /** True when the given requirement key exists. */
+    bool
+    isRequired(const std::string &key) const
+    {
+        return required_.count(key) != 0;
+    }
+
+    /**
+     * Requirement key syntax (program level):
+     *   "<file>:<line> <kind>[/case<i>] <type>"
+     * Node-level instances are prefixed "<nodeKey>|".
+     */
+    static std::string key(const staticmodel::Cu &cu, ReqType type,
+                           int case_idx = -1);
+
+    /**
+     * Number of program-level requirements at a source location that
+     * are still uncovered (drives coverage-guided perturbation).
+     */
+    size_t uncoveredAtLoc(const SourceLoc &loc) const;
+
+    /** The (possibly dynamically extended) CU table. */
+    const staticmodel::CuTable &cuTable() const { return table_; }
+
+    /**
+     * Printable per-CU coverage table in the style of the paper's
+     * Table III (program-level requirements and their status).
+     */
+    std::string tableStr() const;
+
+  private:
+    /** Register a requirement without covering it. */
+    void require(const std::string &k) { required_.insert(k); }
+
+    /** Register and mark covered (program level + node level). */
+    void cover(const staticmodel::Cu &cu, ReqType type, int case_idx,
+               const std::string &node_key);
+
+    /** Instantiate the template set of @p cu at a granularity. */
+    void instantiate(const staticmodel::Cu &cu, const std::string &prefix,
+                     int case_idx = -1);
+
+    /** Look up (or dynamically register) the CU at @p loc. */
+    staticmodel::Cu resolveCu(const SourceLoc &loc,
+                              staticmodel::CuKind fallback);
+
+    staticmodel::CuTable table_;
+    std::set<std::string> required_;
+    std::set<std::string> covered_;
+    /** Select CUs observed to carry a default case. */
+    std::set<std::string> nbSelects_;
+    /** Discovered case counts per select CU key. */
+    std::map<std::string, int> selectCases_;
+};
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_COVERAGE_HH

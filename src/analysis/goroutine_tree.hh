@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Goroutine tree reconstruction from an ECT (paper §III-E, fig. 3).
+ *
+ * Nodes are goroutines; a directed edge parent→child records that the
+ * child was created by a go statement the parent executed. Each node
+ * carries the goroutine's full event sequence, its creation site, and
+ * its final event — everything the deadlock check and the coverage
+ * measurement need.
+ *
+ * Application-level filtering: a goroutine is application-level when it
+ * is the main goroutine, or its ancestry reaches main and it is not a
+ * runtime-system goroutine (watchdog/tracer), mirroring the paper's
+ * call-stack-based classification.
+ */
+
+#ifndef GOAT_ANALYSIS_GOROUTINE_TREE_HH
+#define GOAT_ANALYSIS_GOROUTINE_TREE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/ect.hh"
+
+namespace goat::analysis {
+
+/**
+ * One node of the goroutine tree.
+ */
+struct GoroutineNode
+{
+    uint32_t gid = 0;
+    uint32_t parentGid = 0;
+    SourceLoc creationLoc;
+    bool system = false;
+    bool appLevel = false;
+    std::vector<trace::Event> events;
+    std::vector<GoroutineNode *> children;
+
+    /**
+     * Equivalence key for merging goroutines across executions: the
+     * chain of creation CUs from main down to this node (goroutines
+     * with equivalent parents created at the same go statement are
+     * identical nodes of the global tree).
+     */
+    std::string key;
+
+    /** Final event executed by this goroutine (nullptr when none). */
+    const trace::Event *
+    lastEvent() const
+    {
+        return events.empty() ? nullptr : &events.back();
+    }
+};
+
+/**
+ * The goroutine tree of one execution.
+ */
+class GoroutineTree
+{
+  public:
+    /** Build the tree from an execution concurrency trace. */
+    explicit GoroutineTree(const trace::Ect &ect);
+
+    /**
+     * The main goroutine's node.
+     *
+     * @retval nullptr for an empty trace.
+     */
+    const GoroutineNode *root() const { return root_; }
+
+    /** Node by gid (nullptr when unknown). */
+    const GoroutineNode *node(uint32_t gid) const;
+
+    /**
+     * Application-level nodes in BFS order from main (main first).
+     */
+    std::vector<const GoroutineNode *> appNodes() const;
+
+    /** All nodes (including system goroutines), by gid. */
+    const std::map<uint32_t, std::unique_ptr<GoroutineNode>> &
+    nodes() const
+    {
+        return nodes_;
+    }
+
+    size_t size() const { return nodes_.size(); }
+
+  private:
+    std::map<uint32_t, std::unique_ptr<GoroutineNode>> nodes_;
+    GoroutineNode *root_ = nullptr;
+};
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_GOROUTINE_TREE_HH

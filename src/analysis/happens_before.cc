@@ -1,0 +1,257 @@
+#include "analysis/happens_before.hh"
+
+#include <deque>
+#include <set>
+
+#include "base/fmt.hh"
+
+namespace goat::analysis {
+
+using trace::Event;
+using trace::EventType;
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    for (const auto &[gid, n] : other.clock_) {
+        auto &mine = clock_[gid];
+        if (n > mine)
+            mine = n;
+    }
+}
+
+bool
+VectorClock::le(const VectorClock &other) const
+{
+    for (const auto &[gid, n] : clock_) {
+        auto it = other.clock_.find(gid);
+        uint64_t theirs = it == other.clock_.end() ? 0 : it->second;
+        if (n > theirs)
+            return false;
+    }
+    return true;
+}
+
+std::string
+VectorClock::str() const
+{
+    std::vector<std::string> parts;
+    for (const auto &[gid, n] : clock_)
+        parts.push_back(strFormat("g%u:%lu", gid,
+                                  static_cast<unsigned long>(n)));
+    return "{" + strJoin(parts, ",") + "}";
+}
+
+std::string
+Race::str() const
+{
+    return strFormat("DATA RACE on var %lu: %s by g%u at %s vs %s by "
+                     "g%u at %s",
+                     static_cast<unsigned long>(varId),
+                     writeA ? "write" : "read", gidA, locA.str().c_str(),
+                     writeB ? "write" : "read", gidB, locB.str().c_str());
+}
+
+std::string
+RaceReport::str() const
+{
+    std::string out;
+    for (const auto &race : races) {
+        out += race.str();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** One recorded shared access. */
+struct Access
+{
+    uint32_t gid;
+    bool write;
+    SourceLoc loc;
+    VectorClock vc;
+};
+
+/** Per-goroutine select context (to attribute poll-phase transfers). */
+struct SelCtx
+{
+    std::vector<int64_t> caseChan;
+    std::vector<bool> caseIsSend;
+};
+
+} // namespace
+
+RaceReport
+detectRaces(const trace::Ect &ect)
+{
+    std::map<uint32_t, VectorClock> vc;
+    std::map<int64_t, std::deque<VectorClock>> chanQueue;
+    std::map<int64_t, VectorClock> closeVc;
+    std::map<int64_t, VectorClock> lastRelease; // mutex/rwmutex/wg
+    std::map<uint32_t, SelCtx> sel;
+    std::map<uint64_t, std::vector<Access>> accesses;
+
+    for (const Event &ev : ect.events()) {
+        VectorClock &me = vc[ev.gid];
+        me.tick(ev.gid);
+
+        switch (ev.type) {
+          case EventType::GoCreate: {
+            auto child = static_cast<uint32_t>(ev.args[0]);
+            vc[child].join(me);
+            break;
+          }
+          case EventType::GoUnblock: {
+            // Conservative bidirectional synchronization between waker
+            // and woken goroutine (exact for rendezvous, safe — never
+            // introduces false races — for one-way wakeups).
+            auto target = static_cast<uint32_t>(ev.args[0]);
+            VectorClock &tv = vc[target];
+            tv.join(me);
+            me.join(tv);
+            break;
+          }
+
+          case EventType::ChSend:
+            if (ev.args[1] == 0 && ev.args[2] == 0) {
+                // Pure buffered deposit: the value carries this clock.
+                chanQueue[ev.args[0]].push_back(me);
+            }
+            break;
+          case EventType::ChRecv: {
+            auto &q = chanQueue[ev.args[0]];
+            if (ev.args[3] == 1) {
+                if (!q.empty()) {
+                    me.join(q.front());
+                    q.pop_front();
+                }
+            } else {
+                // Closed-drain miss: ordered after the close.
+                auto it = closeVc.find(ev.args[0]);
+                if (it != closeVc.end())
+                    me.join(it->second);
+            }
+            break;
+          }
+          case EventType::ChClose:
+            closeVc[ev.args[0]] = me;
+            break;
+
+          case EventType::SelectBegin:
+            sel[ev.gid] = SelCtx{};
+            break;
+          case EventType::SelectCase: {
+            SelCtx &ctx = sel[ev.gid];
+            auto idx = static_cast<size_t>(ev.args[0]);
+            if (ctx.caseChan.size() <= idx) {
+                ctx.caseChan.resize(idx + 1, -1);
+                ctx.caseIsSend.resize(idx + 1, false);
+            }
+            ctx.caseChan[idx] = ev.args[2];
+            ctx.caseIsSend[idx] = ev.args[1] != 0;
+            break;
+          }
+          case EventType::SelectEnd: {
+            auto it = sel.find(ev.gid);
+            if (it == sel.end())
+                break;
+            const SelCtx ctx = it->second;
+            sel.erase(it);
+            auto chosen = static_cast<int64_t>(ev.args[0]);
+            bool blocked_first = ev.args[1] != 0;
+            bool woke = ev.args[2] != 0;
+            if (chosen < 0 || blocked_first ||
+                static_cast<size_t>(chosen) >= ctx.caseChan.size())
+                break; // default / park path: GoUnblock covered it
+            int64_t cid = ctx.caseChan[chosen];
+            if (ctx.caseIsSend[chosen]) {
+                if (!woke)
+                    chanQueue[cid].push_back(me); // buffered deposit
+            } else {
+                auto &q = chanQueue[cid];
+                if (!q.empty()) {
+                    me.join(q.front());
+                    q.pop_front();
+                } else if (closeVc.count(cid)) {
+                    me.join(closeVc[cid]);
+                }
+            }
+            break;
+          }
+
+          case EventType::MuLock:
+          case EventType::RWLock:
+          case EventType::RWRLock: {
+            auto it = lastRelease.find(ev.args[0]);
+            if (it != lastRelease.end())
+                me.join(it->second);
+            break;
+          }
+          case EventType::MuUnlock:
+          case EventType::RWUnlock:
+          case EventType::RWRUnlock:
+            lastRelease[ev.args[0]].join(me);
+            break;
+
+          case EventType::WgAdd:
+            if (ev.args[1] < 0)
+                lastRelease[ev.args[0]].join(me); // Done releases
+            break;
+          case EventType::WgWait: {
+            auto it = lastRelease.find(ev.args[0]);
+            if (it != lastRelease.end())
+                me.join(it->second);
+            break;
+          }
+
+          case EventType::VarRead:
+          case EventType::VarWrite: {
+            auto var = static_cast<uint64_t>(ev.args[0]);
+            accesses[var].push_back(
+                {ev.gid, ev.type == EventType::VarWrite, ev.loc, me});
+            break;
+          }
+
+          default:
+            break;
+        }
+    }
+
+    // Conflicting, concurrent access pairs (deduplicated by location
+    // pair per variable).
+    RaceReport report;
+    std::set<std::string> seen;
+    for (const auto &[var, accs] : accesses) {
+        for (size_t i = 0; i < accs.size(); ++i) {
+            for (size_t j = i + 1; j < accs.size(); ++j) {
+                const Access &a = accs[i];
+                const Access &b = accs[j];
+                if (a.gid == b.gid || (!a.write && !b.write))
+                    continue;
+                if (!VectorClock::concurrent(a.vc, b.vc))
+                    continue;
+                std::string key = strFormat(
+                    "%lu/%s/%d-%s/%d",
+                    static_cast<unsigned long>(var),
+                    a.loc.str().c_str(), a.write ? 1 : 0,
+                    b.loc.str().c_str(), b.write ? 1 : 0);
+                if (!seen.insert(key).second)
+                    continue;
+                Race race;
+                race.varId = var;
+                race.gidA = a.gid;
+                race.gidB = b.gid;
+                race.locA = a.loc;
+                race.locB = b.loc;
+                race.writeA = a.write;
+                race.writeB = b.write;
+                report.races.push_back(race);
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace goat::analysis

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Happens-before analysis and offline data-race detection over ECTs —
+ * the GoAT-CPP counterpart of the paper artifact's `-race` flag
+ * (Go's dynamic race detector).
+ *
+ * A vector clock is maintained per goroutine and advanced across the
+ * trace's synchronization edges:
+ *
+ *  - goroutine creation: the child starts with the parent's clock;
+ *  - wake-ups: a GoUnblock(waker → target) joins the waker's clock
+ *    into the target (this exactly covers rendezvous channels, lock
+ *    hand-offs, WaitGroup releases, cond signals — every park/unpark);
+ *  - buffered channels: each delivered value carries the sender's
+ *    clock FIFO; the receiver joins it (covers transfers that park
+ *    nobody);
+ *  - channel close: receivers observing the close join the closer;
+ *  - mutex / rwmutex: a lock joins the previous unlock of the same
+ *    object (covers uncontended critical-section ordering).
+ *
+ * Two VarRead/VarWrite accesses to the same variable race iff they
+ * come from different goroutines, at least one is a write, and their
+ * clocks are incomparable.
+ */
+
+#ifndef GOAT_ANALYSIS_HAPPENS_BEFORE_HH
+#define GOAT_ANALYSIS_HAPPENS_BEFORE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/ect.hh"
+
+namespace goat::analysis {
+
+/**
+ * Sparse vector clock (gid → count).
+ */
+class VectorClock
+{
+  public:
+    /** Advance this goroutine's own component. */
+    void
+    tick(uint32_t gid)
+    {
+        ++clock_[gid];
+    }
+
+    /** Component-wise maximum with @p other. */
+    void join(const VectorClock &other);
+
+    /**
+     * True when this clock happens-before-or-equals @p other
+     * (component-wise ≤).
+     */
+    bool le(const VectorClock &other) const;
+
+    /** True when neither clock orders the other. */
+    static bool
+    concurrent(const VectorClock &a, const VectorClock &b)
+    {
+        return !a.le(b) && !b.le(a);
+    }
+
+    std::string str() const;
+
+  private:
+    std::map<uint32_t, uint64_t> clock_;
+};
+
+/**
+ * One detected race: an unordered conflicting access pair.
+ */
+struct Race
+{
+    uint64_t varId = 0;
+    uint32_t gidA = 0, gidB = 0;
+    SourceLoc locA, locB;
+    bool writeA = false, writeB = false;
+
+    std::string str() const;
+};
+
+/**
+ * Result of the offline race detection pass.
+ */
+struct RaceReport
+{
+    /** Distinct races (deduplicated by variable + location pair). */
+    std::vector<Race> races;
+
+    bool any() const { return !races.empty(); }
+
+    std::string str() const;
+};
+
+/**
+ * Run happens-before race detection over a trace.
+ */
+RaceReport detectRaces(const trace::Ect &ect);
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_HAPPENS_BEFORE_HH

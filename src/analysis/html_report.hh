@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Self-contained HTML debugging report: the shareable counterpart of
+ * the paper's supplementary visualizations. One HTML page bundles the
+ * verdict, the goroutine tree (with leak highlighting), the executed
+ * interleaving as a per-goroutine lane table, trace statistics, and —
+ * when provided — the coverage table. No external assets; the page
+ * renders offline.
+ */
+
+#ifndef GOAT_ANALYSIS_HTML_REPORT_HH
+#define GOAT_ANALYSIS_HTML_REPORT_HH
+
+#include <string>
+
+#include "analysis/coverage.hh"
+#include "analysis/deadlock.hh"
+#include "analysis/goroutine_tree.hh"
+
+namespace goat::analysis {
+
+/**
+ * Render a complete HTML report for one execution.
+ *
+ * @param title Page title (e.g. the kernel name).
+ * @param ect The execution trace.
+ * @param tree Goroutine tree of @p ect.
+ * @param dl Deadlock verdict for @p ect.
+ * @param cov Optional cumulative coverage state (nullptr to omit).
+ * @param max_events Interleaving rows cap (0 = all).
+ */
+std::string htmlReportStr(const std::string &title, const trace::Ect &ect,
+                          const GoroutineTree &tree,
+                          const DeadlockReport &dl,
+                          const CoverageState *cov = nullptr,
+                          size_t max_events = 300);
+
+/** Escape &<>" for safe HTML embedding (exposed for testing). */
+std::string htmlEscape(const std::string &s);
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_HTML_REPORT_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Human-readable reports and visualizations generated when GoAT
+ * detects a bug (paper §III-E): the goroutine tree with final states
+ * (fig. 3), the executed interleaving as a one-column-per-goroutine
+ * listing (listing 1, right side), and a combined deadlock report.
+ */
+
+#ifndef GOAT_ANALYSIS_REPORT_HH
+#define GOAT_ANALYSIS_REPORT_HH
+
+#include <string>
+
+#include "analysis/deadlock.hh"
+#include "analysis/goroutine_tree.hh"
+
+namespace goat::analysis {
+
+/**
+ * ASCII rendering of the goroutine tree: one line per goroutine with
+ * creation site, final event, and leak markers.
+ */
+std::string goroutineTreeStr(const GoroutineTree &tree);
+
+/**
+ * The executed interleaving of concurrency events, one column per
+ * application goroutine (matching the paper's buggy-interleaving
+ * visualizations).
+ *
+ * @param max_events Truncate after this many events (0 = no limit).
+ */
+std::string interleavingStr(const trace::Ect &ect, size_t max_events = 0);
+
+/**
+ * Full deadlock report: verdict, leaked goroutines with their final
+ * blocked locations, the goroutine tree, and the tail of the executed
+ * interleaving.
+ */
+std::string deadlockReportStr(const trace::Ect &ect,
+                              const GoroutineTree &tree,
+                              const DeadlockReport &report);
+
+/**
+ * Graphviz DOT rendering of the goroutine tree (fig. 3 as a graph):
+ * one node per goroutine labeled with its creation site and final
+ * state; leaked goroutines are highlighted.
+ */
+std::string goroutineTreeDot(const GoroutineTree &tree);
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_REPORT_HH

@@ -1,0 +1,155 @@
+#include "analysis/stats.hh"
+
+#include <map>
+
+#include "base/fmt.hh"
+
+namespace goat::analysis {
+
+using trace::Event;
+using trace::EventType;
+
+namespace {
+
+bool
+isChanOp(EventType t)
+{
+    switch (t) {
+      case EventType::ChSend:
+      case EventType::ChRecv:
+      case EventType::ChClose:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLockOp(EventType t)
+{
+    switch (t) {
+      case EventType::MuLock:
+      case EventType::MuUnlock:
+      case EventType::RWLock:
+      case EventType::RWUnlock:
+      case EventType::RWRLock:
+      case EventType::RWRUnlock:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+TraceStats
+computeStats(const trace::Ect &ect)
+{
+    TraceStats stats;
+    // Parked-episode starts: gid → ts of the block event.
+    std::map<uint32_t, uint64_t> parked_at;
+
+    for (const Event &ev : ect.events()) {
+        ++stats.totalEvents;
+        stats.totalSteps = ev.ts;
+        GoroutineStats &g = stats.goroutines[ev.gid];
+        g.gid = ev.gid;
+        ++g.events;
+
+        if (trace::isBlockEvent(ev.type) ||
+            ev.type == EventType::GoSleep) {
+            ++g.blocks;
+            parked_at[ev.gid] = ev.ts;
+        }
+        if (ev.type == EventType::GoUnblock) {
+            auto target = static_cast<uint32_t>(ev.args[0]);
+            auto it = parked_at.find(target);
+            if (it != parked_at.end()) {
+                stats.goroutines[target].parkedSteps +=
+                    ev.ts - it->second;
+                parked_at.erase(it);
+            }
+        }
+        if (ev.type == EventType::GoPreempt)
+            ++g.preemptions;
+        if (ev.type == EventType::GoCreate && ev.args[1] == 0)
+            ++g.spawns;
+        if (ev.type == EventType::SelectBegin)
+            ++g.selects;
+
+        if (isChanOp(ev.type)) {
+            ++g.chanOps;
+            ObjectStats &c = stats.channels[ev.args[0]];
+            c.id = ev.args[0];
+            c.kind = "chan";
+            ++c.ops;
+            if (ev.type != EventType::ChClose && ev.args[1])
+                ++c.blockingOps;
+            bool woke = ev.type == EventType::ChClose ? ev.args[1] != 0
+                                                      : ev.args[2] != 0;
+            if (woke)
+                ++c.unblockingOps;
+        }
+        if (isLockOp(ev.type)) {
+            ++g.lockOps;
+            ObjectStats &m = stats.locks[ev.args[0]];
+            m.id = ev.args[0];
+            m.kind = "lock";
+            ++m.ops;
+            if ((ev.type == EventType::MuLock ||
+                 ev.type == EventType::RWLock ||
+                 ev.type == EventType::RWRLock) &&
+                ev.args[1]) {
+                ++m.blockingOps;
+            }
+            if ((ev.type == EventType::MuUnlock ||
+                 ev.type == EventType::RWUnlock ||
+                 ev.type == EventType::RWRUnlock) &&
+                ev.args[1]) {
+                ++m.unblockingOps;
+            }
+        }
+    }
+
+    // Goroutines still parked at trace end stay parked forever: charge
+    // the remaining steps (leak dwell time).
+    for (const auto &[gid, since] : parked_at)
+        stats.goroutines[gid].parkedSteps += stats.totalSteps - since;
+
+    return stats;
+}
+
+std::string
+TraceStats::str() const
+{
+    std::string out;
+    out += strFormat("trace: %zu events, %lu steps, %zu goroutines\n",
+                     totalEvents,
+                     static_cast<unsigned long>(totalSteps),
+                     goroutines.size());
+    out += strFormat("%-5s %8s %7s %6s %7s %7s %8s %7s\n", "gid",
+                     "events", "chanop", "lock", "select", "blocks",
+                     "parked", "preempt");
+    for (const auto &[gid, g] : goroutines) {
+        out += strFormat("g%-4u %8zu %7zu %6zu %7zu %7zu %8lu %7zu\n",
+                         gid, g.events, g.chanOps, g.lockOps, g.selects,
+                         g.blocks,
+                         static_cast<unsigned long>(g.parkedSteps),
+                         g.preemptions);
+    }
+    auto objs = [&](const char *title,
+                    const std::map<int64_t, ObjectStats> &table) {
+        if (table.empty())
+            return;
+        out += strFormat("%s: id(ops/blocking/unblocking)", title);
+        for (const auto &[id, o] : table)
+            out += strFormat(" %ld(%zu/%zu/%zu)", static_cast<long>(id),
+                             o.ops, o.blockingOps, o.unblockingOps);
+        out += '\n';
+    };
+    objs("channels", channels);
+    objs("locks", locks);
+    return out;
+}
+
+} // namespace goat::analysis

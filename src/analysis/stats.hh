@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace statistics: the latency/blocking profile the Go execution
+ * tracer was built for (paper §III-D cites pprof-style analysis as the
+ * tracer's original purpose). From one ECT this computes, per
+ * application goroutine: event counts by category, time parked (in
+ * virtual-clock terms the scheduler cannot provide, we use logical
+ * steps — the trace's own total order), blocking episodes by reason,
+ * and per-channel / per-mutex contention counters.
+ */
+
+#ifndef GOAT_ANALYSIS_STATS_HH
+#define GOAT_ANALYSIS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "trace/ect.hh"
+
+namespace goat::analysis {
+
+/**
+ * Per-goroutine profile.
+ */
+struct GoroutineStats
+{
+    uint32_t gid = 0;
+    std::string name;
+    size_t events = 0;
+    size_t chanOps = 0;
+    size_t lockOps = 0;
+    size_t selects = 0;
+    size_t spawns = 0;
+    /** Blocking episodes entered, by reason event. */
+    size_t blocks = 0;
+    /** Logical steps spent parked (sum over episodes). */
+    uint64_t parkedSteps = 0;
+    /** Times preempted (noise or perturbation). */
+    size_t preemptions = 0;
+};
+
+/**
+ * Per-object (channel/mutex/...) contention profile.
+ */
+struct ObjectStats
+{
+    int64_t id = 0;
+    const char *kind = "?";
+    size_t ops = 0;
+    /** Operations that parked their goroutine first. */
+    size_t blockingOps = 0;
+    /** Operations that woke at least one goroutine. */
+    size_t unblockingOps = 0;
+};
+
+/**
+ * Aggregate trace statistics.
+ */
+struct TraceStats
+{
+    std::map<uint32_t, GoroutineStats> goroutines;
+    std::map<int64_t, ObjectStats> channels;
+    std::map<int64_t, ObjectStats> locks;
+    size_t totalEvents = 0;
+    uint64_t totalSteps = 0;
+
+    /** Printable profile (one block per goroutine + object tables). */
+    std::string str() const;
+};
+
+/**
+ * Compute statistics for one execution trace.
+ */
+TraceStats computeStats(const trace::Ect &ect);
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_STATS_HH

@@ -1,0 +1,186 @@
+#include "analysis/validate.hh"
+
+#include <map>
+#include <set>
+
+#include "base/fmt.hh"
+
+namespace goat::analysis {
+
+using trace::Event;
+using trace::EventType;
+
+namespace {
+
+/** Per-goroutine state while scanning the trace. */
+struct GState
+{
+    bool created = false;
+    bool terminated = false;
+    bool parked = false;
+    bool inSelect = false;
+    int selectCases = 0;
+    bool selectDefault = false;
+    std::set<int64_t> declaredCases;
+};
+
+bool
+isTerminal(const Event &ev)
+{
+    return ev.type == EventType::GoEnd ||
+           ev.type == EventType::GoPanic ||
+           (ev.type == EventType::GoSched &&
+            ev.args[0] == trace::SchedTagTraceStop);
+}
+
+} // namespace
+
+std::string
+ValidationResult::str() const
+{
+    return strJoin(violations, "\n");
+}
+
+ValidationResult
+validateEct(const trace::Ect &ect)
+{
+    ValidationResult res;
+    auto fail = [&](const Event &ev, const std::string &msg) {
+        res.violations.push_back(
+            strFormat("[ts %lu, g%u, %s] %s",
+                      static_cast<unsigned long>(ev.ts), ev.gid,
+                      eventTypeName(ev.type), msg.c_str()));
+    };
+
+    const auto &events = ect.events();
+    if (events.empty())
+        return res;
+
+    // I2: bracketing.
+    if (events.front().type != EventType::TraceStart)
+        fail(events.front(), "trace does not start with trace_start");
+    if (events.back().type != EventType::TraceStop)
+        fail(events.back(), "trace does not end with trace_stop");
+
+    std::map<uint32_t, GState> gs;
+    gs[0].created = true; // scheduler context
+    std::set<int64_t> channels;
+    uint64_t prev_ts = 0;
+
+    for (const Event &ev : events) {
+        // I1: strict total order.
+        if (ev.ts <= prev_ts)
+            fail(ev, strFormat("timestamp not increasing (prev %lu)",
+                               static_cast<unsigned long>(prev_ts)));
+        prev_ts = ev.ts;
+
+        GState &g = gs[ev.gid];
+
+        // I3: introduction before execution.
+        if (ev.gid != 0 && !g.created)
+            fail(ev, "goroutine executes before its go_create");
+
+        // I4: nothing after termination.
+        if (g.terminated)
+            fail(ev, "goroutine executes after its terminal event");
+
+        // I5: nothing while parked.
+        if (g.parked)
+            fail(ev, "parked goroutine executes without go_unblock");
+
+        // I8: select bracket contents.
+        if (g.inSelect && ev.type != EventType::SelectCase &&
+            ev.type != EventType::SelectEnd &&
+            ev.type != EventType::GoBlockSelect &&
+            ev.type != EventType::GoUnblock &&
+            ev.type != EventType::GoPanic) {
+            fail(ev, "unexpected event inside a select bracket");
+        }
+
+        switch (ev.type) {
+          case EventType::GoCreate: {
+            auto child = static_cast<uint32_t>(ev.args[0]);
+            GState &cg = gs[child];
+            if (cg.created)
+                fail(ev, strFormat("goroutine %u created twice", child));
+            cg.created = true;
+            break;
+          }
+          case EventType::GoUnblock: {
+            auto target = static_cast<uint32_t>(ev.args[0]);
+            GState &tg = gs[target];
+            // I6: target must be parked.
+            if (!tg.parked)
+                fail(ev, strFormat("go_unblock of non-parked g%u",
+                                   target));
+            tg.parked = false;
+            break;
+          }
+          case EventType::GoBlockSend:
+          case EventType::GoBlockRecv:
+          case EventType::GoBlockSelect:
+          case EventType::GoBlockSync:
+          case EventType::GoBlockCond:
+            g.parked = true;
+            break;
+          case EventType::GoSleep:
+            g.parked = true;
+            break;
+
+          case EventType::ChMake:
+            channels.insert(ev.args[0]);
+            break;
+          case EventType::ChSend:
+          case EventType::ChRecv:
+          case EventType::ChClose:
+            // I7: known channel.
+            if (!channels.count(ev.args[0]))
+                fail(ev, strFormat("unknown channel %ld",
+                                   static_cast<long>(ev.args[0])));
+            break;
+
+          case EventType::SelectBegin:
+            if (g.inSelect)
+                fail(ev, "nested select_begin");
+            g.inSelect = true;
+            g.selectCases = static_cast<int>(ev.args[0]);
+            g.selectDefault = ev.args[1] != 0;
+            g.declaredCases.clear();
+            break;
+          case EventType::SelectCase:
+            if (!g.inSelect) {
+                fail(ev, "select_case outside select");
+            } else {
+                g.declaredCases.insert(ev.args[0]);
+                if (!channels.count(ev.args[2]))
+                    fail(ev, strFormat("case on unknown channel %ld",
+                                       static_cast<long>(ev.args[2])));
+            }
+            break;
+          case EventType::SelectEnd:
+            if (!g.inSelect) {
+                fail(ev, "select_end outside select");
+                break;
+            }
+            if (ev.args[0] == -1) {
+                if (!g.selectDefault)
+                    fail(ev, "default chosen but none declared");
+            } else if (!g.declaredCases.count(ev.args[0])) {
+                fail(ev, strFormat("chosen case %ld not declared",
+                                   static_cast<long>(ev.args[0])));
+            }
+            g.inSelect = false;
+            break;
+
+          default:
+            break;
+        }
+
+        if (isTerminal(ev))
+            g.terminated = true;
+    }
+
+    return res;
+}
+
+} // namespace goat::analysis

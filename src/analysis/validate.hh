@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ECT well-formedness validation.
+ *
+ * The offline analyses assume structural invariants of execution
+ * concurrency traces; this validator checks them explicitly and is
+ * used by the property-test suites to assert that *every* execution
+ * the runtime can produce yields a well-formed trace:
+ *
+ *  I1  timestamps are strictly increasing (total order);
+ *  I2  the trace is bracketed by TraceStart/TraceStop (gid 0);
+ *  I3  every goroutine id (except 0) is introduced by exactly one
+ *      GoCreate before any event it executes;
+ *  I4  a goroutine executes no event after its GoEnd / terminal
+ *      GoSched(traceStop) / GoPanic;
+ *  I5  a parked goroutine (GoBlock*) executes nothing until some
+ *      GoUnblock targets it;
+ *  I6  GoUnblock targets a goroutine that is actually parked;
+ *  I7  channel events reference channels introduced by ChMake;
+ *  I8  select protocols are well-bracketed per goroutine
+ *      (SelectBegin → SelectCase* → SelectEnd) and the chosen index
+ *      is a declared case (or -1 with a declared default).
+ */
+
+#ifndef GOAT_ANALYSIS_VALIDATE_HH
+#define GOAT_ANALYSIS_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/ect.hh"
+
+namespace goat::analysis {
+
+/**
+ * Result of validating one ECT.
+ */
+struct ValidationResult
+{
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** All violations joined, one per line. */
+    std::string str() const;
+};
+
+/**
+ * Check the trace invariants I1–I8.
+ */
+ValidationResult validateEct(const trace::Ect &ect);
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_VALIDATE_HH

@@ -1,0 +1,183 @@
+#include "analysis/waitgraph.hh"
+
+#include <set>
+
+#include "base/fmt.hh"
+#include "runtime/goroutine.hh"
+
+namespace goat::analysis {
+
+using runtime::BlockReason;
+using trace::Event;
+using trace::EventType;
+
+WaitGraph
+buildWaitGraph(const trace::Ect &ect)
+{
+    WaitGraph graph;
+    std::map<int64_t, uint32_t> lockHolder;       // mutex/rw writer
+    std::map<int64_t, std::set<uint32_t>> readers; // rw readers
+    std::map<int64_t, SourceLoc> chanMade;         // chan id -> make site
+
+    for (const Event &ev : ect.events()) {
+        switch (ev.type) {
+          case EventType::ChMake:
+            chanMade[ev.args[0]] = ev.loc;
+            break;
+          case EventType::GoUnblock:
+            graph.waiting.erase(static_cast<uint32_t>(ev.args[0]));
+            break;
+
+          case EventType::GoBlockSend:
+          case EventType::GoBlockRecv: {
+            WaitEdge edge;
+            edge.gid = ev.gid;
+            edge.loc = ev.loc;
+            edge.waitingOn = strFormat(
+                "chan %ld (%s)", static_cast<long>(ev.args[0]),
+                ev.type == EventType::GoBlockSend ? "send" : "recv");
+            auto mit = chanMade.find(ev.args[0]);
+            if (mit != chanMade.end())
+                edge.waitingOn +=
+                    strFormat(", made at %s", mit->second.str().c_str());
+            graph.waiting[ev.gid] = edge;
+            break;
+          }
+          case EventType::GoBlockSelect: {
+            WaitEdge edge;
+            edge.gid = ev.gid;
+            edge.loc = ev.loc;
+            edge.waitingOn = "select (no ready case)";
+            graph.waiting[ev.gid] = edge;
+            break;
+          }
+          case EventType::GoBlockCond: {
+            WaitEdge edge;
+            edge.gid = ev.gid;
+            edge.loc = ev.loc;
+            edge.waitingOn =
+                strFormat("cond %ld (missing signal)",
+                          static_cast<long>(ev.args[0]));
+            graph.waiting[ev.gid] = edge;
+            break;
+          }
+          case EventType::GoSleep: {
+            WaitEdge edge;
+            edge.gid = ev.gid;
+            edge.loc = ev.loc;
+            edge.waitingOn = "sleep (timer never serviced)";
+            graph.waiting[ev.gid] = edge;
+            break;
+          }
+          case EventType::GoBlockSync: {
+            WaitEdge edge;
+            edge.gid = ev.gid;
+            edge.loc = ev.loc;
+            auto reason = static_cast<BlockReason>(ev.args[1]);
+            auto obj = ev.args[0];
+            if (reason == BlockReason::Mutex) {
+                auto it = lockHolder.find(obj);
+                edge.holder =
+                    it == lockHolder.end() ? 0 : it->second;
+                edge.waitingOn =
+                    strFormat("mutex %ld", static_cast<long>(obj));
+                // A writer may also be blocked by readers.
+                auto rit = readers.find(obj);
+                if (!edge.holder && rit != readers.end() &&
+                    !rit->second.empty()) {
+                    edge.holder = *rit->second.begin();
+                    edge.waitingOn += " (held by readers)";
+                }
+            } else if (reason == BlockReason::RWMutex) {
+                auto it = lockHolder.find(obj);
+                edge.holder =
+                    it == lockHolder.end() ? 0 : it->second;
+                edge.waitingOn = strFormat("rwmutex %ld (reader side)",
+                                           static_cast<long>(obj));
+            } else if (reason == BlockReason::WaitGroup) {
+                edge.waitingOn =
+                    strFormat("waitgroup %ld (missing Done)",
+                              static_cast<long>(obj));
+            } else {
+                edge.waitingOn =
+                    strFormat("sync object %ld",
+                              static_cast<long>(obj));
+            }
+            graph.waiting[ev.gid] = edge;
+            break;
+          }
+
+          case EventType::MuLock:
+          case EventType::RWLock:
+            lockHolder[ev.args[0]] = ev.gid;
+            break;
+          case EventType::MuUnlock:
+          case EventType::RWUnlock:
+            lockHolder.erase(ev.args[0]);
+            break;
+          case EventType::RWRLock:
+            readers[ev.args[0]].insert(ev.gid);
+            break;
+          case EventType::RWRUnlock:
+            readers[ev.args[0]].erase(ev.gid);
+            break;
+
+          default:
+            break;
+        }
+    }
+    return graph;
+}
+
+std::vector<std::string>
+WaitGraph::chainFrom(uint32_t gid) const
+{
+    std::vector<std::string> lines;
+    std::set<uint32_t> visited;
+    uint32_t cur = gid;
+    while (true) {
+        auto it = waiting.find(cur);
+        if (it == waiting.end()) {
+            if (cur != gid)
+                lines.push_back(
+                    strFormat("G%u is not blocked (runnable or "
+                              "finished)",
+                              cur));
+            break;
+        }
+        const WaitEdge &edge = it->second;
+        std::string line = strFormat("G%u blocked on %s at %s", cur,
+                                     edge.waitingOn.c_str(),
+                                     edge.loc.str().c_str());
+        if (edge.holder)
+            line += strFormat(", held by G%u", edge.holder);
+        lines.push_back(line);
+        if (!edge.holder)
+            break;
+        if (!visited.insert(cur).second)
+            break;
+        if (visited.count(edge.holder)) {
+            lines.push_back(
+                strFormat("  => CIRCULAR WAIT back to G%u",
+                          edge.holder));
+            break;
+        }
+        cur = edge.holder;
+    }
+    return lines;
+}
+
+std::string
+WaitGraph::str(const std::vector<uint32_t> &leaked) const
+{
+    std::string out;
+    for (uint32_t gid : leaked) {
+        for (const auto &line : chainFrom(gid)) {
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace goat::analysis

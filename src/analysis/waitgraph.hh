@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Final-state wait-for analysis: reconstructs, from an ECT, what every
+ * leaked goroutine was waiting on when the execution ended, who held
+ * it, and whether the waiting relation closes into a circular wait —
+ * the root-cause chain GoAT's deadlock reports print (paper
+ * objective 1: trace-based root-cause analysis).
+ *
+ * Edges are exact for locks (blocked goroutine → current holder,
+ * reconstructed from MuLock/MuUnlock and RW events) and descriptive
+ * for channels/conds/waitgroups (the missing peer is named by object).
+ */
+
+#ifndef GOAT_ANALYSIS_WAITGRAPH_HH
+#define GOAT_ANALYSIS_WAITGRAPH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/ect.hh"
+
+namespace goat::analysis {
+
+/** What a goroutine was parked on at trace end. */
+struct WaitEdge
+{
+    uint32_t gid = 0;
+    /** Human description: "mutex 1", "chan 7 (send)", "select", ... */
+    std::string waitingOn;
+    /** Where in the source it parked. */
+    SourceLoc loc;
+    /** The holder goroutine for lock waits (0 = no single holder). */
+    uint32_t holder = 0;
+};
+
+/**
+ * Final-state wait graph of one execution.
+ */
+struct WaitGraph
+{
+    /** Parked goroutines at trace end, by gid. */
+    std::map<uint32_t, WaitEdge> waiting;
+
+    /**
+     * The root-cause chain starting at @p gid: follows lock-holder
+     * edges until termination or a revisit (circular wait).
+     *
+     * @return Lines like "G2 blocked on mutex 1 at k.cc:12, held by
+     *         G3"; the last line marks "circular wait" when the chain
+     *         closes.
+     */
+    std::vector<std::string> chainFrom(uint32_t gid) const;
+
+    /** Full report for a set of leaked goroutines. */
+    std::string str(const std::vector<uint32_t> &leaked) const;
+};
+
+/**
+ * Build the wait graph from a trace.
+ */
+WaitGraph buildWaitGraph(const trace::Ect &ect);
+
+} // namespace goat::analysis
+
+#endif // GOAT_ANALYSIS_WAITGRAPH_HH

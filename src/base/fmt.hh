@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small string-formatting helpers. GCC 12 lacks std::format, so the
+ * library uses a tiny printf-style wrapper plus stream-based helpers.
+ */
+
+#ifndef GOAT_BASE_FMT_HH
+#define GOAT_BASE_FMT_HH
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace goat {
+
+/**
+ * printf-style formatting into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted string.
+ */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style counterpart of strFormat(). */
+std::string vstrFormat(const char *fmt, va_list ap);
+
+/** Join a list of strings with a separator. */
+std::string strJoin(const std::vector<std::string> &parts,
+                    const std::string &sep);
+
+/** Split a string on a single-character separator (keeps empty fields). */
+std::vector<std::string> strSplit(const std::string &s, char sep);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string strTrim(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool strStartsWith(const std::string &s, const std::string &prefix);
+
+/** Return the final path component of a file path. */
+std::string pathBasename(const std::string &path);
+
+} // namespace goat
+
+#endif // GOAT_BASE_FMT_HH

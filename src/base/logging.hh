@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, following the gem5 discipline:
+ * panic() for internal invariant violations (library bugs), fatal() for
+ * unrecoverable user errors, warn()/inform() for advisory messages.
+ *
+ * In addition, GoPanic models Go's application-level `panic` (e.g. "send
+ * on closed channel"): it is a C++ exception thrown inside a goroutine
+ * fiber, caught at the fiber trampoline, and surfaced as a CRASH outcome
+ * of the execution rather than a process abort.
+ */
+
+#ifndef GOAT_BASE_LOGGING_HH
+#define GOAT_BASE_LOGGING_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace goat {
+
+/**
+ * Exception type modeling a Go runtime panic raised by application-level
+ * code running inside a goroutine (send on closed channel, negative
+ * WaitGroup counter, unlock of unlocked mutex, ...).
+ */
+class GoPanic : public std::runtime_error
+{
+  public:
+    explicit GoPanic(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Internal invariant violation: a bug in goat-cpp itself. Prints the
+ * message and aborts (may dump core). Never use for user errors.
+ *
+ * @param msg Description of the broken invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Unrecoverable user error (bad configuration, invalid arguments).
+ * Prints the message and exits with status 1.
+ *
+ * @param msg Description of the user error.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Advisory warning: something may not behave as the user expects. */
+void warn(const std::string &msg);
+
+/** Informational status message with no negative connotation. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by benchmark harnesses). */
+void setQuiet(bool quiet);
+
+} // namespace goat
+
+#endif // GOAT_BASE_LOGGING_HH

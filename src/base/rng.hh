@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every nondeterministic decision in the runtime (select-case choice,
+ * preemption noise, perturbation yields, wake ordering) draws from one
+ * Rng owned by the Scheduler, so an execution is a pure function of its
+ * seed. The generator is xoshiro256** seeded via splitmix64.
+ */
+
+#ifndef GOAT_BASE_RNG_HH
+#define GOAT_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace goat {
+
+/**
+ * Seedable deterministic random number generator (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct with the given seed (any 64-bit value, including 0). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /**
+     * Uniform integer in [0, bound). @p bound must be > 0.
+     * Uses rejection-free multiply-shift mapping (slight bias is
+     * irrelevant for scheduling decisions).
+     */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace goat
+
+#endif // GOAT_BASE_RNG_HH

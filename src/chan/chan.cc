@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Anchor translation unit for the header-only channel templates;
+ * explicitly instantiates the common payload types to speed up client
+ * builds and to surface template errors in the library build.
+ */
+
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "chan/time.hh"
+
+namespace goat {
+
+template class Chan<int>;
+template class Chan<Unit>;
+template class Chan<bool>;
+template class Chan<uint64_t>;
+
+} // namespace goat

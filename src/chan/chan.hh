@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Go channels: typed conduits with synchronous (unbuffered, rendezvous)
+ * or asynchronous (buffered) messaging, close semantics, and full trace
+ * instrumentation.
+ *
+ * Semantics follow the Go specification:
+ *  - send on an unbuffered channel blocks until a receiver is ready;
+ *    buffered sends block only when the buffer is full;
+ *  - receive blocks until a value or a close is available; receive on a
+ *    closed channel drains the buffer, then yields (zero value, false);
+ *  - send on a closed channel panics; close of a closed channel panics;
+ *  - waiters are served FIFO.
+ *
+ * Channels are reference types (copying a Chan shares the same channel),
+ * as in Go.
+ */
+
+#ifndef GOAT_CHAN_CHAN_HH
+#define GOAT_CHAN_CHAN_HH
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/source_loc.hh"
+#include "chan/sudog.hh"
+#include "runtime/scheduler.hh"
+#include "staticmodel/cu.hh"
+
+namespace goat {
+
+/** Unit payload for signal-only channels (Go's struct{}). */
+struct Unit
+{
+    bool operator==(const Unit &) const = default;
+};
+
+namespace chandetail {
+
+/** Remove a specific SudoG from a waiter queue (no-op when absent). */
+inline void
+eraseWaiter(std::deque<SudoG *> &q, SudoG *w)
+{
+    auto it = std::find(q.begin(), q.end(), w);
+    if (it != q.end())
+        q.erase(it);
+}
+
+/**
+ * Pop the first waiter from @p q, resolving select membership: a waiter
+ * belonging to a select must win its SelectState first (losing entries
+ * are skipped — they are stale only within the current call chain).
+ */
+inline SudoG *
+popWaiter(std::deque<SudoG *> &q, bool ok_flag)
+{
+    while (!q.empty()) {
+        SudoG *w = q.front();
+        q.pop_front();
+        if (w->sel && !w->sel->decide(w->caseIdx, ok_flag))
+            continue;
+        w->ok = ok_flag;
+        return w;
+    }
+    return nullptr;
+}
+
+/**
+ * Shared state of one channel instance.
+ */
+template <typename T>
+struct ChanImpl
+{
+    uint64_t id = 0;
+    size_t cap = 0;
+    bool closed = false;
+    std::deque<T> buf;
+    std::deque<SudoG *> sendq;
+    std::deque<SudoG *> recvq;
+    SourceLoc makeLoc;
+
+    bool
+    sendReady() const
+    {
+        return closed || !recvq.empty() || buf.size() < cap;
+    }
+
+    bool
+    recvReady() const
+    {
+        return !buf.empty() || !sendq.empty() || closed;
+    }
+
+    /**
+     * Non-blocking send attempt (caller has checked !closed).
+     *
+     * @param[out] woke Number of goroutines made runnable.
+     * @retval true The value was delivered or buffered.
+     */
+    bool
+    trySend(runtime::Scheduler &s, const T &v, int &woke,
+            const SourceLoc &loc)
+    {
+        if (SudoG *w = popWaiter(recvq, true)) {
+            *static_cast<T *>(w->elem) = v;
+            s.ready(w->g, loc);
+            woke = 1;
+            return true;
+        }
+        if (buf.size() < cap) {
+            buf.push_back(v);
+            woke = 0;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Non-blocking receive attempt.
+     *
+     * @param[out] out Destination for the received value.
+     * @param[out] ok False when the receive observed a bare close.
+     * @param[out] woke Number of goroutines made runnable.
+     * @retval true A value (or a close) was consumed.
+     */
+    bool
+    tryRecv(runtime::Scheduler &s, T &out, bool &ok, int &woke,
+            const SourceLoc &loc)
+    {
+        if (!buf.empty()) {
+            out = std::move(buf.front());
+            buf.pop_front();
+            // A sender parked on a full buffer slides into the slot.
+            if (SudoG *w = popWaiter(sendq, true)) {
+                buf.push_back(std::move(*static_cast<T *>(w->elem)));
+                s.ready(w->g, loc);
+                woke = 1;
+            } else {
+                woke = 0;
+            }
+            ok = true;
+            return true;
+        }
+        if (SudoG *w = popWaiter(sendq, true)) {
+            // Rendezvous: take the value directly from the sender.
+            out = std::move(*static_cast<T *>(w->elem));
+            s.ready(w->g, loc);
+            woke = 1;
+            ok = true;
+            return true;
+        }
+        if (closed) {
+            out = T{};
+            woke = 0;
+            ok = false;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Close the channel, waking every waiter (receivers observe
+     * ok=false; parked senders panic on resume).
+     *
+     * @return Number of goroutines woken.
+     */
+    int
+    doClose(runtime::Scheduler &s, const SourceLoc &loc)
+    {
+        closed = true;
+        int woke = 0;
+        while (SudoG *w = popWaiter(recvq, false)) {
+            s.ready(w->g, loc);
+            ++woke;
+        }
+        while (SudoG *w = popWaiter(sendq, false)) {
+            s.ready(w->g, loc);
+            ++woke;
+        }
+        return woke;
+    }
+};
+
+/**
+ * Deliver @p v into a channel from scheduler (timer) context: wake a
+ * waiting receiver or append to the buffer; never blocks. Used by
+ * time::after timers, mirroring the Go runtime's timer goroutine.
+ */
+template <typename T>
+void
+timerDeliver(runtime::Scheduler &s, const std::shared_ptr<ChanImpl<T>> &im,
+             T v, const SourceLoc &loc)
+{
+    if (im->closed)
+        return;
+    if (SudoG *w = popWaiter(im->recvq, true)) {
+        *static_cast<T *>(w->elem) = std::move(v);
+        s.ready(w->g, loc);
+        s.emit(trace::EventType::ChSend, loc,
+               static_cast<int64_t>(im->id), 0, 1);
+        return;
+    }
+    if (im->buf.size() < im->cap) {
+        im->buf.push_back(std::move(v));
+        s.emit(trace::EventType::ChSend, loc,
+               static_cast<int64_t>(im->id), 0, 0);
+    }
+    // Full buffer: the tick is dropped (matches Ticker semantics).
+}
+
+} // namespace chandetail
+
+/**
+ * A typed Go channel.
+ *
+ * @tparam T Element type (default-constructible, copyable).
+ */
+template <typename T>
+class Chan
+{
+  public:
+    /**
+     * Create a channel (`make(chan T, capacity)`).
+     *
+     * @param capacity Buffer capacity; 0 = unbuffered (rendezvous).
+     */
+    explicit Chan(size_t capacity = 0, SourceLoc loc = SourceLoc::current())
+        : impl_(std::make_shared<chandetail::ChanImpl<T>>())
+    {
+        auto &s = runtime::Scheduler::require();
+        impl_->id = s.newObjId();
+        impl_->cap = capacity;
+        impl_->makeLoc = loc;
+        s.emit(trace::EventType::ChMake, loc,
+               static_cast<int64_t>(impl_->id),
+               static_cast<int64_t>(capacity));
+    }
+
+    /**
+     * Send @p v (`ch <- v`). Blocks until delivered or buffered;
+     * panics if the channel is closed.
+     */
+    void
+    send(T v, SourceLoc loc = SourceLoc::current())
+    {
+        auto &s = runtime::Scheduler::require();
+        s.cuHook(staticmodel::CuKind::Send, loc);
+        auto *im = impl_.get();
+        if (im->closed)
+            s.gopanic("send on closed channel", loc);
+        int woke = 0;
+        if (im->trySend(s, v, woke, loc)) {
+            s.emit(trace::EventType::ChSend, loc,
+                   static_cast<int64_t>(im->id), 0, woke);
+            return;
+        }
+        // Park until a receiver or a close arrives.
+        chandetail::SudoG me;
+        me.g = s.current();
+        me.elem = &v;
+        me.isSend = true;
+        im->sendq.push_back(&me);
+        s.park(trace::EventType::GoBlockSend, runtime::BlockReason::Send,
+               im->id, loc);
+        if (!me.ok)
+            s.gopanic("send on closed channel", loc);
+        s.emit(trace::EventType::ChSend, loc,
+               static_cast<int64_t>(im->id), 1, 0);
+    }
+
+    /**
+     * Receive (`v, ok := <-ch`). Blocks until a value or a close is
+     * available.
+     *
+     * @return (value, ok); ok is false when the channel is closed and
+     *         drained (value is then T{}).
+     */
+    std::pair<T, bool>
+    recvOk(SourceLoc loc = SourceLoc::current())
+    {
+        auto &s = runtime::Scheduler::require();
+        s.cuHook(staticmodel::CuKind::Recv, loc);
+        auto *im = impl_.get();
+        T out{};
+        bool ok = false;
+        int woke = 0;
+        if (im->tryRecv(s, out, ok, woke, loc)) {
+            s.emit(trace::EventType::ChRecv, loc,
+                   static_cast<int64_t>(im->id), 0, woke, ok ? 1 : 0);
+            return {std::move(out), ok};
+        }
+        chandetail::SudoG me;
+        me.g = s.current();
+        me.elem = &out;
+        me.isSend = false;
+        im->recvq.push_back(&me);
+        s.park(trace::EventType::GoBlockRecv, runtime::BlockReason::Recv,
+               im->id, loc);
+        s.emit(trace::EventType::ChRecv, loc,
+               static_cast<int64_t>(im->id), 1, 0, me.ok ? 1 : 0);
+        return {std::move(out), me.ok};
+    }
+
+    /** Receive, discarding the ok flag (`v := <-ch`). */
+    T
+    recv(SourceLoc loc = SourceLoc::current())
+    {
+        return recvOk(loc).first;
+    }
+
+    /**
+     * Close the channel. Panics when already closed; wakes every
+     * parked sender (they panic) and receiver (they observe ok=false).
+     */
+    void
+    close(SourceLoc loc = SourceLoc::current())
+    {
+        auto &s = runtime::Scheduler::require();
+        s.cuHook(staticmodel::CuKind::Close, loc);
+        auto *im = impl_.get();
+        if (im->closed)
+            s.gopanic("close of closed channel", loc);
+        int woke = im->doClose(s, loc);
+        s.emit(trace::EventType::ChClose, loc,
+               static_cast<int64_t>(im->id), woke);
+    }
+
+    /**
+     * Iterate received values until the channel is closed
+     * (`for v := range ch`).
+     */
+    void
+    range(const std::function<void(T)> &body,
+          SourceLoc loc = SourceLoc::current())
+    {
+        while (true) {
+            auto [v, ok] = recvOk(loc);
+            if (!ok)
+                return;
+            body(std::move(v));
+        }
+    }
+
+    /** Buffered element count (len(ch)). */
+    size_t len() const { return impl_->buf.size(); }
+
+    /** Buffer capacity (cap(ch)). */
+    size_t capacity() const { return impl_->cap; }
+
+    /** True once close() ran. */
+    bool isClosed() const { return impl_->closed; }
+
+    /** Runtime object id (appears in trace events). */
+    uint64_t id() const { return impl_->id; }
+
+    /** Shared implementation (used by Select; not part of the API). */
+    std::shared_ptr<chandetail::ChanImpl<T>> implPtr() const
+    {
+        return impl_;
+    }
+
+  private:
+    std::shared_ptr<chandetail::ChanImpl<T>> impl_;
+};
+
+} // namespace goat
+
+#endif // GOAT_CHAN_CHAN_HH

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Go's select statement: wait on multiple channel operations, choosing
+ * pseudo-randomly among ready cases; an optional default case makes the
+ * select non-blocking.
+ *
+ * The implementation follows the Go runtime's algorithm: poll all cases
+ * in a random order and execute the first ready one; if none is ready
+ * and there is a default, take it; otherwise register a waiter on every
+ * case's channel and park. The first channel operation completing any
+ * case wins the shared SelectState and eagerly dequeues the sibling
+ * waiters.
+ *
+ * @code
+ *   int chosen = goat::Select()
+ *       .onRecv(done, [&](Unit, bool) { stop = true; })
+ *       .onSend(out, value)
+ *       .onDefault([&] { busy = true; })
+ *       .run();
+ * @endcode
+ */
+
+#ifndef GOAT_CHAN_SELECT_HH
+#define GOAT_CHAN_SELECT_HH
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "chan/chan.hh"
+
+namespace goat {
+
+namespace chandetail {
+
+/**
+ * Type-erased select case.
+ */
+class CaseBase
+{
+  public:
+    virtual ~CaseBase() = default;
+
+    /** Can the operation complete right now without blocking? */
+    virtual bool ready() const = 0;
+
+    /**
+     * Perform a ready case's channel operation (poll phase). The body
+     * is run separately by runBody() after the SelectEnd event, so
+     * body-emitted events never appear inside the select's trace
+     * bracket.
+     *
+     * @return Number of goroutines woken by the operation.
+     */
+    virtual int performReady(runtime::Scheduler &s,
+                             const SourceLoc &loc) = 0;
+
+    /** Run the case body with the transferred value. */
+    virtual void runBody() = 0;
+
+    /** Register this case's waiter on its channel. */
+    virtual void enqueue(runtime::Scheduler &s, SelectState *st,
+                         int idx) = 0;
+
+    /**
+     * Finish the operation after the parked select was woken with this
+     * case chosen (value transfer already done by the waker).
+     */
+    virtual void completeAfterWake(runtime::Scheduler &s, bool ok,
+                                   const SourceLoc &loc) = 0;
+
+    virtual uint64_t chanId() const = 0;
+    virtual bool isSend() const = 0;
+};
+
+/** Send case: `case ch <- v:`. */
+template <typename T>
+class SendCase : public CaseBase
+{
+  public:
+    SendCase(std::shared_ptr<ChanImpl<T>> im, T v,
+             std::function<void()> body)
+        : im_(std::move(im)), value_(std::move(v)), body_(std::move(body))
+    {}
+
+    bool ready() const override { return im_->sendReady(); }
+
+    int
+    performReady(runtime::Scheduler &s, const SourceLoc &loc) override
+    {
+        if (im_->closed)
+            s.gopanic("send on closed channel", loc);
+        int woke = 0;
+        bool done = im_->trySend(s, value_, woke, loc);
+        assert(done);
+        (void)done;
+        return woke;
+    }
+
+    void
+    runBody() override
+    {
+        if (body_)
+            body_();
+    }
+
+    void
+    enqueue(runtime::Scheduler &s, SelectState *st, int idx) override
+    {
+        sg_ = SudoG{s.current(), &value_, false, true, st, idx};
+        im_->sendq.push_back(&sg_);
+        st->dequeues.push_back(
+            [this] { eraseWaiter(im_->sendq, &sg_); });
+    }
+
+    void
+    completeAfterWake(runtime::Scheduler &s, bool ok,
+                      const SourceLoc &loc) override
+    {
+        if (!ok)
+            s.gopanic("send on closed channel", loc);
+        runBody();
+    }
+
+    uint64_t chanId() const override { return im_->id; }
+    bool isSend() const override { return true; }
+
+  private:
+    std::shared_ptr<ChanImpl<T>> im_;
+    T value_;
+    std::function<void()> body_;
+    SudoG sg_;
+};
+
+/** Receive case: `case v, ok := <-ch:`. */
+template <typename T>
+class RecvCase : public CaseBase
+{
+  public:
+    RecvCase(std::shared_ptr<ChanImpl<T>> im,
+             std::function<void(T, bool)> body)
+        : im_(std::move(im)), body_(std::move(body))
+    {}
+
+    bool ready() const override { return im_->recvReady(); }
+
+    int
+    performReady(runtime::Scheduler &s, const SourceLoc &loc) override
+    {
+        slot_ = T{};
+        ok_ = false;
+        int woke = 0;
+        bool done = im_->tryRecv(s, slot_, ok_, woke, loc);
+        assert(done);
+        (void)done;
+        return woke;
+    }
+
+    void
+    runBody() override
+    {
+        if (body_)
+            body_(std::move(slot_), ok_);
+    }
+
+    void
+    enqueue(runtime::Scheduler &s, SelectState *st, int idx) override
+    {
+        slot_ = T{};
+        sg_ = SudoG{s.current(), &slot_, false, false, st, idx};
+        im_->recvq.push_back(&sg_);
+        st->dequeues.push_back(
+            [this] { eraseWaiter(im_->recvq, &sg_); });
+    }
+
+    void
+    completeAfterWake(runtime::Scheduler &s, bool ok,
+                      const SourceLoc &loc) override
+    {
+        ok_ = ok;
+        runBody();
+    }
+
+    uint64_t chanId() const override { return im_->id; }
+    bool isSend() const override { return false; }
+
+  private:
+    std::shared_ptr<ChanImpl<T>> im_;
+    T slot_{};
+    bool ok_ = false;
+    std::function<void(T, bool)> body_;
+    SudoG sg_;
+};
+
+} // namespace chandetail
+
+/**
+ * Builder for one select statement. Construct, add cases, then run().
+ * A Select object describes a single execution of the statement; build
+ * a fresh one per loop iteration (as Go re-evaluates the cases).
+ */
+class Select
+{
+  public:
+    explicit Select(SourceLoc loc = SourceLoc::current()) : loc_(loc) {}
+
+    Select(const Select &) = delete;
+    Select &operator=(const Select &) = delete;
+
+    /** Add `case ch <- v:`. */
+    template <typename T>
+    Select &
+    onSend(const Chan<T> &ch, T v, std::function<void()> body = {})
+    {
+        cases_.push_back(std::make_unique<chandetail::SendCase<T>>(
+            ch.implPtr(), std::move(v), std::move(body)));
+        return *this;
+    }
+
+    /** Add `case v, ok := <-ch:`. */
+    template <typename T>
+    Select &
+    onRecv(const Chan<T> &ch, std::function<void(T, bool)> body = {})
+    {
+        cases_.push_back(std::make_unique<chandetail::RecvCase<T>>(
+            ch.implPtr(), std::move(body)));
+        return *this;
+    }
+
+    /** Add `default:` (makes the select non-blocking). */
+    Select &
+    onDefault(std::function<void()> body = {})
+    {
+        hasDefault_ = true;
+        defaultBody_ = std::move(body);
+        return *this;
+    }
+
+    /**
+     * Execute the select.
+     *
+     * @return Index of the chosen case (registration order), or -1
+     *         when the default case ran.
+     */
+    int
+    run()
+    {
+        auto &s = runtime::Scheduler::require();
+        if (cases_.empty() && !hasDefault_) {
+            // `select {}` blocks forever.
+            s.cuHook(staticmodel::CuKind::Select, loc_);
+            s.emit(trace::EventType::SelectBegin, loc_, 0, 0);
+            s.park(trace::EventType::GoBlockSelect,
+                   runtime::BlockReason::Select, 0, loc_);
+            // Unreachable: nothing can wake an empty select.
+            return -1;
+        }
+
+        s.cuHook(staticmodel::CuKind::Select, loc_);
+        s.emit(trace::EventType::SelectBegin, loc_,
+               static_cast<int64_t>(cases_.size()), hasDefault_ ? 1 : 0);
+        for (size_t i = 0; i < cases_.size(); ++i) {
+            s.emit(trace::EventType::SelectCase, loc_,
+                   static_cast<int64_t>(i), cases_[i]->isSend() ? 1 : 0,
+                   static_cast<int64_t>(cases_[i]->chanId()));
+        }
+
+        // Poll phase: random permutation, first ready case wins.
+        std::vector<size_t> perm(cases_.size());
+        for (size_t i = 0; i < perm.size(); ++i)
+            perm[i] = i;
+        for (size_t i = perm.size(); i > 1; --i)
+            std::swap(perm[i - 1], perm[s.rng().nextBelow(i)]);
+
+        for (size_t idx : perm) {
+            if (!cases_[idx]->ready())
+                continue;
+            int woke = cases_[idx]->performReady(s, loc_);
+            s.emit(trace::EventType::SelectEnd, loc_,
+                   static_cast<int64_t>(idx), 0, woke,
+                   cases_[idx]->isSend() ? 1 : 0);
+            cases_[idx]->runBody();
+            return static_cast<int>(idx);
+        }
+
+        if (hasDefault_) {
+            s.emit(trace::EventType::SelectEnd, loc_, -1, 0, 0, 0);
+            if (defaultBody_)
+                defaultBody_();
+            return -1;
+        }
+
+        // Block phase: register on every case, park, finish the winner.
+        chandetail::SelectState st;
+        for (size_t i = 0; i < cases_.size(); ++i)
+            cases_[i]->enqueue(s, &st, static_cast<int>(i));
+        s.park(trace::EventType::GoBlockSelect,
+               runtime::BlockReason::Select, 0, loc_);
+        assert(st.decided && st.chosen >= 0);
+        int chosen = st.chosen;
+        s.emit(trace::EventType::SelectEnd, loc_, chosen, 1, 0,
+               cases_[chosen]->isSend() ? 1 : 0);
+        cases_[chosen]->completeAfterWake(s, st.chosenOk, loc_);
+        return chosen;
+    }
+
+  private:
+    SourceLoc loc_;
+    std::vector<std::unique_ptr<chandetail::CaseBase>> cases_;
+    bool hasDefault_ = false;
+    std::function<void()> defaultBody_;
+};
+
+} // namespace goat
+
+#endif // GOAT_CHAN_SELECT_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Waiter bookkeeping shared by channels and select, modeled on the Go
+ * runtime's sudog structure.
+ *
+ * A SudoG represents one goroutine parked on one channel operation. For
+ * a plain send/recv it lives on the blocked operation's stack frame; for
+ * a select, one SudoG per case lives inside the select's case objects
+ * and all of them point at a shared SelectState. Whichever channel
+ * operation completes the select first marks the state decided and
+ * eagerly dequeues the sibling SudoGs from their channels (so no stale
+ * waiter pointer ever remains queued).
+ */
+
+#ifndef GOAT_CHAN_SUDOG_HH
+#define GOAT_CHAN_SUDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/goroutine.hh"
+
+namespace goat::chandetail {
+
+struct SelectState;
+
+/**
+ * One parked channel waiter.
+ */
+struct SudoG
+{
+    runtime::Goroutine *g = nullptr;
+    /** Send: points at the value to transmit; recv: the destination. */
+    void *elem = nullptr;
+    /** Set by the waker: value transferred (false = woken by close). */
+    bool ok = false;
+    bool isSend = false;
+    /** Owning select, or nullptr for a plain blocking operation. */
+    SelectState *sel = nullptr;
+    /** Case index within the owning select. */
+    int caseIdx = -1;
+};
+
+/**
+ * Shared state of one parked select.
+ */
+struct SelectState
+{
+    bool decided = false;
+    int chosen = -1;
+    bool chosenOk = true;
+    /** Dequeue closures, one per registered case. */
+    std::vector<std::function<void()>> dequeues;
+
+    /** Remove every registered SudoG from its channel queue. */
+    void
+    dequeueAll()
+    {
+        for (auto &fn : dequeues)
+            fn();
+        dequeues.clear();
+    }
+
+    /**
+     * Try to win the select for case @p idx.
+     *
+     * @retval true The caller owns completion of this select.
+     */
+    bool
+    decide(int idx, bool ok_flag)
+    {
+        if (decided)
+            return false;
+        decided = true;
+        chosen = idx;
+        chosenOk = ok_flag;
+        dequeueAll();
+        return true;
+    }
+};
+
+} // namespace goat::chandetail
+
+#endif // GOAT_CHAN_SUDOG_HH

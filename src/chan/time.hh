@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Virtual-clock time utilities mirroring Go's time package: After()
+ * channels, Tickers, and duration helpers. All durations are
+ * nanoseconds on the scheduler's virtual clock, which only advances
+ * when the run queue drains — experiments never wait on wall-clock
+ * time.
+ */
+
+#ifndef GOAT_CHAN_TIME_HH
+#define GOAT_CHAN_TIME_HH
+
+#include <cstdint>
+
+#include "chan/chan.hh"
+#include "runtime/api.hh"
+
+namespace goat::gotime {
+
+/** Duration units (Go's time constants). */
+constexpr uint64_t Nanosecond = 1;
+constexpr uint64_t Microsecond = 1000 * Nanosecond;
+constexpr uint64_t Millisecond = 1000 * Microsecond;
+constexpr uint64_t Second = 1000 * Millisecond;
+constexpr uint64_t Minute = 60 * Second;
+
+/**
+ * `time.After(d)`: a capacity-1 channel that receives one Unit when
+ * @p d nanoseconds of virtual time have elapsed.
+ */
+inline Chan<Unit>
+after(uint64_t d, SourceLoc loc = SourceLoc::current())
+{
+    auto &s = runtime::Scheduler::require();
+    Chan<Unit> ch(1, loc);
+    auto impl = ch.implPtr();
+    s.addTimer(s.now() + d, [&s, impl, loc] {
+        chandetail::timerDeliver(s, impl, Unit{}, loc);
+    });
+    return ch;
+}
+
+namespace detail {
+
+/**
+ * Re-arming tick timer. Captures only shared state (never the Ticker
+ * object), so a Ticker may be destroyed with ticks still pending.
+ */
+inline void
+armTicker(runtime::Scheduler &s,
+          std::shared_ptr<chandetail::ChanImpl<Unit>> impl,
+          std::shared_ptr<bool> alive, uint64_t period, SourceLoc loc)
+{
+    s.addTimer(s.now() + period, [&s, impl, alive, period, loc] {
+        if (!*alive)
+            return;
+        chandetail::timerDeliver(s, impl, Unit{}, loc);
+        armTicker(s, impl, alive, period, loc);
+    });
+}
+
+} // namespace detail
+
+/**
+ * `time.NewTicker(d)`: delivers a Unit every @p d virtual nanoseconds
+ * into a capacity-1 channel (ticks are dropped when the buffer is
+ * full, as in Go). stop() cancels future ticks; as in Go, a ticker
+ * that is never stopped keeps firing (the scheduler's step budget
+ * bounds runaway tickers).
+ */
+class Ticker
+{
+  public:
+    explicit Ticker(uint64_t d, SourceLoc loc = SourceLoc::current())
+        : ch_(1, loc), alive_(std::make_shared<bool>(true))
+    {
+        detail::armTicker(runtime::Scheduler::require(), ch_.implPtr(),
+                          alive_, d, loc);
+    }
+
+    /** The tick channel (Ticker.C). */
+    Chan<Unit> &c() { return ch_; }
+
+    /** Stop future ticks (does not close the channel, as in Go). */
+    void stop() { *alive_ = false; }
+
+  private:
+    Chan<Unit> ch_;
+    std::shared_ptr<bool> alive_;
+};
+
+} // namespace goat::gotime
+
+#endif // GOAT_CHAN_TIME_HH

@@ -1,0 +1,54 @@
+#include "ctx/context.hh"
+
+namespace goat::ctx {
+
+void
+Context::cancel(const std::string &reason, const SourceLoc &loc)
+{
+    if (canceled_)
+        return;
+    canceled_ = true;
+    err_ = reason;
+    done_.close(loc);
+    for (auto &wc : children_) {
+        if (auto c = wc.lock())
+            c->cancel(reason, loc);
+    }
+    children_.clear();
+}
+
+ContextPtr
+background(SourceLoc loc)
+{
+    return ContextPtr(new Context(loc));
+}
+
+std::pair<ContextPtr, CancelFunc>
+withCancel(const ContextPtr &parent, SourceLoc loc)
+{
+    ContextPtr child(new Context(loc));
+    if (parent->canceled_) {
+        child->cancel(parent->err_, loc);
+    } else {
+        parent->children_.push_back(child);
+    }
+    CancelFunc cancel = [child, loc] {
+        child->cancel("context canceled", loc);
+    };
+    return {child, cancel};
+}
+
+std::pair<ContextPtr, CancelFunc>
+withTimeout(const ContextPtr &parent, uint64_t d, SourceLoc loc)
+{
+    auto [child, cancel] = withCancel(parent, loc);
+    auto &s = runtime::Scheduler::require();
+    std::weak_ptr<Context> wc = child;
+    s.addTimer(s.now() + d, [wc, loc] {
+        if (auto c = wc.lock())
+            c->cancel("context deadline exceeded", loc);
+    });
+    return {child, cancel};
+}
+
+} // namespace goat::ctx

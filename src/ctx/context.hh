@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal Go context package: cancellation signals propagated through a
+ * Done channel, with parent→child cascade and virtual-clock deadlines.
+ * Several GoKer kernels (grpc, kubernetes) leak goroutines through
+ * context misuse; this substrate reproduces those patterns.
+ */
+
+#ifndef GOAT_CTX_CONTEXT_HH
+#define GOAT_CTX_CONTEXT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chan/chan.hh"
+
+namespace goat::ctx {
+
+class Context;
+using ContextPtr = std::shared_ptr<Context>;
+using CancelFunc = std::function<void()>;
+
+/**
+ * A cancellable context. Obtain instances via background(),
+ * withCancel(), or withTimeout(); never construct directly.
+ */
+class Context : public std::enable_shared_from_this<Context>
+{
+  public:
+    /**
+     * The Done channel: closed when this context is canceled (by its
+     * cancel function, its deadline, or a canceled ancestor).
+     */
+    Chan<Unit> &done() { return done_; }
+
+    /** Cancellation cause ("" while alive). */
+    const std::string &err() const { return err_; }
+
+    /** True once canceled. */
+    bool isDone() const { return canceled_; }
+
+  private:
+    friend ContextPtr background(SourceLoc);
+    friend std::pair<ContextPtr, CancelFunc> withCancel(const ContextPtr &,
+                                                        SourceLoc);
+    friend std::pair<ContextPtr, CancelFunc>
+    withTimeout(const ContextPtr &, uint64_t, SourceLoc);
+
+    explicit Context(SourceLoc loc) : done_(0, loc) {}
+
+    /** Cancel this context and cascade to descendants. */
+    void cancel(const std::string &reason, const SourceLoc &loc);
+
+    Chan<Unit> done_;
+    bool canceled_ = false;
+    std::string err_;
+    std::vector<std::weak_ptr<Context>> children_;
+};
+
+/** Root context; never canceled. */
+ContextPtr background(SourceLoc loc = SourceLoc::current());
+
+/**
+ * Derive a cancellable child context.
+ *
+ * @return (child, cancel); calling cancel closes the child's Done
+ *         channel (idempotent) and cascades to its descendants.
+ */
+std::pair<ContextPtr, CancelFunc>
+withCancel(const ContextPtr &parent, SourceLoc loc = SourceLoc::current());
+
+/**
+ * Derive a child context that is canceled automatically after @p d
+ * virtual nanoseconds (or earlier via the returned cancel function).
+ */
+std::pair<ContextPtr, CancelFunc>
+withTimeout(const ContextPtr &parent, uint64_t d,
+            SourceLoc loc = SourceLoc::current());
+
+} // namespace goat::ctx
+
+#endif // GOAT_CTX_CONTEXT_HH

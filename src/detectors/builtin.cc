@@ -1,0 +1,13 @@
+#include "detectors/builtin.hh"
+
+namespace goat::detectors {
+
+std::optional<std::string>
+builtinCheck(const runtime::ExecResult &res)
+{
+    if (res.outcome == runtime::RunOutcome::GlobalDeadlock)
+        return "fatal error: all goroutines are asleep - deadlock!";
+    return std::nullopt;
+}
+
+} // namespace goat::detectors

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Model of Go's built-in deadlock detector: the runtime periodically
+ * checks that the queue of runnable goroutines never becomes empty
+ * before the main goroutine terminates; if it does, it throws
+ * "fatal error: all goroutines are asleep - deadlock!".
+ *
+ * The condition is exactly the scheduler's GlobalDeadlock outcome, so
+ * this baseline interprets ExecResult only. It is blind to partial
+ * deadlocks (leaks): a program whose main returns normally passes even
+ * when goroutines are stuck forever.
+ */
+
+#ifndef GOAT_DETECTORS_BUILTIN_HH
+#define GOAT_DETECTORS_BUILTIN_HH
+
+#include <optional>
+#include <string>
+
+#include "runtime/scheduler.hh"
+
+namespace goat::detectors {
+
+/**
+ * Evaluate the built-in detector on one execution.
+ *
+ * @return The runtime error message when the detector fires, nullopt
+ *         otherwise.
+ */
+std::optional<std::string> builtinCheck(const runtime::ExecResult &res);
+
+} // namespace goat::detectors
+
+#endif // GOAT_DETECTORS_BUILTIN_HH

@@ -1,0 +1,25 @@
+#include "detectors/goleak.hh"
+
+#include "base/fmt.hh"
+
+namespace goat::detectors {
+
+GoleakResult
+goleakCheck(const runtime::ExecResult &res)
+{
+    GoleakResult out;
+    if (res.outcome != runtime::RunOutcome::Ok)
+        return out; // main never terminated normally: goleak can't run
+    out.ran = true;
+    for (const auto &leak : res.leaked) {
+        out.leaks.push_back(strFormat(
+            "found unexpected goroutine: G%u (%s) created at %s, %s at %s",
+            leak.gid, leak.name.empty() ? "anonymous" : leak.name.c_str(),
+            leak.creationLoc.str().c_str(),
+            runtime::blockReasonName(leak.reason),
+            leak.blockLoc.str().c_str()));
+    }
+    return out;
+}
+
+} // namespace goat::detectors

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Model of Uber's goleak: at the end of the main goroutine's
+ * execution, inspect the runtime for application-level goroutines that
+ * are still alive (leaked). goleak can only report when main actually
+ * terminates; a globally deadlocked program leaves it hanging until a
+ * timeout, and it is blind to crashes.
+ */
+
+#ifndef GOAT_DETECTORS_GOLEAK_HH
+#define GOAT_DETECTORS_GOLEAK_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hh"
+
+namespace goat::detectors {
+
+/**
+ * Outcome of one goleak verification.
+ */
+struct GoleakResult
+{
+    /** goleak ran (main terminated normally). */
+    bool ran = false;
+    /** Leak report lines ("found unexpected goroutines"), empty = pass. */
+    std::vector<std::string> leaks;
+
+    bool
+    detected() const
+    {
+        return ran && !leaks.empty();
+    }
+};
+
+/**
+ * Evaluate goleak on one execution.
+ */
+GoleakResult goleakCheck(const runtime::ExecResult &res);
+
+} // namespace goat::detectors
+
+#endif // GOAT_DETECTORS_GOLEAK_HH

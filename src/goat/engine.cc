@@ -1,0 +1,193 @@
+#include "goat/engine.hh"
+
+#include <cstdlib>
+
+#include "analysis/report.hh"
+#include "perturb/guided.hh"
+#include "perturb/perturb.hh"
+
+namespace goat::engine {
+
+using analysis::DeadlockReport;
+using analysis::GoroutineTree;
+using analysis::Verdict;
+using runtime::RunOutcome;
+
+namespace {
+
+/** Mix a base seed with an iteration index into a run seed. */
+uint64_t
+mixSeed(uint64_t base, int iter)
+{
+    uint64_t x = base + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(iter);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Map an execution to the paper's detection verdict: the offline
+ * Procedure 1 on the ECT, with the watchdog timeout (step budget)
+ * reported as a global deadlock (TO/GDL).
+ */
+DeadlockReport
+analyze(const runtime::ExecResult &exec, const trace::Ect &ect)
+{
+    GoroutineTree tree(ect);
+    DeadlockReport dl = analysis::deadlockCheck(tree);
+    if (exec.outcome == RunOutcome::StepBudget &&
+        dl.verdict == Verdict::GlobalDeadlock) {
+        // Keep the GDL verdict; the engine's caller distinguishes a
+        // watchdog timeout via the ExecResult outcome.
+    }
+    return dl;
+}
+
+} // namespace
+
+SingleRun
+runOnceHooked(const std::function<void()> &program, uint64_t seed,
+              runtime::PerturbHook hook, double noise_prob,
+              uint64_t step_budget, int delay_bound_meta)
+{
+    runtime::SchedConfig cfg;
+    cfg.seed = seed;
+    cfg.noiseProb = noise_prob;
+    cfg.stepBudget = step_budget;
+    cfg.perturb = std::move(hook);
+
+    runtime::Scheduler sched(cfg);
+    trace::EctRecorder rec;
+    sched.addSink(&rec);
+
+    SingleRun out;
+    out.exec = sched.run(program);
+    rec.ect().setMeta("seed", std::to_string(seed));
+    rec.ect().setMeta("outcome", runtime::runOutcomeName(out.exec.outcome));
+    if (delay_bound_meta >= 0)
+        rec.ect().setMeta("delay_bound", std::to_string(delay_bound_meta));
+    out.ect = rec.ect();
+    out.dl = analyze(out.exec, out.ect);
+    return out;
+}
+
+SingleRun
+runOnce(const std::function<void()> &program, uint64_t seed,
+        int delay_bound, double noise_prob, uint64_t step_budget)
+{
+    perturb::YieldPerturber perturber(delay_bound, seed);
+    runtime::PerturbHook hook;
+    if (delay_bound > 0)
+        hook = perturber.hook();
+    return runOnceHooked(program, seed, std::move(hook), noise_prob,
+                         step_budget, delay_bound);
+}
+
+bool
+replayMatches(const std::function<void()> &program,
+              const trace::Ect &recorded, std::string *first_mismatch)
+{
+    uint64_t seed = std::strtoull(recorded.meta("seed").c_str(),
+                                  nullptr, 10);
+    int d = std::atoi(recorded.meta("delay_bound").c_str());
+    SingleRun sr = runOnce(program, seed, d);
+    const auto &a = recorded.events();
+    const auto &b = sr.ect.events();
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+        bool same = a[i].type == b[i].type && a[i].gid == b[i].gid &&
+                    a[i].loc == b[i].loc &&
+                    a[i].args[0] == b[i].args[0] &&
+                    a[i].args[1] == b[i].args[1];
+        if (!same) {
+            if (first_mismatch) {
+                *first_mismatch =
+                    "event " + std::to_string(i) + ": recorded " +
+                    a[i].str1line() + " vs replayed " + b[i].str1line();
+            }
+            return false;
+        }
+    }
+    if (a.size() != b.size()) {
+        if (first_mismatch)
+            *first_mismatch = "trace lengths differ: " +
+                              std::to_string(a.size()) + " vs " +
+                              std::to_string(b.size());
+        return false;
+    }
+    return true;
+}
+
+GoatEngine::GoatEngine(GoatConfig cfg)
+    : cfg_(std::move(cfg)), cov_(cfg_.staticModel)
+{
+}
+
+uint64_t
+GoatEngine::iterationSeed(int iter) const
+{
+    return mixSeed(cfg_.seedBase, iter);
+}
+
+GoatResult
+GoatEngine::run(const std::function<void()> &program)
+{
+    GoatResult result;
+    bool guided = cfg_.coverageGuided;
+    for (int iter = 1; iter <= cfg_.maxIterations; ++iter) {
+        uint64_t seed = iterationSeed(iter);
+        SingleRun sr;
+        if (guided) {
+            perturb::GuidedPerturber perturber(&cov_, cfg_.delayBound,
+                                               seed);
+            sr = runOnceHooked(program, seed, perturber.hook(),
+                               cfg_.noiseProb, cfg_.stepBudget,
+                               cfg_.delayBound);
+        } else {
+            sr = runOnce(program, seed, cfg_.delayBound, cfg_.noiseProb,
+                         cfg_.stepBudget);
+        }
+
+        IterationOutcome io;
+        io.exec = sr.exec;
+        io.dl = sr.dl;
+
+        if (cfg_.collectCoverage || guided) {
+            cov_.addEct(sr.ect);
+            io.coveragePct = cov_.percent();
+            result.finalCoverage = io.coveragePct;
+        }
+
+        if (cfg_.raceDetect && result.raceIteration < 0) {
+            analysis::RaceReport races = analysis::detectRaces(sr.ect);
+            if (races.any()) {
+                result.firstRaces = std::move(races);
+                result.raceIteration = iter;
+            }
+        }
+
+        bool buggy = sr.dl.buggy() ||
+                     sr.exec.outcome == RunOutcome::StepBudget ||
+                     (cfg_.raceDetect && result.raceIteration == iter);
+        if (buggy && !result.bugFound) {
+            result.bugFound = true;
+            result.bugIteration = iter;
+            result.firstBug = sr.dl;
+            result.firstBugExec = sr.exec;
+            result.firstBugEct = sr.ect;
+            GoroutineTree tree(sr.ect);
+            result.report =
+                analysis::deadlockReportStr(sr.ect, tree, sr.dl);
+        }
+
+        result.iterations.push_back(std::move(io));
+
+        if (result.bugFound && cfg_.stopOnBug)
+            break;
+        if (cfg_.collectCoverage && cov_.percent() >= cfg_.covThreshold)
+            break;
+    }
+    return result;
+}
+
+} // namespace goat::engine

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The GoAT engine: orchestrates testing iterations of a program under
+ * test (paper fig. 1). Each iteration runs the program on a fresh
+ * scheduler with (a) tracing enabled, (b) the bounded random-yield
+ * perturbation installed (delay bound D), and (c) a fresh seed; the
+ * resulting ECT is fed to the offline analyses — goroutine tree,
+ * DeadlockCheck (Procedure 1), and coverage measurement. Iterations
+ * stop when a bug is detected, the coverage threshold is reached, or
+ * the iteration budget (-freq) is exhausted.
+ */
+
+#ifndef GOAT_GOAT_ENGINE_HH
+#define GOAT_GOAT_ENGINE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hh"
+#include "analysis/deadlock.hh"
+#include "analysis/happens_before.hh"
+#include "runtime/scheduler.hh"
+#include "staticmodel/cutable.hh"
+#include "trace/ect.hh"
+
+namespace goat::engine {
+
+/**
+ * Engine configuration (mirrors the goat CLI flags).
+ */
+struct GoatConfig
+{
+    /** Yield bound D (0 = native execution, no injected yields). */
+    int delayBound = 0;
+    /** Base seed; iteration i runs with a seed derived from it. */
+    uint64_t seedBase = 1;
+    /** Maximum testing iterations (the -freq flag). */
+    int maxIterations = 1000;
+    /** Measure coverage requirements per iteration (-cov). */
+    bool collectCoverage = false;
+    /**
+     * Use the coverage-guided perturbation policy (paper §VI future
+     * work): yields concentrate on CUs with uncovered requirements.
+     * Implies coverage collection.
+     */
+    bool coverageGuided = false;
+    /** Stop when coverage reaches this percentage (with -cov). */
+    double covThreshold = 100.0;
+    /** Stop at the first detected bug. */
+    bool stopOnBug = true;
+    /** Probability of native scheduler noise per CU. */
+    double noiseProb = 0.02;
+    /** Logical-step budget per execution (the 30 s watchdog). */
+    uint64_t stepBudget = 2'000'000;
+    /** Run happens-before race detection on every trace (-race). */
+    bool raceDetect = false;
+    /** Static CU model (coverage denominators; may be empty). */
+    staticmodel::CuTable staticModel;
+};
+
+/**
+ * Per-iteration record.
+ */
+struct IterationOutcome
+{
+    runtime::ExecResult exec;
+    analysis::DeadlockReport dl;
+    /** Cumulative coverage after this iteration (-1 without -cov). */
+    double coveragePct = -1.0;
+};
+
+/**
+ * Aggregate result of a testing campaign on one program.
+ */
+struct GoatResult
+{
+    bool bugFound = false;
+    /** 1-based iteration of the first detection (-1 = none). */
+    int bugIteration = -1;
+    analysis::DeadlockReport firstBug;
+    runtime::ExecResult firstBugExec;
+    trace::Ect firstBugEct;
+    /** Rendered deadlock report for the first bug ("" = none). */
+    std::string report;
+    /** First data-race report (with -race; empty when none found). */
+    analysis::RaceReport firstRaces;
+    /** 1-based iteration of the first race (-1 = none). */
+    int raceIteration = -1;
+    std::vector<IterationOutcome> iterations;
+    /** Final coverage percentage (-1 without -cov). */
+    double finalCoverage = -1.0;
+};
+
+/**
+ * The testing/analysis engine.
+ */
+class GoatEngine
+{
+  public:
+    explicit GoatEngine(GoatConfig cfg);
+
+    /**
+     * Run the testing campaign on @p program.
+     */
+    GoatResult run(const std::function<void()> &program);
+
+    /** Cumulative coverage state across the campaign. */
+    const analysis::CoverageState &coverage() const { return cov_; }
+
+    /** Seed used for iteration @p iter (1-based) of this config. */
+    uint64_t iterationSeed(int iter) const;
+
+  private:
+    GoatConfig cfg_;
+    analysis::CoverageState cov_;
+};
+
+/**
+ * Convenience: run one traced execution with delay bound @p d and
+ * return (ExecResult, Ect, DeadlockReport).
+ */
+struct SingleRun
+{
+    runtime::ExecResult exec;
+    trace::Ect ect;
+    analysis::DeadlockReport dl;
+};
+
+SingleRun runOnce(const std::function<void()> &program, uint64_t seed,
+                  int delay_bound = 0, double noise_prob = 0.02,
+                  uint64_t step_budget = 2'000'000);
+
+/**
+ * Deterministic replay check: re-execute @p program with the seed and
+ * delay bound recorded in @p recorded's metadata and compare the new
+ * trace event-for-event (type, gid, location, args). Because every
+ * scheduling decision is a pure function of the seed, a faithful
+ * runtime replays exactly; a mismatch indicates nondeterminism outside
+ * the runtime's control (e.g. program state leaking across runs).
+ */
+bool replayMatches(const std::function<void()> &program,
+                   const trace::Ect &recorded,
+                   std::string *first_mismatch = nullptr);
+
+/** As runOnce(), but with an explicit perturbation hook. */
+SingleRun runOnceHooked(const std::function<void()> &program,
+                        uint64_t seed, runtime::PerturbHook hook,
+                        double noise_prob = 0.02,
+                        uint64_t step_budget = 2'000'000,
+                        int delay_bound_meta = -1);
+
+} // namespace goat::engine
+
+#endif // GOAT_GOAT_ENGINE_HH

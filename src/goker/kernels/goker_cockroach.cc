@@ -1,0 +1,425 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on CockroachDB blocking bugs (17 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(cockroach_584, "cockroach", BugClass::ResourceDeadlock,
+             "gossip: manage() calls maybeSignalStalled() which locks "
+             "the gossip mutex the caller already holds")
+{
+    struct St
+    {
+        Mutex mu;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("gossip-manage", [st] {
+        st->mu.lock();
+        // maybeSignalStalled(): double acquisition of g.mu.
+        st->mu.lock();
+        st->mu.unlock();
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_1055, "cockroach", BugClass::MixedDeadlock,
+             "stopper: Quiesce holds the stopper mutex while waiting on "
+             "the drain WaitGroup; a worker needs that mutex before it "
+             "can call Done")
+{
+    struct St
+    {
+        Mutex mu;
+        WaitGroup drain;
+    };
+    auto st = std::make_shared<St>();
+    st->drain.add(1);
+    goNamed("worker", [st] {
+        yield(); // the task runs after Quiesce starts
+        st->mu.lock(); // Quiesce holds mu while waiting: circular wait
+        st->drain.done();
+        st->mu.unlock();
+    });
+    goNamed("quiesce", [st] {
+        st->mu.lock();
+        st->drain.wait(); // waits for the worker, holding mu
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_1462, "cockroach", BugClass::MixedDeadlock,
+             "stopper: a stop-signal close races the worker's task send; "
+             "when the worker wins the racing select it keeps sending to "
+             "a drained channel")
+{
+    struct St
+    {
+        Chan<int> tasks;
+        Chan<Unit> stopper;
+        St() : tasks(0), stopper(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->stopper.send(Unit{});
+    goNamed("worker", [st] {
+        for (int i = 0; i < 2; ++i)
+            st->tasks.send(i); // second send has no receiver on stop
+    });
+    goNamed("runner", [st] {
+        st->tasks.recv();
+        bool stop = false;
+        Chan<Unit> more(1);
+        more.send(Unit{});
+        Select()
+            .onRecv<Unit>(st->stopper, [&](Unit, bool) { stop = true; })
+            .onRecv<Unit>(more, {})
+            .run();
+        if (stop)
+            return; // worker's second send leaks
+        st->tasks.recv();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_2448, "cockroach", BugClass::CommunicationDeadlock,
+             "storage event feed: the consumer's non-blocking select "
+             "drops the sync event while the producer insists on a "
+             "rendezvous for it")
+{
+    struct St
+    {
+        Chan<int> events;
+        Chan<Unit> sync;
+        St() : events(1), sync(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("producer", [st] {
+        st->events.send(1);
+        st->sync.send(Unit{}); // requires the consumer at the rendezvous
+    });
+    goNamed("consumer", [st] {
+        st->events.recv();
+        bool got_sync = false;
+        // BUG: non-blocking poll; if the producer has not reached its
+        // send yet, the consumer gives up and the producer leaks.
+        Select()
+            .onRecv<Unit>(st->sync, [&](Unit, bool) { got_sync = true; })
+            .onDefault()
+            .run();
+        (void)got_sync;
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_3710, "cockroach", BugClass::ResourceDeadlock,
+             "store: ForceRaftLogScanAndProcess takes the store read "
+             "lock and calls a helper that write-locks the same RWMutex")
+{
+    struct St
+    {
+        RWMutex rw;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("raft-log-scan", [st] {
+        st->rw.rlock();
+        st->rw.lock(); // write-after-read on the same lock: stuck
+        st->rw.unlock();
+        st->rw.runlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_6181, "cockroach", BugClass::CommunicationDeadlock,
+             "range cache: coalesced lookups rendezvous on per-request "
+             "channels; a racing notification picks the wrong waiter and "
+             "one lookup never completes")
+{
+    struct St
+    {
+        Chan<int> done_a;
+        Chan<int> done_b;
+        St() : done_a(0), done_b(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("lookup-a", [st] { st->done_a.recv(); });
+    goNamed("lookup-b", [st] { st->done_b.recv(); });
+    goNamed("notifier", [st] {
+        // BUG: only one coalesced waiter is notified; which one is a
+        // race. The other lookup leaks.
+        Select()
+            .onSend(st->done_a, 1)
+            .onSend(st->done_b, 1)
+            .run();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_7504, "cockroach", BugClass::MixedDeadlock,
+             "lease storage: one path locks leaseState then tableName, "
+             "the other tableName then leaseState (AB-BA)")
+{
+    struct St
+    {
+        Mutex leaseState;
+        Mutex tableName;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("acquire", [st] {
+        st->leaseState.lock();
+        st->tableName.lock();
+        st->tableName.unlock();
+        st->leaseState.unlock();
+    });
+    goNamed("release", [st] {
+        st->tableName.lock();
+        st->leaseState.lock();
+        st->leaseState.unlock();
+        st->tableName.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_9935, "cockroach", BugClass::ResourceDeadlock,
+             "SQL executor: an early error return leaves the session "
+             "mutex locked, so the next statement blocks forever")
+{
+    struct St
+    {
+        Mutex mu;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("session", [st] {
+        for (int stmt = 0; stmt < 2; ++stmt) {
+            st->mu.lock();
+            bool error = false;
+            Chan<Unit> err_note(1), ok_note(1);
+            err_note.send(Unit{});
+            ok_note.send(Unit{});
+            Select()
+                .onRecv<Unit>(err_note, [&](Unit, bool) { error = true; })
+                .onRecv<Unit>(ok_note, {})
+                .run();
+            if (error && stmt == 0)
+                continue; // BUG: returns to the loop without unlock
+            st->mu.unlock();
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_10214, "cockroach", BugClass::ResourceDeadlock,
+             "stores: raft message handling locks store1 then store2 "
+             "while a snapshot applies them in the opposite order")
+{
+    struct St
+    {
+        Mutex store1;
+        Mutex store2;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("raft-recv", [st] {
+        st->store1.lock();
+        st->store2.lock();
+        st->store2.unlock();
+        st->store1.unlock();
+    });
+    goNamed("snapshot", [st] {
+        st->store2.lock();
+        st->store1.lock();
+        st->store1.unlock();
+        st->store2.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_10790, "cockroach", BugClass::CommunicationDeadlock,
+             "replica: the cancellation watcher exits as soon as the "
+             "context fires, but the command goroutine still sends its "
+             "result afterwards")
+{
+    struct St
+    {
+        Chan<int> results;
+        St() : results(0) {}
+    };
+    auto st = std::make_shared<St>();
+    auto [c, cancel] = ctx::withCancel(ctx::background());
+    goNamed("command", [st] {
+        sleepMs(3);
+        st->results.send(42); // the watcher is gone: leak
+    });
+    goNamed("canceller", [cancel = cancel] {
+        sleepMs(1);
+        cancel();
+    });
+    // Watcher: returns on cancellation without draining results.
+    Select()
+        .onRecv<int>(st->results, {})
+        .onRecv<Unit>(c->done(), {})
+        .run();
+}
+
+GOKER_KERNEL(cockroach_13197, "cockroach", BugClass::CommunicationDeadlock,
+             "txn heartbeat: Close() is only signalled when the "
+             "heartbeat loop observes the done channel, but the loop "
+             "exited on its own just before")
+{
+    struct St
+    {
+        Chan<Unit> done;
+        St() : done(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("heartbeat", [st] {
+        // The loop ends after one beat and never polls done again.
+        for (int beat = 0; beat < 1; ++beat)
+            yield();
+    });
+    goNamed("closer", [st] {
+        st->done.send(Unit{}); // the heartbeat loop is gone: leaks
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_13755, "cockroach", BugClass::CommunicationDeadlock,
+             "sql rows: the finalizer channel is closed only on the "
+             "success path; the racing error path leaks the row-iterator "
+             "goroutine")
+{
+    struct St
+    {
+        Chan<Unit> fin;
+        St() : fin(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("row-iterator", [st] { st->fin.recvOk(); });
+    goNamed("rows-close", [st] {
+        bool error = false;
+        Chan<Unit> err_note(1), ok_note(1);
+        err_note.send(Unit{});
+        ok_note.send(Unit{});
+        Select()
+            .onRecv<Unit>(err_note, [&](Unit, bool) { error = true; })
+            .onRecv<Unit>(ok_note, {})
+            .run();
+        if (error)
+            return; // BUG: fin never closed; the iterator leaks
+        st->fin.close();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_16167, "cockroach", BugClass::MixedDeadlock,
+             "executor: systemConfig updates signal a cond var guarded "
+             "by one lock while Prepare holds a second lock and waits — "
+             "the updater needs that second lock first")
+{
+    struct St
+    {
+        Mutex sysMu;
+        std::unique_ptr<Cond> sysCond;
+        Mutex prepMu;
+    };
+    auto st = std::make_shared<St>();
+    st->sysCond = std::make_unique<Cond>(st->sysMu);
+    goNamed("prepare", [st] {
+        st->prepMu.lock();
+        st->sysMu.lock();
+        st->sysCond->wait(); // waits for the config update
+        st->sysMu.unlock();
+        st->prepMu.unlock();
+    });
+    goNamed("config-update", [st] {
+        yield();
+        st->prepMu.lock(); // BUG: held by prepare, which waits on cond
+        st->sysMu.lock();
+        st->sysCond->signal();
+        st->sysMu.unlock();
+        st->prepMu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_18101, "cockroach", BugClass::CommunicationDeadlock,
+             "restore: the import coordinator returns on error without "
+             "draining the ready-ranges channel its workers still feed")
+{
+    struct St
+    {
+        Chan<int> ranges;
+        St() : ranges(0) {}
+    };
+    auto st = std::make_shared<St>();
+    for (int w = 0; w < 3; ++w) {
+        goNamed("import-worker", [st, w] {
+            st->ranges.send(w); // coordinator gone: all workers leak
+        });
+    }
+    st->ranges.recv(); // coordinator consumes one, then errors out
+    sleepMs(20);
+}
+
+GOKER_KERNEL(cockroach_24808, "cockroach", BugClass::CommunicationDeadlock,
+             "compactor: the suggestion loop exits before the main "
+             "routine sends its final suggestion on the unbuffered "
+             "channel, blocking main forever")
+{
+    struct St
+    {
+        Chan<int> suggestions;
+        St() : suggestions(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("compactor-loop", [st] {
+        // Processes exactly one suggestion, then returns.
+        st->suggestions.recv();
+    });
+    st->suggestions.send(1);
+    st->suggestions.send(2); // loop ended: main blocks (global deadlock)
+}
+
+GOKER_KERNEL(cockroach_25456, "cockroach", BugClass::CommunicationDeadlock,
+             "consistency checker: CollectChecksum sends its result even "
+             "when the initiating replica already gave up on the request")
+{
+    struct St
+    {
+        Chan<int> checksum;
+        St() : checksum(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("collector", [st] {
+        sleepMs(4); // checksum computation outlives the caller's wait
+        st->checksum.send(7);
+    });
+    auto deadline = gotime::after(1 * gotime::Millisecond);
+    Select()
+        .onRecv<int>(st->checksum, {})
+        .onRecv<Unit>(deadline, {})
+        .run();
+}
+
+GOKER_KERNEL(cockroach_35073, "cockroach", BugClass::CommunicationDeadlock,
+             "rangefeed registry: the output loop stops at the error "
+             "event while the registration blocks publishing the events "
+             "already queued behind it")
+{
+    struct St
+    {
+        Chan<int> out;
+        St() : out(2) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("publisher", [st] {
+        for (int i = 0; i < 4; ++i)
+            st->out.send(i); // buffer 2 + one read: final sends leak
+    });
+    st->out.recv(); // output loop reads one event, then errors out
+    sleepMs(20);
+}
+
+} // namespace goat::goker

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on etcd blocking bugs (7 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(etcd_5509, "etcd", BugClass::ResourceDeadlock,
+             "raft node: the same goroutine takes the write lock and "
+             "then a read lock on the node RWMutex (AA)")
+{
+    struct St
+    {
+        RWMutex rw;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("node-restart", [st] {
+        st->rw.lock();
+        st->rw.rlock(); // reader behind own pending writer: stuck
+        st->rw.runlock();
+        st->rw.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(etcd_6708, "etcd", BugClass::MixedDeadlock,
+             "watcher hub: notify() holds the hub lock while sending to "
+             "a watcher's unbuffered channel; the watcher cancels and "
+             "needs the hub lock before it drains")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> wchan;
+        St() : wchan(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("notify", [st] {
+        st->mu.lock();
+        st->wchan.send(1); // parks holding the hub lock
+        st->mu.unlock();
+    });
+    goNamed("watcher", [st] {
+        bool cancel = false;
+        Chan<Unit> cancel_note(1), read_note(1);
+        cancel_note.send(Unit{});
+        read_note.send(Unit{});
+        Select()
+            .onRecv<Unit>(cancel_note, [&](Unit, bool) { cancel = true; })
+            .onRecv<Unit>(read_note, {})
+            .run();
+        if (cancel) {
+            st->mu.lock(); // circular wait with notify()
+            st->mu.unlock();
+        } else {
+            st->wchan.recv();
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(etcd_6857, "etcd", BugClass::CommunicationDeadlock,
+             "raft node: a Status request arrives while the node loop is "
+             "handling stop; the status channel is never read again")
+{
+    struct St
+    {
+        Chan<int> status;
+        Chan<Unit> stop;
+        St() : status(0), stop(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->stop.send(Unit{});
+    goNamed("status-request", [st] {
+        st->status.send(1); // leaks when the loop handles stop first
+    });
+    goNamed("node-loop", [st] {
+        for (int i = 0; i < 4; ++i) {
+            bool stopped = false;
+            Select()
+                .onRecv<int>(st->status, {})
+                .onRecv<Unit>(st->stop, [&](Unit, bool) { stopped = true; })
+                .run();
+            if (stopped)
+                return; // status requester may be mid-send: it leaks
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(etcd_6873, "etcd", BugClass::CommunicationDeadlock,
+             "watch stream: the gRPC stream closes while the watch "
+             "substream is forwarding an event; the forwarder's send has "
+             "no closing-select guard")
+{
+    struct St
+    {
+        Chan<int> events;
+        Chan<Unit> closing;
+        St() : events(0), closing(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("substream-forwarder", [st] {
+        for (int i = 0; i < 2; ++i)
+            st->events.send(i); // BUG: no select on closing
+    });
+    goNamed("stream-reader", [st] {
+        st->events.recv();
+        bool closed = false;
+        Chan<Unit> close_note(1), next_note(1);
+        close_note.send(Unit{});
+        next_note.send(Unit{});
+        Select()
+            .onRecv<Unit>(close_note, [&](Unit, bool) { closed = true; })
+            .onRecv<Unit>(next_note, {})
+            .run();
+        if (closed)
+            return; // forwarder's second send leaks
+        st->events.recv();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(etcd_7443, "etcd", BugClass::MixedDeadlock,
+             "client watcher hub: the broadcaster publishes to per- "
+             "subscriber buffered channels under the hub lock while "
+             "subscribers resume/unsubscribe through the same lock; a "
+             "full buffer during unsubscribe strands the broadcaster "
+             "(the paper's coverage case study, fig. 6a)")
+{
+    struct St
+    {
+        Mutex mu;
+        std::vector<Chan<int>> subs;
+        std::vector<bool> active;
+        Chan<Unit> stop;
+        Chan<int> resumes;
+        WaitGroup wg;
+        St() : stop(0), resumes(2) {}
+    };
+    auto st = std::make_shared<St>();
+    for (int i = 0; i < 3; ++i) {
+        st->subs.emplace_back(1);
+        st->active.push_back(true);
+    }
+    st->wg.add(4);
+
+    goNamed("broadcaster", [st] {
+        for (int ev = 0; ev < 8; ++ev) {
+            st->mu.lock();
+            for (size_t i = 0; i < st->subs.size(); ++i) {
+                if (st->active[i])
+                    st->subs[i].send(ev); // may park holding the lock
+            }
+            st->mu.unlock();
+            yield();
+        }
+        st->wg.done();
+    });
+
+    for (int i = 0; i < 3; ++i) {
+        goNamed("subscriber", [st, i] {
+            for (int seen = 0; seen < 3 + i; ++seen) {
+                bool stopping = false;
+                int got = -1;
+                Select()
+                    .onRecv<int>(st->subs[i],
+                                 [&](int v, bool) { got = v; })
+                    .onRecv<Unit>(st->stop,
+                                  [&](Unit, bool) { stopping = true; })
+                    .run();
+                if (stopping)
+                    break;
+                // A slow watcher occasionally resumes its substream:
+                // both arms are ready, so the runtime races them; the
+                // resume path spawns a helper goroutine whose CUs are
+                // only exercised on that path.
+                if (got >= 4 && (got & 1) == (i & 1)) {
+                    Chan<Unit> fast(1), slow(1);
+                    fast.send(Unit{});
+                    slow.send(Unit{});
+                    bool resume = false;
+                    Select()
+                        .onRecv<Unit>(slow,
+                                      [&](Unit, bool) { resume = true; })
+                        .onRecv<Unit>(fast, {})
+                        .run();
+                    if (resume) {
+                        goNamed("resume-helper", [st, i] {
+                            // Plain send: with several resume helpers
+                            // racing in one run the two-slot buffer
+                            // fills and a helper parks — a rare
+                            // "resume storm" behaviour.
+                            st->resumes.send(i);
+                            // Depth-2 rarity: a 4-way race where only
+                            // one arm compacts under the hub lock.
+                            Chan<Unit> w(1), x(1), y(1), z(1);
+                            w.send(Unit{});
+                            x.send(Unit{});
+                            y.send(Unit{});
+                            z.send(Unit{});
+                            bool compact = false;
+                            Select()
+                                .onRecv<Unit>(w,
+                                              [&](Unit, bool) {
+                                                  compact = true;
+                                              })
+                                .onRecv<Unit>(x, {})
+                                .onRecv<Unit>(y, {})
+                                .onRecv<Unit>(z, {})
+                                .run();
+                            if (compact) {
+                                st->mu.lock();
+                                st->resumes.recvOk();
+                                st->mu.unlock();
+                            }
+                        });
+                    }
+                }
+                yield();
+            }
+            // Unsubscribe needs the hub lock; the broadcaster may be
+            // parked on this subscriber's full buffer holding it.
+            st->mu.lock();
+            st->active[i] = false;
+            st->mu.unlock();
+            st->wg.done();
+        });
+    }
+
+    sleepMs(50);
+}
+
+GOKER_KERNEL(etcd_7492, "etcd", BugClass::MixedDeadlock,
+             "simple token TTL keeper: run() takes the store lock on "
+             "every tick while addSimpleToken holds it and waits for the "
+             "keeper to acknowledge through an unbuffered channel")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<Unit> ack;
+        St() : ack(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("ttl-keeper", [st] {
+        for (int tick = 0; tick < 2; ++tick) {
+            st->mu.lock(); // blocked while addSimpleToken holds mu
+            st->mu.unlock();
+            yield();
+        }
+        st->ack.send(Unit{});
+    });
+    goNamed("addSimpleToken", [st] {
+        st->mu.lock();
+        st->ack.recv(); // keeper can't reach its send: circular wait
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(etcd_7902, "etcd", BugClass::CommunicationDeadlock,
+             "lease stress test: the leader exits after the first error "
+             "while followers still rendezvous on the round channel")
+{
+    struct St
+    {
+        Chan<int> rounds;
+        St() : rounds(0) {}
+    };
+    auto st = std::make_shared<St>();
+    for (int f = 0; f < 2; ++f) {
+        goNamed("follower", [st, f] {
+            st->rounds.send(f); // leader reads once: one follower leaks
+        });
+    }
+    st->rounds.recv();
+    sleepMs(20);
+}
+
+} // namespace goat::goker

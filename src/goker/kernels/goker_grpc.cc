@@ -1,0 +1,240 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on gRPC-Go blocking bugs (9 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(grpc_660, "grpc", BugClass::CommunicationDeadlock,
+             "benchmark client: workers send results without selecting "
+             "on the stop channel, leaking when the benchmark stops "
+             "between two results")
+{
+    struct St
+    {
+        Chan<int> results;
+        St() : results(0) {}
+    };
+    auto st = std::make_shared<St>();
+    for (int w = 0; w < 2; ++w) {
+        goNamed("bench-worker", [st, w] {
+            for (int i = 0; i < 2; ++i)
+                st->results.send(w * 10 + i); // no stop guard
+        });
+    }
+    // The driver collects a fixed sample, then stops early.
+    for (int i = 0; i < 3; ++i)
+        st->results.recv();
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_795, "grpc", BugClass::ResourceDeadlock,
+             "server: GracefulStop calls Stop, and both lock the server "
+             "mutex (double acquisition in one call chain)")
+{
+    struct St
+    {
+        Mutex mu;
+        WaitGroup wg;
+    };
+    auto st = std::make_shared<St>();
+    st->wg.add(1);
+    goNamed("graceful-stop", [st] {
+        st->mu.lock();
+        // Stop(): re-locks s.mu while GracefulStop still holds it.
+        st->mu.lock();
+        st->mu.unlock();
+        st->mu.unlock();
+        st->wg.done();
+    });
+    st->wg.wait(); // main never returns: global deadlock
+}
+
+GOKER_KERNEL(grpc_862, "grpc", BugClass::CommunicationDeadlock,
+             "dial: the connectivity monitor ranges over an event "
+             "channel that is never closed once the dial is canceled")
+{
+    struct St
+    {
+        Chan<int> events;
+        St() : events(0) {}
+    };
+    auto st = std::make_shared<St>();
+    auto [c, cancel] = ctx::withCancel(ctx::background());
+    goNamed("conn-monitor", [st] {
+        // for range over events: blocks forever after cancel.
+        st->events.range([](int) {});
+    });
+    goNamed("dialer", [st, c = c] {
+        bool canceled = false;
+        Select()
+            .onSend(st->events, 1)
+            .onRecv<Unit>(c->done(), [&](Unit, bool) { canceled = true; })
+            .run();
+        if (canceled)
+            return; // BUG: events never closed; the monitor leaks
+        st->events.close();
+    });
+    cancel();
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_1275, "grpc", BugClass::CommunicationDeadlock,
+             "transport: recvBufferReader waits for an item the stream "
+             "writer never puts because CloseStream won the race")
+{
+    struct St
+    {
+        Chan<int> recvBuf;
+        St() : recvBuf(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("reader", [st] { st->recvBuf.recv(); });
+    goNamed("writer", [st] {
+        bool closed = false;
+        Chan<Unit> close_note(1), data_note(1);
+        close_note.send(Unit{});
+        data_note.send(Unit{});
+        Select()
+            .onRecv<Unit>(close_note, [&](Unit, bool) { closed = true; })
+            .onRecv<Unit>(data_note, {})
+            .run();
+        if (closed)
+            return; // BUG: no item, no close: the reader leaks
+        st->recvBuf.send(1);
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_1424, "grpc", BugClass::MixedDeadlock,
+             "transport monitor: resetTransport holds the connection "
+             "lock while sending on an unbuffered channel; Close needs "
+             "the lock before it can drain")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> resetCh;
+        St() : resetCh(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("resetTransport", [st] {
+        st->mu.lock();
+        st->resetCh.send(1); // parks holding mu
+        st->mu.unlock();
+    });
+    goNamed("close", [st] {
+        st->mu.lock(); // circular wait on the buggy path
+        st->mu.unlock();
+        st->resetCh.recv();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_1460, "grpc", BugClass::CommunicationDeadlock,
+             "keepalive: after a GoAway the dormant sender waits on the "
+             "awakening channel that the keepalive loop already stopped "
+             "servicing")
+{
+    struct St
+    {
+        Chan<Unit> awake;
+        Chan<Unit> goaway;
+        St() : awake(0), goaway(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->goaway.send(Unit{});
+    goNamed("dormant-sender", [st] {
+        st->awake.recvOk(); // leaks when keepalive exits first
+    });
+    goNamed("keepalive", [st] {
+        for (int tick = 0; tick < 3; ++tick) {
+            bool bye = false;
+            Select()
+                .onSend(st->awake, Unit{})
+                .onRecv<Unit>(st->goaway, [&](Unit, bool) { bye = true; })
+                .run();
+            if (bye)
+                return; // BUG: dormant sender never awakened
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_1687, "grpc", BugClass::CommunicationDeadlock,
+             "server handler transport: writes block on the wire channel "
+             "after the read loop that drains it exited on error")
+{
+    struct St
+    {
+        Chan<int> wire;
+        St() : wire(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("read-loop", [st] {
+        st->wire.recv(); // exits after the first frame (error)
+    });
+    goNamed("handler", [st] {
+        st->wire.send(1);
+        st->wire.send(2); // no drainer anymore: leaks
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_2371, "grpc", BugClass::ResourceDeadlock,
+             "balancer/resolver: ccBalancerWrapper and ccResolverWrapper "
+             "lock their mutexes in opposite orders on concurrent "
+             "updates (AB-BA)")
+{
+    struct St
+    {
+        Mutex balancer;
+        Mutex resolver;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("balancer-update", [st] {
+        st->balancer.lock();
+        st->resolver.lock();
+        st->resolver.unlock();
+        st->balancer.unlock();
+    });
+    goNamed("resolver-update", [st] {
+        st->resolver.lock();
+        st->balancer.lock();
+        st->balancer.unlock();
+        st->resolver.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(grpc_3017, "grpc", BugClass::MixedDeadlock,
+             "SubConn: updateAddrs holds ac.mu and waits for the update "
+             "channel to drain, but the scUpdate loop needs ac.mu to "
+             "process entries")
+{
+    struct St
+    {
+        Mutex acMu;
+        Chan<int> scUpdates;
+        St() : scUpdates(1) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("updateAddrs", [st] {
+        st->acMu.lock();
+        st->scUpdates.send(1); // fills the buffer
+        st->scUpdates.send(2); // parks holding ac.mu
+        st->acMu.unlock();
+    });
+    goNamed("scUpdate-loop", [st] {
+        for (int i = 0; i < 2; ++i) {
+            st->acMu.lock(); // needs ac.mu before draining: stuck
+            st->acMu.unlock();
+            st->scUpdates.recv();
+        }
+    });
+    sleepMs(20);
+}
+
+} // namespace goat::goker

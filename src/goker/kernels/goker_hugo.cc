@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on Hugo blocking bugs (2 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(hugo_3251, "hugo", BugClass::ResourceDeadlock,
+             "site content init: a template helper read-locks the site "
+             "RWMutex twice; a rebuild writer queueing between the two "
+             "RLocks deadlocks both")
+{
+    struct St
+    {
+        RWMutex rw;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("template-exec", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->rw.rlock();
+            st->rw.rlock(); // recursive RLock: fatal with queued writer
+            st->rw.runlock();
+            st->rw.runlock();
+            yield();
+        }
+    });
+    goNamed("rebuild", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->rw.lock();
+            st->rw.unlock();
+            yield();
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(hugo_5379, "hugo", BugClass::CommunicationDeadlock,
+             "pages collector: workers keep streaming page errors into "
+             "the error channel after the collector stopped reading at "
+             "its error budget")
+{
+    struct St
+    {
+        Chan<int> errs;
+        St() : errs(1) {}
+    };
+    auto st = std::make_shared<St>();
+    for (int w = 0; w < 2; ++w) {
+        goNamed("page-worker", [st, w] {
+            for (int i = 0; i < 2; ++i)
+                st->errs.send(w * 2 + i);
+        });
+    }
+    // Collector reads up to its error budget, then gives up.
+    st->errs.recv();
+    st->errs.recv();
+    sleepMs(20);
+}
+
+} // namespace goat::goker

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on Istio blocking bugs (5 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(istio_8144, "istio", BugClass::MixedDeadlock,
+             "controller task queue: the producer holds the queue lock "
+             "while pushing into the full task channel; the executor "
+             "locks the queue before popping")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> tasks;
+        St() : tasks(1) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("producer", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->mu.lock();
+            st->tasks.send(i); // parks holding mu when the buffer fills
+            st->mu.unlock();
+        }
+    });
+    goNamed("executor", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->mu.lock(); // circular wait when the producer is parked
+            st->mu.unlock();
+            st->tasks.recv();
+            yield();
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(istio_8967, "istio", BugClass::CommunicationDeadlock,
+             "config store sync: both the notifier and the teardown path "
+             "close the sync channel; the guard flag is read before the "
+             "close, not atomically with it")
+{
+    struct St
+    {
+        Chan<Unit> synced;
+        bool done = false;
+        St() : synced(0) {}
+    };
+    auto st = std::make_shared<St>();
+    auto close_racy = [st] {
+        if (!st->done) {
+            st->synced.close(); // double close panics on the racy path
+            st->done = true;
+        }
+    };
+    goNamed("notifier", close_racy);
+    goNamed("teardown", close_racy);
+    sleepMs(20);
+}
+
+GOKER_KERNEL(istio_16224, "istio", BugClass::MixedDeadlock,
+             "service registry: the registry mutex is held across the "
+             "notification send while the event consumer refreshes the "
+             "registry under the same mutex")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> notify;
+        St() : notify(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("registry-update", [st] {
+        st->mu.lock();
+        st->notify.send(1); // parks holding the registry mutex
+        st->mu.unlock();
+    });
+    goNamed("event-consumer", [st] {
+        bool refresh_first = false;
+        Chan<Unit> refresh_note(1), drain_note(1);
+        refresh_note.send(Unit{});
+        drain_note.send(Unit{});
+        Select()
+            .onRecv<Unit>(refresh_note,
+                          [&](Unit, bool) { refresh_first = true; })
+            .onRecv<Unit>(drain_note, {})
+            .run();
+        if (refresh_first) {
+            st->mu.lock(); // deadlock: updater parked holding mu
+            st->mu.unlock();
+        }
+        st->notify.recv();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(istio_17860, "istio", BugClass::CommunicationDeadlock,
+             "proxy agent: the reconcile loop exits on terminate while "
+             "an epoch status report is still waiting for its rendezvous")
+{
+    struct St
+    {
+        Chan<int> statusCh;
+        Chan<Unit> terminate;
+        St() : statusCh(0), terminate(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->terminate.send(Unit{});
+    goNamed("epoch-runner", [st] {
+        st->statusCh.send(0); // leaks when the loop terminates first
+    });
+    goNamed("reconcile-loop", [st] {
+        for (int i = 0; i < 3; ++i) {
+            bool term = false;
+            Select()
+                .onRecv<int>(st->statusCh, {})
+                .onRecv<Unit>(st->terminate, [&](Unit, bool) { term = true; })
+                .run();
+            if (term)
+                return;
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(istio_18454, "istio", BugClass::CommunicationDeadlock,
+             "config watcher cleanup: the timer-driven flush races the "
+             "watcher shutdown; the flush sends to a channel whose "
+             "reader is already gone")
+{
+    struct St
+    {
+        Chan<int> flush;
+        St() : flush(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("flusher", [st] {
+        auto t = gotime::after(2 * gotime::Millisecond);
+        t.recv();
+        st->flush.send(1); // reader may have shut down at ~2ms too
+    });
+    goNamed("watcher", [st] {
+        auto shutdown = gotime::after(2 * gotime::Millisecond);
+        bool down = false;
+        Select()
+            .onRecv<int>(st->flush, {})
+            .onRecv<Unit>(shutdown, [&](Unit, bool) { down = true; })
+            .run();
+        (void)down;
+    });
+    sleepMs(20);
+}
+
+} // namespace goat::goker

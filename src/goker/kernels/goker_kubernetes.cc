@@ -1,0 +1,433 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on Kubernetes blocking bugs (12 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(kubernetes_1321, "kubernetes", BugClass::CommunicationDeadlock,
+             "mux watcher: the event distributor keeps sending on the "
+             "result channel without selecting on the stop signal, so it "
+             "leaks when the consumer stops watching early")
+{
+    struct St
+    {
+        Chan<int> result;
+        St() : result(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("distributor", [st] {
+        for (int i = 0; i < 3; ++i)
+            st->result.send(i); // no stop guard: leaks on early stop
+    });
+    for (int i = 0; i < 3; ++i) {
+        bool stop = false;
+        Chan<Unit> stop_note(1);
+        stop_note.send(Unit{});
+        Select()
+            .onRecv<int>(st->result, {})
+            .onRecv<Unit>(stop_note, [&](Unit, bool) { stop = true; })
+            .run();
+        if (stop)
+            break; // distributor still has pending sends
+    }
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_5316, "kubernetes", BugClass::CommunicationDeadlock,
+             "finishRequest: the request function sends its result on an "
+             "unbuffered channel, but the caller returns at the timeout "
+             "and never receives")
+{
+    struct St
+    {
+        Chan<int> result;
+        St() : result(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("request-fn", [st] {
+        sleepMs(5); // slower than the deadline
+        st->result.send(200);
+    });
+    auto deadline = gotime::after(2 * gotime::Millisecond);
+    Select()
+        .onRecv<int>(st->result, {})
+        .onRecv<Unit>(deadline, {})
+        .run();
+}
+
+GOKER_KERNEL(kubernetes_6632, "kubernetes", BugClass::MixedDeadlock,
+             "spdystream: writeFrame blocks on the unbuffered frame "
+             "channel while holding the stream lock; the read loop's "
+             "error path takes the lock before draining the channel")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> frames;
+        St() : frames(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("writeFrame", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->mu.lock();
+            st->frames.send(i); // parks holding mu until drained
+            st->mu.unlock();
+        }
+    });
+    goNamed("readLoop", [st] {
+        for (int i = 0; i < 3; ++i) {
+            bool error_path = false;
+            if (i == 1) {
+                // Error notification races the normal continue path.
+                Chan<Unit> err_note(1), ok_note(1);
+                err_note.send(Unit{});
+                ok_note.send(Unit{});
+                Select()
+                    .onRecv<Unit>(err_note,
+                                  [&](Unit, bool) { error_path = true; })
+                    .onRecv<Unit>(ok_note, {})
+                    .run();
+            }
+            if (error_path) {
+                st->mu.lock(); // writer holds mu, parked on send: cycle
+                st->frames.recv();
+                st->mu.unlock();
+            } else {
+                st->frames.recv();
+            }
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_10182, "kubernetes", BugClass::ResourceDeadlock,
+             "status manager: two paths acquire the pod-statuses and the "
+             "pod-manager RW locks in opposite order (AB-BA)")
+{
+    struct St
+    {
+        RWMutex statuses;
+        RWMutex manager;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("syncBatch", [st] {
+        st->statuses.lock();
+        st->manager.rlock();
+        st->manager.runlock();
+        st->statuses.unlock();
+    });
+    goNamed("updatePod", [st] {
+        st->manager.lock();
+        st->statuses.rlock();
+        st->statuses.runlock();
+        st->manager.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_11298, "kubernetes", BugClass::MixedDeadlock,
+             "shared informer: the stop path signals the cond once "
+             "instead of broadcasting, so when both processors are "
+             "parked in Wait one of them never wakes; racing input/stop "
+             "selects can also strand the producer")
+{
+    struct St
+    {
+        Mutex mu;
+        std::unique_ptr<Cond> cv;
+        std::vector<int> queue;
+        bool stopped = false;
+        Chan<int> input;
+        Chan<Unit> stop;
+        St() : input(0), stop(0) {}
+    };
+    auto st = std::make_shared<St>();
+    st->cv = std::make_unique<Cond>(st->mu);
+
+    for (int p = 0; p < 2; ++p) {
+        goNamed("processor", [st] {
+            while (true) {
+                st->mu.lock();
+                while (st->queue.empty() && !st->stopped)
+                    st->cv->wait();
+                if (st->queue.empty() && st->stopped) {
+                    st->mu.unlock();
+                    return;
+                }
+                st->queue.pop_back();
+                st->mu.unlock();
+                yield(); // simulate processing
+            }
+        });
+    }
+
+    goNamed("distributor", [st] {
+        for (int round = 0; round < 16; ++round) {
+            bool stop = false;
+            Select()
+                .onRecv<int>(st->input,
+                             [&](int v, bool ok) {
+                                 if (!ok)
+                                     return;
+                                 st->mu.lock();
+                                 st->queue.push_back(v);
+                                 st->cv->signal();
+                                 st->mu.unlock();
+                             })
+                .onRecv<Unit>(st->stop,
+                              [&](Unit, bool) {
+                                  st->mu.lock();
+                                  st->stopped = true;
+                                  // BUG: signal() instead of
+                                  // broadcast(): one waiter stays
+                                  // parked forever.
+                                  st->cv->signal();
+                                  st->mu.unlock();
+                                  stop = true;
+                              })
+                .run();
+            if (stop)
+                return;
+        }
+    });
+
+    goNamed("producer", [st] {
+        for (int i = 0; i < 5; ++i) {
+            st->input.send(i);
+            // Occasionally a resync item is injected through a racing
+            // fast/slow notification; the resync path spawns a helper
+            // whose CUs only appear on that path.
+            Chan<Unit> fast(1), slow(1);
+            fast.send(Unit{});
+            slow.send(Unit{});
+            bool resync = false;
+            Select()
+                .onRecv<Unit>(slow, [&](Unit, bool) { resync = true; })
+                .onRecv<Unit>(fast, {})
+                .run();
+            if (resync && (i & 1)) {
+                goNamed("resync", [st, i] {
+                    bool sent = false;
+                    Select()
+                        .onSend(st->input, 100 + i, [&] { sent = true; })
+                        .onDefault()
+                        .run();
+                    if (sent)
+                        yield();
+                });
+            }
+        }
+        st->stop.close();
+    });
+
+    sleepMs(50);
+}
+
+GOKER_KERNEL(kubernetes_13135, "kubernetes", BugClass::MixedDeadlock,
+             "reflector watchHandler: the event source blocks sending on "
+             "the result channel while holding the store lock; the stop "
+             "path takes the same lock before closing the channel")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> results;
+        St() : results(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("watchHandler", [st] {
+        st->mu.lock();
+        st->results.send(1); // parks holding mu until received
+        st->mu.unlock();
+    });
+    goNamed("stopper", [st] {
+        bool quit = false;
+        Chan<Unit> quit_note(1), work_note(1);
+        quit_note.send(Unit{});
+        work_note.send(Unit{});
+        Select()
+            .onRecv<Unit>(quit_note, [&](Unit, bool) { quit = true; })
+            .onRecv<Unit>(work_note, {})
+            .run();
+        if (quit) {
+            st->mu.lock(); // deadlock: handler parked holding mu
+            st->results.close();
+            st->mu.unlock();
+        } else {
+            st->results.recv(); // rendezvous: handler completes
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_25331, "kubernetes", BugClass::CommunicationDeadlock,
+             "watch cancel: both the stop path and the cancel path close "
+             "the result channel; the done-flag check is not atomic with "
+             "the close, so a rare interleaving panics")
+{
+    struct St
+    {
+        Chan<int> result;
+        bool closed = false;
+        St() : result(1) {}
+    };
+    auto st = std::make_shared<St>();
+    auto close_once_racy = [st] {
+        if (!st->closed) {
+            st->result.close(); // window: the peer can close here first
+            st->closed = true;
+        }
+    };
+    goNamed("stop", close_once_racy);
+    goNamed("cancel", close_once_racy);
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_26980, "kubernetes", BugClass::MixedDeadlock,
+             "work queue shutdown: a worker checks the shutting-down "
+             "flag, then parks in Wait; the broadcast can fire inside "
+             "that window and the worker never wakes")
+{
+    struct St
+    {
+        Mutex mu;
+        std::unique_ptr<Cond> cv;
+        bool shuttingDown = false;
+    };
+    auto st = std::make_shared<St>();
+    st->cv = std::make_unique<Cond>(st->mu);
+
+    goNamed("worker", [st] {
+        st->mu.lock();
+        bool down = st->shuttingDown;
+        st->mu.unlock();
+        if (!down) {
+            yield(); // re-queue the work item before parking
+            // BUG: the flag is not re-checked under the lock, so the
+            // broadcast issued inside this window is lost forever.
+            st->mu.lock();
+            st->cv->wait();
+            st->mu.unlock();
+        }
+    });
+    goNamed("shutdown", [st] {
+        st->mu.lock();
+        st->shuttingDown = true;
+        st->cv->broadcast();
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_30872, "kubernetes", BugClass::ResourceDeadlock,
+             "endpoint controller: three components acquire three locks "
+             "in a rotational order (A→B, B→C, C→A); the full cycle "
+             "needs two precisely placed preemptions and is very rare")
+{
+    struct St
+    {
+        Mutex a, b, c;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("pod-worker", [st] {
+        st->a.lock();
+        st->b.lock();
+        st->b.unlock();
+        st->a.unlock();
+    });
+    goNamed("service-worker", [st] {
+        st->b.lock();
+        st->c.lock();
+        st->c.unlock();
+        st->b.unlock();
+    });
+    goNamed("endpoint-worker", [st] {
+        st->c.lock();
+        st->a.lock();
+        st->a.unlock();
+        st->c.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_38669, "kubernetes", BugClass::CommunicationDeadlock,
+             "cacher: the dispatcher emits one more event than the "
+             "watcher's buffered channel and read loop consume, so the "
+             "final send leaks")
+{
+    struct St
+    {
+        Chan<int> events;
+        St() : events(2) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("dispatcher", [st] {
+        for (int i = 0; i < 6; ++i)
+            st->events.send(i); // consumer takes only 3: last send leaks
+    });
+    for (int i = 0; i < 3; ++i)
+        st->events.recv();
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_58107, "kubernetes", BugClass::ResourceDeadlock,
+             "rate-limited queue: a reader re-acquires the read lock "
+             "while a writer is already queued between the two RLocks; "
+             "Go's writer preference completes the deadlock")
+{
+    struct St
+    {
+        RWMutex rw;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("reader", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->rw.rlock();
+            // Recursive read lock: fatal if a writer queued meanwhile.
+            st->rw.rlock();
+            st->rw.runlock();
+            st->rw.runlock();
+            yield();
+        }
+    });
+    goNamed("writer", [st] {
+        for (int i = 0; i < 3; ++i) {
+            st->rw.lock();
+            st->rw.unlock();
+            yield();
+        }
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(kubernetes_62464, "kubernetes", BugClass::ResourceDeadlock,
+             "device manager: a reader holds the read lock, synchronizes "
+             "with a writer through a channel, then read-locks again "
+             "behind the now-pending writer")
+{
+    struct St
+    {
+        RWMutex rw;
+        Chan<Unit> sync;
+        St() : sync(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("checkpoint-reader", [st] {
+        st->rw.rlock();
+        st->sync.send(Unit{}); // wake the writer while holding rlock
+        st->rw.rlock();        // writer is pending: blocks forever
+        st->rw.runlock();
+        st->rw.runlock();
+    });
+    goNamed("state-writer", [st] {
+        st->sync.recv();
+        st->rw.lock(); // waits for the reader: circular wait
+        st->rw.unlock();
+    });
+    sleepMs(20);
+}
+
+} // namespace goat::goker

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on Docker/Moby blocking bugs (12 kernels).
+ * Each kernel reproduces the cause structure of the referenced upstream
+ * issue on the GoAT-CPP runtime.
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(moby_4395, "moby", BugClass::CommunicationDeadlock,
+             "attach stream: worker sends its result on an unbuffered "
+             "channel after the caller already timed out, so the sender "
+             "leaks forever")
+{
+    struct St
+    {
+        Chan<int> result;
+        explicit St() : result(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("attach-worker", [st] {
+        sleepMs(5); // the attach takes longer than the caller waits
+        st->result.send(1);
+    });
+    auto timeout = gotime::after(2 * gotime::Millisecond);
+    Select()
+        .onRecv<int>(st->result, {})
+        .onRecv<Unit>(timeout, {})
+        .run();
+    // Caller returns on timeout; the worker's send never rendezvouses.
+}
+
+GOKER_KERNEL(moby_4951, "moby", BugClass::ResourceDeadlock,
+             "devmapper: DeactivateDevice and RemoveDevice take devices "
+             "lock and metadata lock in opposite order (AB-BA)")
+{
+    struct St
+    {
+        Mutex devices;
+        Mutex metadata;
+        WaitGroup wg;
+    };
+    auto st = std::make_shared<St>();
+    st->wg.add(2);
+    goNamed("deactivate", [st] {
+        st->devices.lock();
+        st->metadata.lock();
+        st->metadata.unlock();
+        st->devices.unlock();
+        st->wg.done();
+    });
+    goNamed("remove", [st] {
+        st->metadata.lock();
+        st->devices.lock();
+        st->devices.unlock();
+        st->metadata.unlock();
+        st->wg.done();
+    });
+    // Main waits briefly; on the buggy interleave both children leak.
+    sleepMs(20);
+}
+
+GOKER_KERNEL(moby_7559, "moby", BugClass::MixedDeadlock,
+             "port allocator: goroutine holds the allocator lock while "
+             "sending on an unbuffered channel whose receiver needs the "
+             "same lock first")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> alloc;
+        St() : alloc(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("allocator", [st] {
+        st->mu.lock();
+        st->alloc.send(80); // blocks holding mu on the buggy path
+        st->mu.unlock();
+    });
+    goNamed("client", [st] {
+        st->mu.lock(); // buggy path: allocator already holds mu
+        int port = st->alloc.recv();
+        (void)port;
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(moby_17176, "moby", BugClass::ResourceDeadlock,
+             "devmapper: deactivateDevice re-acquires a mutex its caller "
+             "already holds (double lock), hanging the daemon")
+{
+    struct St
+    {
+        Mutex mu;
+        WaitGroup wg;
+    };
+    auto st = std::make_shared<St>();
+    st->wg.add(1);
+    goNamed("cleanup", [st] {
+        st->mu.lock();
+        // deactivateDevice(): the helper locks the same mutex again.
+        st->mu.lock();
+        st->mu.unlock();
+        st->mu.unlock();
+        st->wg.done();
+    });
+    st->wg.wait(); // main blocks forever: global deadlock
+}
+
+GOKER_KERNEL(moby_21233, "moby", BugClass::CommunicationDeadlock,
+             "pull progress: producer keeps sending progress updates "
+             "after the consumer stopped at the first error item")
+{
+    struct St
+    {
+        Chan<int> progress;
+        St() : progress(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("producer", [st] {
+        for (int i = 0; i < 4; ++i)
+            st->progress.send(i); // leaks when the consumer quits early
+    });
+    for (int i = 0; i < 4; ++i) {
+        int v = st->progress.recv();
+        // Consumer aborts mid-stream when it sees item 1 and the
+        // "error" select picks the abort arm.
+        if (v == 1) {
+            // The original code raced an error notification against the
+            // continue path; both are ready and the runtime picks
+            // pseudo-randomly.
+            bool abort_now = false;
+            Chan<Unit> err_note(1), keep_going(1);
+            err_note.send(Unit{});
+            keep_going.send(Unit{});
+            Select()
+                .onRecv<Unit>(err_note,
+                              [&](Unit, bool) { abort_now = true; })
+                .onRecv<Unit>(keep_going, {})
+                .run();
+            if (abort_now)
+                return; // producer still has sends pending: leak
+        }
+    }
+}
+
+GOKER_KERNEL(moby_25384, "moby", BugClass::CommunicationDeadlock,
+             "volume removal: WaitGroup.Add counts len(volumes) but one "
+             "worker returns early without Done, so Wait blocks forever")
+{
+    struct St
+    {
+        WaitGroup wg;
+    };
+    auto st = std::make_shared<St>();
+    const int volumes = 3;
+    st->wg.add(volumes);
+    for (int i = 0; i < volumes; ++i) {
+        goNamed("remove-volume", [st, i] {
+            if (i == volumes - 1)
+                return; // error path: Done is skipped
+            st->wg.done();
+        });
+    }
+    st->wg.wait(); // global deadlock: counter never reaches zero
+}
+
+GOKER_KERNEL(moby_27782, "moby", BugClass::MixedDeadlock,
+             "logger: the signal-emitting goroutine exits on shutdown "
+             "before signaling the condition the flusher waits on")
+{
+    struct St
+    {
+        Mutex mu;
+        std::unique_ptr<Cond> flushed;
+        Chan<Unit> shutdown;
+        Chan<Unit> work;
+        St() : shutdown(1), work(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->flushed = std::make_unique<Cond>(st->mu);
+    st->shutdown.send(Unit{});
+    st->work.send(Unit{});
+
+    goNamed("flusher", [st] {
+        st->mu.lock();
+        st->flushed->wait(); // leaks when the signal never arrives
+        st->mu.unlock();
+    });
+    goNamed("writer", [st] {
+        bool stop = false;
+        // Buggy select: shutdown and pending work are both ready; when
+        // the runtime picks shutdown first, the flush signal is
+        // skipped entirely.
+        Select()
+            .onRecv<Unit>(st->shutdown, [&](Unit, bool) { stop = true; })
+            .onRecv<Unit>(st->work, {})
+            .run();
+        if (stop)
+            return;
+        st->mu.lock();
+        st->flushed->signal();
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(moby_28462, "moby", BugClass::MixedDeadlock,
+             "container Monitor/StatusChange: Monitor picks the select "
+             "default then locks; StatusChange grabs the lock between "
+             "the two steps and blocks sending on the status channel "
+             "(the paper's listing 1)")
+{
+    struct Container
+    {
+        Mutex mu;
+        Chan<int> status;
+        Container() : status(0) {}
+    };
+    auto c = std::make_shared<Container>();
+
+    goNamed("Monitor", [c] {
+        for (int i = 0; i < 8; ++i) {
+            bool got = false;
+            Select()
+                .onRecv<int>(c->status, [&](int, bool) { got = true; })
+                .onDefault()
+                .run();
+            if (got)
+                return;
+            c->mu.lock();
+            c->mu.unlock();
+        }
+        // Monitoring window over: drain one last status change.
+        c->status.recvOk();
+    });
+
+    goNamed("StatusChange", [c] {
+        c->mu.lock();
+        c->status.send(1);
+        c->mu.unlock();
+    });
+
+    sleepMs(20);
+}
+
+GOKER_KERNEL(moby_29733, "moby", BugClass::CommunicationDeadlock,
+             "plugin probe: every prober sends its error on a cap-1 "
+             "channel, but the caller reads only the first; the rest "
+             "leak")
+{
+    struct St
+    {
+        Chan<int> errs;
+        St() : errs(1) {}
+    };
+    auto st = std::make_shared<St>();
+    for (int i = 0; i < 3; ++i) {
+        goNamed("prober", [st, i] {
+            st->errs.send(i); // only one fits the buffer + one read
+        });
+    }
+    st->errs.recv();
+    sleepMs(20);
+    // Two probers remain blocked on the full channel forever.
+}
+
+GOKER_KERNEL(moby_30408, "moby", BugClass::MixedDeadlock,
+             "health monitor: Signal runs while the waiter is between "
+             "its status check and Cond.Wait, so the wakeup is lost")
+{
+    struct St
+    {
+        Mutex mu;
+        std::unique_ptr<Cond> cv;
+        bool ready = false;
+    };
+    auto st = std::make_shared<St>();
+    st->cv = std::make_unique<Cond>(st->mu);
+
+    goNamed("monitor", [st] {
+        st->mu.lock();
+        bool is_ready = st->ready;
+        st->mu.unlock();
+        if (!is_ready) {
+            // Lost-wakeup window: the signaler may fire right here.
+            st->mu.lock();
+            st->cv->wait();
+            st->mu.unlock();
+        }
+    });
+    goNamed("reporter", [st] {
+        st->mu.lock();
+        st->ready = true;
+        st->cv->signal(); // lost when the monitor is mid-window
+        st->mu.unlock();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(moby_33781, "moby", BugClass::CommunicationDeadlock,
+             "concurrent exec cleanup: two goroutines each wait to "
+             "receive from the channel the other one never sends on")
+{
+    struct St
+    {
+        Chan<int> a;
+        Chan<int> b;
+        St() : a(0), b(0) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("exec-wait", [st] {
+        st->a.recv(); // waits for cleanup's notification
+        st->b.send(1);
+    });
+    goNamed("cleanup", [st] {
+        st->b.recv(); // waits for exec-wait's notification: cross wait
+        st->a.send(1);
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(moby_36114, "moby", BugClass::ResourceDeadlock,
+             "container restore: svm.Lock() is taken again by a helper "
+             "while already held by the restore path")
+{
+    struct St
+    {
+        Mutex svm;
+    };
+    auto st = std::make_shared<St>();
+    goNamed("restore", [st] {
+        st->svm.lock();
+        // hotAddVHDsAtStart() re-locks svm: classic AA deadlock.
+        st->svm.lock();
+        st->svm.unlock();
+        st->svm.unlock();
+    });
+    sleepMs(20);
+    // The restore goroutine leaks; main exits normally (PDL).
+}
+
+} // namespace goat::goker

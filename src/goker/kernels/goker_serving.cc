@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on Knative Serving blocking bugs (2
+ * kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(serving_2137, "serving", BugClass::MixedDeadlock,
+             "breaker: a request holds the breaker lock while returning "
+             "its token to the full semaphore channel, while the token "
+             "recycler picked the wrong arm of its 4-way poll; the "
+             "combination needs a precisely timed preemption AND an "
+             "unlucky select, making this the rarest kernel (the paper: "
+             "only GoAT D2 exposed it)")
+{
+    struct St
+    {
+        Mutex mu;
+        Chan<int> sem;   // capacity-1 token semaphore
+        Chan<int> extra; // decoy work channels for the recycler's poll
+        Chan<int> more;
+        Chan<int> idle;
+        St() : sem(1), extra(1), more(1), idle(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->extra.send(1);
+    st->more.send(2);
+    st->idle.send(3);
+
+    goNamed("request", [st] {
+        st->mu.lock();
+        // Window: a preemption at the send hook lets the recycler fill
+        // the one-slot semaphore first, so the token return below
+        // blocks while the breaker lock is held.
+        st->sem.send(1);
+        st->mu.unlock();
+    });
+
+    goNamed("recycler", [st] {
+        // 4-way poll over ready channels; only the sem arm recreates
+        // the bug (probability 1/4), and only inside the window above —
+        // afterwards the full semaphore makes that arm unready.
+        Select()
+            .onSend(st->sem, 9)
+            .onRecv<int>(st->extra, {})
+            .onRecv<int>(st->more, {})
+            .onRecv<int>(st->idle, {})
+            .run();
+        st->mu.lock(); // deadlocks when the request parked holding mu
+        st->mu.unlock();
+    });
+
+    sleepMs(20);
+}
+
+GOKER_KERNEL(serving_3068, "serving", BugClass::CommunicationDeadlock,
+             "activator: the request is forwarded on an unbuffered "
+             "channel while the shutdown path stops the consumer between "
+             "the capacity check and the send")
+{
+    struct St
+    {
+        Chan<int> reqChan;
+        Chan<Unit> shutdown;
+        St() : reqChan(0), shutdown(1) {}
+    };
+    auto st = std::make_shared<St>();
+    st->shutdown.send(Unit{});
+    goNamed("forwarder", [st] {
+        st->reqChan.send(1); // leaks when the consumer shut down first
+    });
+    goNamed("consumer", [st] {
+        bool down = false;
+        Select()
+            .onRecv<int>(st->reqChan, {})
+            .onRecv<Unit>(st->shutdown, [&](Unit, bool) { down = true; })
+            .run();
+        (void)down;
+    });
+    sleepMs(20);
+}
+
+} // namespace goat::goker

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * GoKer bug kernels modeled on Syncthing blocking bugs (2 kernels).
+ */
+
+#include "goker/kernels_common.hh"
+
+namespace goat::goker {
+
+GOKER_KERNEL(syncthing_4829, "syncthing", BugClass::MixedDeadlock,
+             "protocol: the write loop blocks on the full outbox while "
+             "holding the model mutex; Close() wants the mutex before it "
+             "drains the outbox")
+{
+    struct St
+    {
+        Mutex pmut;
+        Chan<int> outbox;
+        St() : outbox(1) {}
+    };
+    auto st = std::make_shared<St>();
+    goNamed("write-loop", [st] {
+        for (int i = 0; i < 2; ++i) {
+            st->pmut.lock();
+            st->outbox.send(i); // parks holding pmut when full
+            st->pmut.unlock();
+        }
+    });
+    goNamed("closer", [st] {
+        st->pmut.lock(); // circular wait with the parked write loop
+        st->pmut.unlock();
+        st->outbox.recv();
+        st->outbox.recv();
+    });
+    sleepMs(20);
+}
+
+GOKER_KERNEL(syncthing_5795, "syncthing", BugClass::CommunicationDeadlock,
+             "protocol Close: the ClusterConfig error path and the "
+             "reader-exit path both close the closed channel; the "
+             "in-between flag check leaves a panic window")
+{
+    struct St
+    {
+        Chan<Unit> closed;
+        bool did = false;
+        St() : closed(0) {}
+    };
+    auto st = std::make_shared<St>();
+    auto close_racy = [st] {
+        if (!st->did) {
+            st->closed.close(); // racing double close panics
+            st->did = true;
+        }
+    };
+    goNamed("cluster-config-error", close_racy);
+    goNamed("reader-exit", close_racy);
+    sleepMs(20);
+}
+
+} // namespace goat::goker

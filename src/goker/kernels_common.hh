@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared includes and conventions for GoKer bug kernels.
+ *
+ * Kernel conventions:
+ *  - All state shared between goroutines lives in a heap-allocated
+ *    struct held by shared_ptr and captured by value, so leaked
+ *    (frozen) goroutines never dangle.
+ *  - Clean executions must terminate: loops are bounded and waits have
+ *    rendezvous partners on the bug-free path.
+ *  - The buggy interleaving leaks goroutines (partial deadlock), blocks
+ *    main (global deadlock), or panics (crash), exactly as the original
+ *    Go bug did.
+ */
+
+#ifndef GOAT_GOKER_KERNELS_COMMON_HH
+#define GOAT_GOKER_KERNELS_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "chan/time.hh"
+#include "ctx/context.hh"
+#include "goker/registry.hh"
+#include "runtime/api.hh"
+#include "sync/sync.hh"
+
+namespace goat::goker {
+
+using goat::Chan;
+using goat::Select;
+using goat::Unit;
+using goat::go;
+using goat::goNamed;
+using goat::sleepMs;
+using goat::sleepUs;
+using goat::yield;
+using gosync::Cond;
+using gosync::LockGuard;
+using gosync::Mutex;
+using gosync::Once;
+using gosync::RWMutex;
+using gosync::WaitGroup;
+
+} // namespace goat::goker
+
+#endif // GOAT_GOKER_KERNELS_COMMON_HH

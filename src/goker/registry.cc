@@ -1,0 +1,114 @@
+#include "goker/registry.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "staticmodel/scanner.hh"
+
+namespace goat::goker {
+
+const char *
+bugClassName(BugClass c)
+{
+    switch (c) {
+      case BugClass::ResourceDeadlock: return "resource";
+      case BugClass::CommunicationDeadlock: return "communication";
+      case BugClass::MixedDeadlock: return "mixed";
+    }
+    return "?";
+}
+
+KernelRegistry &
+KernelRegistry::instance()
+{
+    static KernelRegistry reg;
+    return reg;
+}
+
+void
+KernelRegistry::add(KernelInfo info)
+{
+    kernels_.push_back(std::move(info));
+}
+
+const KernelInfo *
+KernelRegistry::find(const std::string &name) const
+{
+    for (const auto &k : kernels_)
+        if (k.name == name)
+            return &k;
+    return nullptr;
+}
+
+std::vector<const KernelInfo *>
+KernelRegistry::all() const
+{
+    std::vector<const KernelInfo *> out;
+    for (const auto &k : kernels_)
+        out.push_back(&k);
+    std::sort(out.begin(), out.end(),
+              [](const KernelInfo *a, const KernelInfo *b) {
+                  if (a->project != b->project)
+                      return a->project < b->project;
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<const KernelInfo *>
+KernelRegistry::byProject(const std::string &project) const
+{
+    std::vector<const KernelInfo *> out;
+    for (const auto *k : all())
+        if (k->project == project)
+            out.push_back(k);
+    return out;
+}
+
+std::vector<std::string>
+KernelRegistry::projects() const
+{
+    std::set<std::string> names;
+    for (const auto &k : kernels_)
+        names.insert(k.project);
+    return {names.begin(), names.end()};
+}
+
+KernelAutoReg::KernelAutoReg(const char *name, const char *project,
+                             BugClass cls, const char *desc,
+                             std::function<void()> fn, const char *file,
+                             int line)
+{
+    KernelInfo info;
+    info.name = name;
+    info.project = project;
+    info.bugClass = cls;
+    info.description = desc;
+    info.fn = std::move(fn);
+    info.sourceFile = file;
+    info.line = line;
+    KernelRegistry::instance().add(std::move(info));
+}
+
+staticmodel::CuTable
+kernelCuTable(const KernelInfo &kernel)
+{
+    // The kernel's span runs from its registration line to the next
+    // registration in the same file (or EOF).
+    int begin = kernel.line;
+    int end = 1 << 30;
+    for (const auto *k : KernelRegistry::instance().all()) {
+        if (k->sourceFile == kernel.sourceFile && k->line > begin)
+            end = std::min(end, k->line);
+    }
+    staticmodel::CuTable full = staticmodel::scanFile(kernel.sourceFile);
+    staticmodel::CuTable out;
+    for (const auto &cu : full.all()) {
+        if (cu.loc.line >= static_cast<uint32_t>(begin) &&
+            cu.loc.line < static_cast<uint32_t>(end))
+            out.add(cu);
+    }
+    return out;
+}
+
+} // namespace goat::goker

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GoKer bug-kernel registry.
+ *
+ * The GoBench GoKer suite contains 68 blocking bug kernels extracted
+ * from the top nine open-source Go projects. This module re-implements
+ * those kernels in C++ against the GoAT-CPP runtime, preserving each
+ * bug's cause class (resource / communication / mixed deadlock), its
+ * symptom (leak, global deadlock, crash under some schedules), and its
+ * rarity structure (most manifest on the first run; a tail requires
+ * many schedules). Kernels register themselves via GOKER_KERNEL and
+ * are discovered through the registry by name or project.
+ */
+
+#ifndef GOAT_GOKER_REGISTRY_HH
+#define GOAT_GOKER_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "staticmodel/cutable.hh"
+
+namespace goat::goker {
+
+/** GoBench cause taxonomy for blocking bugs. */
+enum class BugClass : uint8_t
+{
+    ResourceDeadlock,      ///< Circular wait on locks.
+    CommunicationDeadlock, ///< Channel misuse.
+    MixedDeadlock,         ///< Locks and channels entangled.
+};
+
+const char *bugClassName(BugClass c);
+
+/**
+ * One registered bug kernel.
+ */
+struct KernelInfo
+{
+    std::string name;        ///< e.g. "moby_28462"
+    std::string project;     ///< e.g. "moby"
+    BugClass bugClass;
+    std::string description; ///< What the original bug was.
+    std::function<void()> fn;
+    std::string sourceFile;  ///< __FILE__ of the kernel.
+    int line = 0;            ///< Registration line (kernel start).
+};
+
+/**
+ * Process-wide kernel registry (populated by static registration).
+ */
+class KernelRegistry
+{
+  public:
+    static KernelRegistry &instance();
+
+    void add(KernelInfo info);
+
+    /** Kernel by exact name (nullptr when unknown). */
+    const KernelInfo *find(const std::string &name) const;
+
+    /** All kernels, sorted by (project, name). */
+    std::vector<const KernelInfo *> all() const;
+
+    /** Kernels of one project, sorted by name. */
+    std::vector<const KernelInfo *>
+    byProject(const std::string &project) const;
+
+    /** Distinct project names, sorted. */
+    std::vector<std::string> projects() const;
+
+    size_t size() const { return kernels_.size(); }
+
+  private:
+    std::vector<KernelInfo> kernels_;
+};
+
+/** Static registration helper used by GOKER_KERNEL. */
+struct KernelAutoReg
+{
+    KernelAutoReg(const char *name, const char *project, BugClass cls,
+                  const char *desc, std::function<void()> fn,
+                  const char *file, int line);
+};
+
+/**
+ * Build the static CU model of one kernel by scanning its source file
+ * and keeping the CUs inside the kernel's line span (bounded by the
+ * next kernel registration in the same file).
+ */
+staticmodel::CuTable kernelCuTable(const KernelInfo &kernel);
+
+/**
+ * Define and register a bug kernel:
+ *
+ * @code
+ *   GOKER_KERNEL(moby_28462, "moby", BugClass::MixedDeadlock,
+ *                "monitor leaks on mutex/channel circular wait")
+ *   {
+ *       ... kernel body using the goat API ...
+ *   }
+ * @endcode
+ */
+#define GOKER_KERNEL(kname, kproject, kclass, kdesc)                       \
+    static void goker_body_##kname();                                      \
+    static const ::goat::goker::KernelAutoReg goker_reg_##kname(           \
+        #kname, kproject, kclass, kdesc, &goker_body_##kname, __FILE__,    \
+        __LINE__);                                                         \
+    static void goker_body_##kname()
+
+} // namespace goat::goker
+
+#endif // GOAT_GOKER_REGISTRY_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Coverage-guided schedule perturbation — the extension the paper's
+ * §VI sketches as future work: instead of yielding uniformly at
+ * random, "take control of the scheduler and guide testing towards
+ * untested interleavings".
+ *
+ * The policy consults the cumulative CoverageState: a concurrency
+ * usage that still has uncovered requirements is a *hot* point (a
+ * yield there plausibly flips blocked/unblocking/NOP behaviour that
+ * has never been observed), so the perturber yields there with high
+ * probability; fully covered CUs are *cold* and rarely worth a yield.
+ * The yield budget D still bounds total perturbation per execution.
+ */
+
+#ifndef GOAT_PERTURB_GUIDED_HH
+#define GOAT_PERTURB_GUIDED_HH
+
+#include "analysis/coverage.hh"
+#include "base/rng.hh"
+#include "runtime/scheduler.hh"
+#include "staticmodel/cu.hh"
+
+namespace goat::perturb {
+
+/**
+ * Coverage-guided bounded yield policy, one instance per execution;
+ * the referenced CoverageState persists across iterations.
+ */
+class GuidedPerturber
+{
+  public:
+    /**
+     * @param cov Cumulative coverage state (not owned; must outlive
+     *            the perturber).
+     * @param bound Maximum injected yields per execution.
+     * @param seed Seed for the yield decisions.
+     * @param hot_prob Yield probability at CUs with uncovered
+     *                 requirements.
+     * @param cold_prob Yield probability at fully covered CUs.
+     */
+    GuidedPerturber(const analysis::CoverageState *cov, int bound,
+                    uint64_t seed, double hot_prob = 0.6,
+                    double cold_prob = 0.05)
+        : cov_(cov), bound_(bound), hotProb_(hot_prob),
+          coldProb_(cold_prob), rng_(seed ^ 0x67756964ull)
+    {}
+
+    /** The goat.handler() decision. */
+    bool
+    shouldYield(staticmodel::CuKind kind, const SourceLoc &loc)
+    {
+        if (used_ >= bound_)
+            return false;
+        double p =
+            cov_->uncoveredAtLoc(loc) > 0 ? hotProb_ : coldProb_;
+        if (!rng_.chance(p))
+            return false;
+        ++used_;
+        return true;
+    }
+
+    /** Install this policy on a scheduler configuration. */
+    runtime::PerturbHook
+    hook()
+    {
+        return [this](staticmodel::CuKind k, const SourceLoc &l) {
+            return shouldYield(k, l);
+        };
+    }
+
+    int used() const { return used_; }
+
+  private:
+    const analysis::CoverageState *cov_;
+    int bound_;
+    double hotProb_;
+    double coldProb_;
+    int used_ = 0;
+    Rng rng_;
+};
+
+} // namespace goat::perturb
+
+#endif // GOAT_PERTURB_GUIDED_HH

@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Anchor translation unit for the header-only perturbation policy.
+ */
+
+#include "perturb/perturb.hh"

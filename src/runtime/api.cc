@@ -1,0 +1,65 @@
+#include "runtime/api.hh"
+
+namespace goat {
+
+using runtime::Scheduler;
+
+uint32_t
+go(std::function<void()> fn, SourceLoc loc)
+{
+    Scheduler &s = Scheduler::require();
+    s.cuHook(staticmodel::CuKind::Go, loc);
+    return s.spawn(std::move(fn), loc);
+}
+
+uint32_t
+goNamed(std::string name, std::function<void()> fn, SourceLoc loc)
+{
+    Scheduler &s = Scheduler::require();
+    s.cuHook(staticmodel::CuKind::Go, loc);
+    return s.spawn(std::move(fn), loc, false, std::move(name));
+}
+
+void
+yield(SourceLoc loc)
+{
+    Scheduler::require().yieldNow(loc);
+}
+
+void
+sleepNs(uint64_t ns, SourceLoc loc)
+{
+    Scheduler::require().sleepNs(ns, loc);
+}
+
+void
+sleepUs(uint64_t us, SourceLoc loc)
+{
+    sleepNs(us * 1000, loc);
+}
+
+void
+sleepMs(uint64_t ms, SourceLoc loc)
+{
+    sleepNs(ms * 1'000'000, loc);
+}
+
+void
+sleepSec(uint64_t sec, SourceLoc loc)
+{
+    sleepNs(sec * 1'000'000'000, loc);
+}
+
+uint64_t
+now()
+{
+    return Scheduler::require().now();
+}
+
+uint32_t
+gid()
+{
+    return Scheduler::require().currentGid();
+}
+
+} // namespace goat

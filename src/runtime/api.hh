@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Go-style top-level API: `go`, `yield`, and virtual-clock sleeps.
+ *
+ * These free functions operate on the scheduler the calling goroutine is
+ * running under (Scheduler::require()), so application code reads like
+ * its Go counterpart:
+ *
+ * @code
+ *   goat::go([&] { worker(); });
+ *   goat::sleepMs(50);
+ * @endcode
+ */
+
+#ifndef GOAT_RUNTIME_API_HH
+#define GOAT_RUNTIME_API_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/source_loc.hh"
+#include "runtime/scheduler.hh"
+
+namespace goat {
+
+/**
+ * Spawn a goroutine executing @p fn (the `go` statement). The call site
+ * is the goroutine's creation CU.
+ *
+ * @return The new goroutine's id.
+ */
+uint32_t go(std::function<void()> fn, SourceLoc loc = SourceLoc::current());
+
+/** Spawn a named goroutine (names appear in reports and trees). */
+uint32_t goNamed(std::string name, std::function<void()> fn,
+                 SourceLoc loc = SourceLoc::current());
+
+/** Voluntarily yield the processor (runtime.Gosched()). */
+void yield(SourceLoc loc = SourceLoc::current());
+
+/** Sleep on the virtual clock. */
+void sleepNs(uint64_t ns, SourceLoc loc = SourceLoc::current());
+void sleepUs(uint64_t us, SourceLoc loc = SourceLoc::current());
+void sleepMs(uint64_t ms, SourceLoc loc = SourceLoc::current());
+void sleepSec(uint64_t sec, SourceLoc loc = SourceLoc::current());
+
+/** Virtual-clock time in nanoseconds since run start. */
+uint64_t now();
+
+/** Gid of the calling goroutine. */
+uint32_t gid();
+
+} // namespace goat
+
+#endif // GOAT_RUNTIME_API_HH

@@ -1,0 +1,136 @@
+#include "runtime/context.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+#ifdef GOAT_USE_UCONTEXT
+
+namespace goat::runtime {
+
+namespace {
+
+/** Trampoline splitting a pointer across makecontext's int arguments. */
+void
+ucontextTrampoline(unsigned hi_entry, unsigned lo_entry, unsigned hi_arg,
+                   unsigned lo_arg)
+{
+    auto join = [](unsigned hi, unsigned lo) {
+        return (static_cast<uintptr_t>(hi) << 32) | lo;
+    };
+    auto entry = reinterpret_cast<FiberEntry>(join(hi_entry, lo_entry));
+    entry(reinterpret_cast<void *>(join(hi_arg, lo_arg)));
+    panic("fiber entry returned");
+}
+
+} // namespace
+
+void
+FiberContext::prepare(void *stack_base, size_t stack_size, FiberEntry entry,
+                      void *arg)
+{
+    if (getcontext(&uctx_) != 0)
+        panic("getcontext failed");
+    uctx_.uc_stack.ss_sp = stack_base;
+    uctx_.uc_stack.ss_size = stack_size;
+    uctx_.uc_link = nullptr;
+    auto ep = reinterpret_cast<uintptr_t>(entry);
+    auto ap = reinterpret_cast<uintptr_t>(arg);
+    makecontext(&uctx_, reinterpret_cast<void (*)()>(ucontextTrampoline), 4,
+                static_cast<unsigned>(ep >> 32),
+                static_cast<unsigned>(ep & 0xffffffffu),
+                static_cast<unsigned>(ap >> 32),
+                static_cast<unsigned>(ap & 0xffffffffu));
+}
+
+void
+FiberContext::swap(FiberContext &from, FiberContext &to)
+{
+    if (swapcontext(&from.uctx_, &to.uctx_) != 0)
+        panic("swapcontext failed");
+}
+
+} // namespace goat::runtime
+
+#else // hand-written x86-64 switch
+
+extern "C" {
+void goat_ctx_swap(void **save_sp, void *load_sp);
+void goat_ctx_entry_thunk();
+}
+
+namespace goat::runtime {
+
+void
+FiberContext::prepare(void *stack_base, size_t stack_size, FiberEntry entry,
+                      void *arg)
+{
+    // The assembly thunk moves the r15 slot into rdi and calls
+    // goat_fiber_entry; the scheduler routes that to the real entry. We
+    // support arbitrary entry functions by storing the entry pointer in
+    // the r14 slot, which goat_fiber_entry retrieves via its argument
+    // block. To keep the asm trivial the (entry, arg) pair is boxed here.
+    struct EntryBox
+    {
+        FiberEntry entry;
+        void *arg;
+    };
+
+    auto top =
+        reinterpret_cast<uintptr_t>(stack_base) + stack_size;
+    top &= ~static_cast<uintptr_t>(15);
+
+    // Reserve space for the entry box at the top of the stack.
+    top -= sizeof(EntryBox);
+    top &= ~static_cast<uintptr_t>(15);
+    auto *box = reinterpret_cast<EntryBox *>(top);
+    box->entry = entry;
+    box->arg = arg;
+
+    // Stack layout consumed by goat_ctx_swap's epilogue, low → high:
+    //   [r15 r14 r13 r12 rbx rbp] [ret=thunk] [0 guard]
+    // The thunk is entered with rsp = sp + 56; it calls
+    // goat_fiber_entry, so sp + 56 must be 16-byte aligned.
+    uintptr_t sp = top - 64;
+    if ((sp + 56) & 15)
+        sp -= 8;
+
+    auto *slots = reinterpret_cast<uintptr_t *>(sp);
+    slots[0] = reinterpret_cast<uintptr_t>(box); // r15 -> rdi at entry
+    slots[1] = 0;                                // r14
+    slots[2] = 0;                                // r13
+    slots[3] = 0;                                // r12
+    slots[4] = 0;                                // rbx
+    slots[5] = 0;                                // rbp
+    slots[6] = reinterpret_cast<uintptr_t>(&goat_ctx_entry_thunk);
+    slots[7] = 0;                                // backtrace terminator
+
+    sp_ = reinterpret_cast<void *>(sp);
+}
+
+void
+FiberContext::swap(FiberContext &from, FiberContext &to)
+{
+    goat_ctx_swap(&from.sp_, to.sp_);
+}
+
+} // namespace goat::runtime
+
+/**
+ * C entry invoked by the assembly thunk on a fresh fiber: unbox the
+ * (entry, arg) pair and tail into the real fiber entry.
+ */
+extern "C" void
+goat_fiber_entry(void *boxed)
+{
+    struct EntryBox
+    {
+        goat::runtime::FiberEntry entry;
+        void *arg;
+    };
+    auto *box = static_cast<EntryBox *>(boxed);
+    box->entry(box->arg);
+    goat::panic("fiber entry returned");
+}
+
+#endif // GOAT_USE_UCONTEXT

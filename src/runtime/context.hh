@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fiber context-switch abstraction.
+ *
+ * Goroutines are user-level fibers multiplexed on one OS thread. The
+ * default implementation is a minimal hand-written x86-64 SysV context
+ * switch (callee-saved registers + stack pointer, no signal mask — the
+ * sigprocmask syscall makes ucontext an order of magnitude slower).
+ * Building with GOAT_USE_UCONTEXT selects the portable POSIX ucontext
+ * implementation instead.
+ */
+
+#ifndef GOAT_RUNTIME_CONTEXT_HH
+#define GOAT_RUNTIME_CONTEXT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef GOAT_USE_UCONTEXT
+#include <ucontext.h>
+#endif
+
+namespace goat::runtime {
+
+/** Entry function type for a fresh fiber. Must never return. */
+using FiberEntry = void (*)(void *arg);
+
+/**
+ * Saved execution context of one fiber (or of the scheduler itself).
+ */
+class FiberContext
+{
+  public:
+    FiberContext() = default;
+    FiberContext(const FiberContext &) = delete;
+    FiberContext &operator=(const FiberContext &) = delete;
+
+    /**
+     * Prepare a fresh context so the first swap() into it enters
+     * @p entry(@p arg) on the given stack.
+     *
+     * @param stack_base Lowest address of the fiber stack.
+     * @param stack_size Stack size in bytes.
+     * @param entry Fiber entry point (must never return).
+     * @param arg Opaque argument passed to @p entry.
+     */
+    void prepare(void *stack_base, size_t stack_size, FiberEntry entry,
+                 void *arg);
+
+    /**
+     * Save the current context into @p from and resume @p to.
+     * Returns when something later swaps back into @p from.
+     */
+    static void swap(FiberContext &from, FiberContext &to);
+
+  private:
+#ifdef GOAT_USE_UCONTEXT
+    ucontext_t uctx_;
+#else
+    void *sp_ = nullptr;
+#endif
+};
+
+} // namespace goat::runtime
+
+#endif // GOAT_RUNTIME_CONTEXT_HH

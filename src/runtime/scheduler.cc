@@ -1,0 +1,404 @@
+#include "runtime/scheduler.hh"
+
+#include <utility>
+
+#include "base/fmt.hh"
+#include "base/logging.hh"
+
+namespace goat::runtime {
+
+namespace {
+
+thread_local Scheduler *tlsSched = nullptr;
+
+} // namespace
+
+const char *
+goStatusName(GoStatus s)
+{
+    switch (s) {
+      case GoStatus::New: return "new";
+      case GoStatus::Runnable: return "runnable";
+      case GoStatus::Running: return "running";
+      case GoStatus::Blocked: return "blocked";
+      case GoStatus::Dead: return "dead";
+    }
+    return "?";
+}
+
+const char *
+blockReasonName(BlockReason r)
+{
+    switch (r) {
+      case BlockReason::None: return "none";
+      case BlockReason::Send: return "chan send";
+      case BlockReason::Recv: return "chan recv";
+      case BlockReason::Select: return "select";
+      case BlockReason::Mutex: return "mutex";
+      case BlockReason::RWMutex: return "rwmutex";
+      case BlockReason::WaitGroup: return "waitgroup";
+      case BlockReason::Cond: return "cond";
+      case BlockReason::Sleep: return "sleep";
+    }
+    return "?";
+}
+
+const char *
+runOutcomeName(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Ok: return "ok";
+      case RunOutcome::GlobalDeadlock: return "global_deadlock";
+      case RunOutcome::Crash: return "crash";
+      case RunOutcome::StepBudget: return "step_budget";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(SchedConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+}
+
+Scheduler::~Scheduler()
+{
+    for (auto &g : goroutines_)
+        delete[] g->stack;
+    for (char *s : stackPool_)
+        delete[] s;
+}
+
+Scheduler *
+Scheduler::cur()
+{
+    return tlsSched;
+}
+
+Scheduler &
+Scheduler::require()
+{
+    if (!tlsSched)
+        fatal("goat primitive used outside of a running Scheduler");
+    return *tlsSched;
+}
+
+void
+Scheduler::emit(trace::EventType type, const SourceLoc &loc, int64_t a0,
+                int64_t a1, int64_t a2, int64_t a3, const std::string &str)
+{
+    trace::Event ev(++steps_, currentGid(), type, loc, a0, a1, a2, a3);
+    if (!str.empty())
+        ev.str = str;
+    for (auto *sink : sinks_)
+        sink->onEvent(ev);
+}
+
+uint32_t
+Scheduler::spawn(std::function<void()> fn, const SourceLoc &loc, bool system,
+                 std::string name)
+{
+    auto gid = static_cast<uint32_t>(goroutines_.size() + 1);
+    auto g = std::make_unique<Goroutine>(gid, currentGid(), std::move(fn),
+                                         loc, system, std::move(name));
+    g->status = GoStatus::Runnable;
+    runq_.push_back(g.get());
+    goroutines_.push_back(std::move(g));
+    emit(trace::EventType::GoCreate, loc, gid, system ? 1 : 0);
+    return gid;
+}
+
+void
+Scheduler::yieldNow(const SourceLoc &loc, int64_t tag)
+{
+    Goroutine *g = current_;
+    if (!g)
+        panic("yieldNow outside goroutine context");
+    emit(trace::EventType::GoSched, loc, tag);
+    g->status = GoStatus::Runnable;
+    runq_.push_back(g);
+    switchToScheduler();
+}
+
+void
+Scheduler::cuHook(staticmodel::CuKind kind, const SourceLoc &loc)
+{
+    Goroutine *g = current_;
+    if (!g || g->system())
+        return;
+    if (cfg_.noiseProb > 0 && rng_.chance(cfg_.noiseProb))
+        preemptCurrent(trace::PreemptTagNoise, loc);
+    if (cfg_.perturb && cfg_.perturb(kind, loc))
+        preemptCurrent(trace::PreemptTagPerturb, loc);
+}
+
+void
+Scheduler::preemptCurrent(int64_t tag, const SourceLoc &loc)
+{
+    Goroutine *g = current_;
+    emit(trace::EventType::GoPreempt, loc, tag);
+    g->status = GoStatus::Runnable;
+    runq_.push_back(g);
+    switchToScheduler();
+}
+
+void
+Scheduler::park(trace::EventType block_ev, BlockReason reason, uint64_t obj,
+                const SourceLoc &loc)
+{
+    Goroutine *g = current_;
+    if (!g)
+        panic("park outside goroutine context");
+    g->status = GoStatus::Blocked;
+    g->blockReason = reason;
+    g->blockObj = obj;
+    g->blockLoc = loc;
+    emit(block_ev, loc, static_cast<int64_t>(obj),
+         static_cast<int64_t>(reason));
+    switchToScheduler();
+    // Resumed by ready(); dispatch() has restored Running status.
+    g->blockReason = BlockReason::None;
+    g->blockObj = 0;
+}
+
+void
+Scheduler::ready(Goroutine *g, const SourceLoc &loc)
+{
+    if (g->status != GoStatus::Blocked) {
+        panic(strFormat("ready() on goroutine %u in state %s", g->id(),
+                        goStatusName(g->status)));
+    }
+    emit(trace::EventType::GoUnblock, loc, g->id());
+    g->status = GoStatus::Runnable;
+    runq_.push_back(g);
+}
+
+void
+Scheduler::sleepNs(uint64_t ns, const SourceLoc &loc)
+{
+    Goroutine *g = current_;
+    if (!g)
+        panic("sleepNs outside goroutine context");
+    emit(trace::EventType::GoSleep, loc, static_cast<int64_t>(ns));
+    addTimer(clock_ + ns, [this, g, loc] { ready(g, loc); });
+    g->status = GoStatus::Blocked;
+    g->blockReason = BlockReason::Sleep;
+    g->blockLoc = loc;
+    switchToScheduler();
+    g->blockReason = BlockReason::None;
+}
+
+void
+Scheduler::addTimer(uint64_t deadline, std::function<void()> fn)
+{
+    timers_.push(Timer{deadline, timerSeq_++, std::move(fn)});
+}
+
+void
+Scheduler::gopanic(const std::string &msg, const SourceLoc &loc)
+{
+    pendingPanicLoc_ = loc;
+    throw GoPanic(msg);
+}
+
+Goroutine *
+Scheduler::goroutine(uint32_t gid)
+{
+    if (gid == 0 || gid > goroutines_.size())
+        return nullptr;
+    return goroutines_[gid - 1].get();
+}
+
+char *
+Scheduler::allocStack()
+{
+    if (!stackPool_.empty()) {
+        char *s = stackPool_.back();
+        stackPool_.pop_back();
+        return s;
+    }
+    return new char[cfg_.stackSize];
+}
+
+void
+Scheduler::releaseStack(Goroutine *g)
+{
+    if (g->stack) {
+        stackPool_.push_back(g->stack);
+        g->stack = nullptr;
+    }
+}
+
+/**
+ * Fiber entry trampoline: runs the goroutine body, converts Go panics
+ * into the Crash outcome, and hands control back to the scheduler.
+ * Never returns.
+ */
+void
+fiberMainTrampoline(void *arg)
+{
+    auto *g = static_cast<Goroutine *>(arg);
+    Scheduler::require().fiberMain(g);
+    panic("fiberMain returned");
+}
+
+void
+Scheduler::fiberMain(Goroutine *g)
+{
+    try {
+        g->runBody();
+        if (g == mainG_) {
+            // Main hands off to the root goroutine at trace stop; in a
+            // successful run this GoSched is main's final event
+            // (Procedure 1's root condition).
+            emit(trace::EventType::GoSched, SourceLoc("main", 0),
+                 trace::SchedTagTraceStop);
+            mainEnded_ = true;
+        } else {
+            emit(trace::EventType::GoEnd, g->creationLoc());
+        }
+    } catch (const GoPanic &p) {
+        emit(trace::EventType::GoPanic, pendingPanicLoc_, 0, 0, 0, 0,
+             p.what());
+        g->panicked = true;
+        panicked_ = true;
+        pendingPanicMsg_ = p.what();
+        panicGid_ = g->id();
+        if (g == mainG_)
+            mainEnded_ = true;
+    }
+    g->status = GoStatus::Dead;
+    g->dropBody();
+    switchToScheduler();
+    panic("dead goroutine rescheduled");
+}
+
+void
+Scheduler::switchToScheduler()
+{
+    Goroutine *g = current_;
+    FiberContext::swap(g->ctx, schedCtx_);
+}
+
+void
+Scheduler::dispatch(Goroutine *g)
+{
+    current_ = g;
+    g->status = GoStatus::Running;
+    if (!g->started) {
+        g->started = true;
+        g->stack = allocStack();
+        g->stackSize = cfg_.stackSize;
+        g->ctx.prepare(g->stack, g->stackSize, &fiberMainTrampoline, g);
+        emit(trace::EventType::GoStart, g->creationLoc());
+    }
+    FiberContext::swap(schedCtx_, g->ctx);
+    current_ = nullptr;
+    if (g->status == GoStatus::Dead)
+        releaseStack(g);
+}
+
+void
+Scheduler::advanceClock()
+{
+    if (timers_.empty())
+        panic("advanceClock with no timers");
+    uint64_t deadline = timers_.top().deadline;
+    clock_ = deadline;
+    while (!timers_.empty() && timers_.top().deadline <= clock_) {
+        // The callback may add timers; copy it out before popping.
+        auto fn = timers_.top().fn;
+        timers_.pop();
+        // Timer fires count as steps so a re-arming timer that makes no
+        // progress (e.g. a dropped-tick Ticker) trips the step budget
+        // instead of spinning the clock forever.
+        ++steps_;
+        fn();
+    }
+}
+
+ExecResult
+Scheduler::run(std::function<void()> main_fn)
+{
+    if (running_)
+        panic("Scheduler::run is not reentrant");
+    running_ = true;
+    Scheduler *prev = tlsSched;
+    tlsSched = this;
+
+    ExecResult res;
+    res.seed = cfg_.seed;
+
+    emit(trace::EventType::TraceStart, SourceLoc("main", 0));
+    uint32_t main_gid =
+        spawn(std::move(main_fn), SourceLoc("main", 0), false, "main");
+    mainG_ = goroutine(main_gid);
+
+    bool draining = false;
+    uint64_t drain_start = 0;
+    bool budget_hit = false;
+
+    while (true) {
+        if (panicked_)
+            break;
+        if (steps_ > cfg_.stepBudget) {
+            budget_hit = true;
+            break;
+        }
+        if (runq_.empty()) {
+            // Nothing runnable: service the virtual clock unless main
+            // already returned (a terminated program fires no timers).
+            if (!draining && !timers_.empty()) {
+                advanceClock();
+                continue;
+            }
+            break;
+        }
+        if (draining && steps_ - drain_start > cfg_.postMainBudget)
+            break;
+        Goroutine *g = runq_.front();
+        runq_.pop_front();
+        dispatch(g);
+        if (mainEnded_ && !draining) {
+            draining = true;
+            drain_start = steps_;
+        }
+    }
+
+    // Classify the outcome.
+    if (panicked_) {
+        res.outcome = RunOutcome::Crash;
+        res.panicMsg = pendingPanicMsg_;
+        res.panicGid = panicGid_;
+    } else if (budget_hit) {
+        res.outcome = RunOutcome::StepBudget;
+    } else if (!mainEnded_) {
+        // Run queue and timers drained with main still alive: Go's
+        // built-in "all goroutines are asleep - deadlock!" condition.
+        res.outcome = RunOutcome::GlobalDeadlock;
+    } else {
+        res.outcome = RunOutcome::Ok;
+    }
+
+    // Collect still-live application goroutines (leak candidates).
+    for (const auto &g : goroutines_) {
+        if (g->system() || g->status == GoStatus::Dead)
+            continue;
+        LeakInfo li;
+        li.gid = g->id();
+        li.name = g->name();
+        li.creationLoc = g->creationLoc();
+        li.status = g->status;
+        li.reason = g->blockReason;
+        li.blockLoc = g->blockLoc;
+        res.leaked.push_back(li);
+    }
+
+    emit(trace::EventType::TraceStop, SourceLoc("main", 0));
+    res.steps = steps_;
+
+    tlsSched = prev;
+    running_ = false;
+    return res;
+}
+
+} // namespace goat::runtime

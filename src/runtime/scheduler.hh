@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The cooperative goroutine scheduler: GoAT-CPP's stand-in for the Go
+ * runtime (substitution documented in DESIGN.md §2).
+ *
+ * One Scheduler executes one program run: it owns a FIFO global run
+ * queue of goroutines (as Go's global queue), a virtual clock with a
+ * timer heap servicing sleeps, the seeded PRNG that feeds every
+ * nondeterministic decision, the trace-event bus, and the detection of
+ * global deadlocks (run queue empty while the main goroutine is alive —
+ * exactly Go's built-in detector condition).
+ *
+ * Nondeterminism model: native Go scheduling noise is approximated by a
+ * low-probability preemption before every concurrency-usage point
+ * (cuHook); GoAT's schedule perturbation (the injected goat.handler()
+ * yields, bounded by D) is an optional hook invoked at the same points.
+ */
+
+#ifndef GOAT_RUNTIME_SCHEDULER_HH
+#define GOAT_RUNTIME_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/source_loc.hh"
+#include "runtime/goroutine.hh"
+#include "staticmodel/cu.hh"
+#include "trace/ect.hh"
+
+namespace goat::runtime {
+
+/**
+ * Outcome of one complete execution.
+ */
+enum class RunOutcome : uint8_t
+{
+    Ok,             ///< Main returned (leaks may still exist — offline).
+    GlobalDeadlock, ///< Run queue drained while main was blocked.
+    Crash,          ///< A goroutine panicked (e.g. send on closed chan).
+    StepBudget,     ///< Logical-step budget exhausted (models HANG).
+};
+
+const char *runOutcomeName(RunOutcome o);
+
+/**
+ * A goroutine still alive when the execution terminated (leak
+ * candidate; the authoritative leak verdict is the offline
+ * DeadlockCheck over the ECT).
+ */
+struct LeakInfo
+{
+    uint32_t gid = 0;
+    std::string name;
+    SourceLoc creationLoc;
+    GoStatus status = GoStatus::New;
+    BlockReason reason = BlockReason::None;
+    SourceLoc blockLoc;
+};
+
+/**
+ * Result of Scheduler::run().
+ */
+struct ExecResult
+{
+    RunOutcome outcome = RunOutcome::Ok;
+    std::string panicMsg;
+    uint32_t panicGid = 0;
+    /** Live application goroutines at termination. */
+    std::vector<LeakInfo> leaked;
+    uint64_t steps = 0;
+    uint64_t seed = 0;
+
+    bool
+    anyLeak() const
+    {
+        return !leaked.empty();
+    }
+};
+
+/**
+ * Perturbation hook: called before every concurrency usage; returning
+ * true yields the current goroutine (the paper's goat.handler()).
+ */
+using PerturbHook =
+    std::function<bool(staticmodel::CuKind, const SourceLoc &)>;
+
+/**
+ * Scheduler configuration: one per execution.
+ */
+struct SchedConfig
+{
+    uint64_t seed = 1;
+    /** Total logical-step budget; exceeding it models a HANG. */
+    uint64_t stepBudget = 2'000'000;
+    /** Steps granted to drain runnable goroutines after main returns. */
+    uint64_t postMainBudget = 200'000;
+    /** Probability of a noise preemption before a CU (native model). */
+    double noiseProb = 0.02;
+    size_t stackSize = 256 * 1024;
+    PerturbHook perturb;
+};
+
+/**
+ * Cooperative scheduler executing goroutines on the host thread.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedConfig cfg = {});
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Attach an execution monitor (ECT recorder, LockDL, ...). */
+    void addSink(trace::TraceSink *sink) { sinks_.push_back(sink); }
+
+    /**
+     * Execute @p main_fn as the main goroutine until the program
+     * terminates (main returns and runnables drain), deadlocks
+     * globally, crashes, or exhausts its step budget.
+     */
+    ExecResult run(std::function<void()> main_fn);
+
+    // ------------------------------------------------------------------
+    // Services for concurrency primitives (called from inside
+    // goroutines while run() is live).
+    // ------------------------------------------------------------------
+
+    /** Currently running goroutine (nullptr in scheduler context). */
+    Goroutine *current() { return current_; }
+
+    /** Gid of the current goroutine (0 in scheduler context). */
+    uint32_t currentGid() { return current_ ? current_->id() : 0; }
+
+    /**
+     * Create a goroutine running @p fn; it is appended to the run
+     * queue. Emits GoCreate attributed to @p loc (the go statement).
+     */
+    uint32_t spawn(std::function<void()> fn, const SourceLoc &loc,
+                   bool system = false, std::string name = "");
+
+    /** Voluntarily yield the processor (emits GoSched). */
+    void yieldNow(const SourceLoc &loc, int64_t tag = trace::SchedTagYield);
+
+    /**
+     * Concurrency-usage hook: invoked by every primitive operation
+     * before acting. Applies scheduler noise and the perturbation
+     * hook (both may preempt the current goroutine).
+     */
+    void cuHook(staticmodel::CuKind kind, const SourceLoc &loc);
+
+    /**
+     * Park the current goroutine. Emits @p block_ev and switches to
+     * the scheduler; returns when some other goroutine (or a timer)
+     * calls ready() on it.
+     */
+    void park(trace::EventType block_ev, BlockReason reason, uint64_t obj,
+              const SourceLoc &loc);
+
+    /** Make a parked goroutine runnable (emits GoUnblock). */
+    void ready(Goroutine *g, const SourceLoc &loc);
+
+    /** Sleep on the virtual clock for @p ns nanoseconds. */
+    void sleepNs(uint64_t ns, const SourceLoc &loc);
+
+    /** Virtual-clock time in nanoseconds since run start. */
+    uint64_t now() const { return clock_; }
+
+    /**
+     * Register a timer firing at absolute virtual time @p deadline.
+     * The callback runs in scheduler context (it must not park).
+     */
+    void addTimer(uint64_t deadline, std::function<void()> fn);
+
+    /** The execution's deterministic random source. */
+    Rng &rng() { return rng_; }
+
+    /** Allocate an id for a channel / mutex / waitgroup / cond. */
+    uint64_t newObjId() { return nextObjId_++; }
+
+    /** Publish a trace event (ts and gid are stamped here). */
+    void emit(trace::EventType type, const SourceLoc &loc, int64_t a0 = 0,
+              int64_t a1 = 0, int64_t a2 = 0, int64_t a3 = 0,
+              const std::string &str = "");
+
+    /** Raise a Go panic in the current goroutine (never returns). */
+    [[noreturn]] void gopanic(const std::string &msg, const SourceLoc &loc);
+
+    /** Look up a goroutine by id (nullptr when unknown). */
+    Goroutine *goroutine(uint32_t gid);
+
+    /** All goroutines created during this run. */
+    const std::vector<std::unique_ptr<Goroutine>> &
+    goroutines() const
+    {
+        return goroutines_;
+    }
+
+    /** Logical steps executed so far. */
+    uint64_t steps() const { return steps_; }
+
+    const SchedConfig &config() const { return cfg_; }
+
+    /**
+     * The scheduler the calling code is executing under.
+     *
+     * @retval nullptr outside of Scheduler::run().
+     */
+    static Scheduler *cur();
+
+    /** Like cur(), but fatal() when no scheduler is live. */
+    static Scheduler &require();
+
+  private:
+    friend void fiberMainTrampoline(void *arg);
+
+    /** Body executed on the goroutine's own fiber stack. */
+    void fiberMain(Goroutine *g);
+
+    /** Switch from the current goroutine back to the scheduler. */
+    void switchToScheduler();
+
+    /** Dispatch one runnable goroutine. */
+    void dispatch(Goroutine *g);
+
+    /** Requeue the current goroutine at the back and reschedule. */
+    void preemptCurrent(int64_t tag, const SourceLoc &loc);
+
+    /** Advance the virtual clock to the next timer deadline. */
+    void advanceClock();
+
+    char *allocStack();
+    void releaseStack(Goroutine *g);
+
+    struct Timer
+    {
+        uint64_t deadline;
+        uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Timer &o) const
+        {
+            return deadline != o.deadline ? deadline > o.deadline
+                                          : seq > o.seq;
+        }
+    };
+
+    SchedConfig cfg_;
+    Rng rng_;
+
+    std::vector<std::unique_ptr<Goroutine>> goroutines_;
+    std::deque<Goroutine *> runq_;
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+        timers_;
+    std::vector<char *> stackPool_;
+
+    std::vector<trace::TraceSink *> sinks_;
+
+    FiberContext schedCtx_;
+    Goroutine *current_ = nullptr;
+    Goroutine *mainG_ = nullptr;
+
+    uint64_t clock_ = 0;
+    uint64_t steps_ = 0;
+    uint64_t timerSeq_ = 0;
+    uint64_t nextObjId_ = 1;
+
+    bool mainEnded_ = false;
+    bool panicked_ = false;
+    std::string pendingPanicMsg_;
+    SourceLoc pendingPanicLoc_;
+    uint32_t panicGid_ = 0;
+    bool running_ = false;
+};
+
+} // namespace goat::runtime
+
+#endif // GOAT_RUNTIME_SCHEDULER_HH

@@ -1,0 +1,34 @@
+#include "staticmodel/cu.hh"
+
+#include <array>
+
+namespace goat::staticmodel {
+
+namespace {
+
+constexpr size_t numKinds = static_cast<size_t>(CuKind::NumCuKinds);
+
+const std::array<const char *, numKinds> kindNames = {
+    "send", "recv", "close", "lock", "unlock", "wait",
+    "add", "done", "signal", "broadcast", "go", "select", "range",
+};
+
+} // namespace
+
+const char *
+cuKindName(CuKind k)
+{
+    size_t i = static_cast<size_t>(k);
+    return i < numKinds ? kindNames[i] : "?";
+}
+
+CuKind
+cuKindFromName(const std::string &name)
+{
+    for (size_t i = 0; i < numKinds; ++i)
+        if (name == kindNames[i])
+            return static_cast<CuKind>(i);
+    return CuKind::NumCuKinds;
+}
+
+} // namespace goat::staticmodel

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Concurrency usage (CU) model: the static model M of the paper.
+ *
+ * A CU is a tuple (file, line, kind) identifying one concurrency
+ * primitive usage in the program source, with kind drawn from
+ * Channel = {send, receive, close}, Sync = {lock, unlock, wait, add,
+ * done, signal, broadcast}, and Go = {go, select, range}.
+ */
+
+#ifndef GOAT_STATICMODEL_CU_HH
+#define GOAT_STATICMODEL_CU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/source_loc.hh"
+
+namespace goat::staticmodel {
+
+/**
+ * Kinds of concurrency primitive usages, matching the paper's
+ * Channel ∪ Sync ∪ Go vocabulary.
+ */
+enum class CuKind : uint8_t
+{
+    // Channel
+    Send,
+    Recv,
+    Close,
+    // Sync
+    Lock,       ///< mutex lock / rwmutex lock / rlock
+    Unlock,     ///< mutex unlock / rwmutex unlock / runlock
+    Wait,       ///< waitgroup wait / cond wait
+    Add,        ///< waitgroup add
+    Done,       ///< waitgroup done
+    Signal,     ///< cond signal
+    Broadcast,  ///< cond broadcast
+    // Go
+    Go,         ///< goroutine creation
+    Select,     ///< select statement
+    Range,      ///< range over a channel
+
+    NumCuKinds
+};
+
+/** Stable lowercase name of a CU kind. */
+const char *cuKindName(CuKind k);
+
+/** Inverse of cuKindName(); returns NumCuKinds when unknown. */
+CuKind cuKindFromName(const std::string &name);
+
+/**
+ * One concurrency usage: a source statement using a primitive.
+ */
+struct Cu
+{
+    SourceLoc loc;
+    CuKind kind = CuKind::NumCuKinds;
+
+    Cu() = default;
+    Cu(SourceLoc loc, CuKind kind) : loc(loc), kind(kind) {}
+
+    std::string
+    str() const
+    {
+        return loc.str() + " " + cuKindName(kind);
+    }
+
+    bool
+    operator==(const Cu &o) const
+    {
+        return kind == o.kind && loc == o.loc;
+    }
+
+    bool
+    operator<(const Cu &o) const
+    {
+        if (loc < o.loc)
+            return true;
+        if (o.loc < loc)
+            return false;
+        return kind < o.kind;
+    }
+};
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_CU_HH

@@ -1,0 +1,194 @@
+#include "staticmodel/scanner.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/fmt.hh"
+#include "trace/serialize.hh"
+
+namespace goat::staticmodel {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Method-name → CU kind table for `.name(` call sites. */
+struct MethodKind
+{
+    const char *name;
+    CuKind kind;
+};
+
+constexpr MethodKind methodKinds[] = {
+    {"send", CuKind::Send},
+    {"recv", CuKind::Recv},
+    {"recvOk", CuKind::Recv},
+    {"close", CuKind::Close},
+    {"range", CuKind::Range},
+    {"lock", CuKind::Lock},
+    {"rlock", CuKind::Lock},
+    {"tryLock", CuKind::Lock},
+    {"unlock", CuKind::Unlock},
+    {"runlock", CuKind::Unlock},
+    {"wait", CuKind::Wait},
+    {"add", CuKind::Add},
+    {"done", CuKind::Done},
+    {"signal", CuKind::Signal},
+    {"broadcast", CuKind::Broadcast},
+};
+
+} // namespace
+
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    enum class St { Code, Line, Block, Str, Chr } st = St::Code;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (st) {
+          case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                ++i;
+            } else if (c == '"') {
+                st = St::Str;
+                out += ' ';
+            } else if (c == '\'') {
+                st = St::Chr;
+                out += ' ';
+            } else {
+                out += c;
+            }
+            break;
+          case St::Line:
+            if (c == '\n') {
+                st = St::Code;
+                out += '\n';
+            }
+            break;
+          case St::Block:
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                ++i;
+            } else if (c == '\n') {
+                out += '\n';
+            }
+            break;
+          case St::Str:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                st = St::Code;
+            } else if (c == '\n') {
+                out += '\n'; // unterminated; keep line counts sane
+                st = St::Code;
+            }
+            break;
+          case St::Chr:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                st = St::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+CuTable
+scanSource(const std::string &text, const std::string &filename)
+{
+    CuTable table;
+    const char *file = trace::internString(pathBasename(filename));
+    std::string clean = stripCommentsAndStrings(text);
+
+    std::istringstream iss(clean);
+    std::string line;
+    uint32_t lineno = 0;
+    while (std::getline(iss, line)) {
+        ++lineno;
+        for (size_t i = 0; i < line.size(); ++i) {
+            // `.method(` call sites.
+            if (line[i] == '.') {
+                size_t j = i + 1;
+                while (j < line.size() && isIdentChar(line[j]))
+                    ++j;
+                if (j < line.size() && line[j] == '(' && j > i + 1) {
+                    std::string ident = line.substr(i + 1, j - i - 1);
+                    for (const auto &mk : methodKinds) {
+                        if (ident == mk.name) {
+                            table.add(Cu(SourceLoc(file, lineno), mk.kind));
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            // Word-start identifiers: go( goNamed( Select( LockGuard(.
+            if (!isIdentChar(line[i]))
+                continue;
+            if (i > 0 && (isIdentChar(line[i - 1]) || line[i - 1] == '.'))
+                continue;
+            size_t j = i;
+            while (j < line.size() && isIdentChar(line[j]))
+                ++j;
+            std::string ident = line.substr(i, j - i);
+            bool callsite = j < line.size() && line[j] == '(';
+            // Types also match their declaration form: `Select sel(..)`
+            // and `LockGuard g(m)`.
+            auto declsite = [&] {
+                size_t k = j;
+                while (k < line.size() && line[k] == ' ')
+                    ++k;
+                size_t w = k;
+                while (w < line.size() && isIdentChar(line[w]))
+                    ++w;
+                return w > k && w < line.size() && line[w] == '(';
+            };
+            if (callsite && (ident == "go" || ident == "goNamed")) {
+                table.add(Cu(SourceLoc(file, lineno), CuKind::Go));
+            } else if (ident == "Select" && (callsite || declsite())) {
+                table.add(Cu(SourceLoc(file, lineno), CuKind::Select));
+            } else if (ident == "LockGuard" && (callsite || declsite())) {
+                table.add(Cu(SourceLoc(file, lineno), CuKind::Lock));
+                table.add(Cu(SourceLoc(file, lineno), CuKind::Unlock));
+            }
+            i = j - 1;
+        }
+    }
+    return table;
+}
+
+CuTable
+scanFile(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        return {};
+    std::ostringstream oss;
+    oss << ifs.rdbuf();
+    return scanSource(oss.str(), path);
+}
+
+CuTable
+scanFiles(const std::vector<std::string> &paths)
+{
+    CuTable table;
+    for (const auto &p : paths)
+        table.merge(scanFile(p));
+    return table;
+}
+
+} // namespace goat::staticmodel

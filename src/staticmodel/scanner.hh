@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lexical source scanner building the static CU model from C++ sources
+ * that use the GoAT-CPP API — the substitute for the paper's Go AST
+ * traversal (DESIGN.md §2).
+ *
+ * The scanner strips comments and string literals, then recognizes the
+ * API's primitive operations by their call syntax:
+ *
+ *   .send( .recv( .recvOk( .close( .range(           -> channel CUs
+ *   .lock( .rlock( .tryLock( .unlock( .runlock(      -> lock CUs
+ *   .wait( .add( .done( .signal( .broadcast(         -> sync CUs
+ *   go( / goNamed(                                   -> go CU
+ *   Select(                                          -> select CU
+ *   LockGuard(                                       -> lock + unlock CU
+ *
+ * Being lexical rather than type-aware, the scanner can over-approximate
+ * on foreign classes with identically named methods; GoAT-CPP code
+ * conventions (no unrelated .send()/.lock() methods in instrumented
+ * files) keep the model exact in practice, and the dynamic↔static
+ * matcher reports any CU that never produces a compatible event.
+ */
+
+#ifndef GOAT_STATICMODEL_SCANNER_HH
+#define GOAT_STATICMODEL_SCANNER_HH
+
+#include <string>
+#include <vector>
+
+#include "staticmodel/cutable.hh"
+
+namespace goat::staticmodel {
+
+/**
+ * Scan C++ source text for concurrency usages.
+ *
+ * @param text Full source text.
+ * @param filename Name recorded in the produced CUs (basenamed).
+ */
+CuTable scanSource(const std::string &text, const std::string &filename);
+
+/** Scan one file on disk. Missing files yield an empty table. */
+CuTable scanFile(const std::string &path);
+
+/** Scan several files and merge the results. */
+CuTable scanFiles(const std::vector<std::string> &paths);
+
+/**
+ * Remove // and block comments plus string/char literal contents from
+ * source text, preserving line structure (exposed for testing).
+ */
+std::string stripCommentsAndStrings(const std::string &text);
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_SCANNER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Instrumented shared memory for data-race detection.
+ *
+ * Go's race detector (the paper artifact's `-race` flag) shadows every
+ * memory access; the GoAT-CPP equivalent is an explicit instrumented
+ * cell: reads and writes of a SharedVar emit VarRead/VarWrite trace
+ * events that the offline happens-before analysis
+ * (analysis/happens_before.hh) checks for unordered conflicting
+ * accesses.
+ *
+ * SharedVar accesses are not concurrency-usage points (the CU model of
+ * the paper covers synchronization primitives only), so they carry no
+ * perturbation hook.
+ */
+
+#ifndef GOAT_SYNC_SHAREDVAR_HH
+#define GOAT_SYNC_SHAREDVAR_HH
+
+#include <utility>
+
+#include "base/source_loc.hh"
+#include "runtime/scheduler.hh"
+
+namespace goat::gosync {
+
+/**
+ * A race-instrumented shared cell.
+ *
+ * @tparam T Value type (copyable).
+ */
+template <typename T>
+class SharedVar
+{
+  public:
+    explicit SharedVar(T init = T{}, SourceLoc loc = SourceLoc::current())
+        : id_(runtime::Scheduler::require().newObjId()),
+          value_(std::move(init))
+    {}
+
+    SharedVar(const SharedVar &) = delete;
+    SharedVar &operator=(const SharedVar &) = delete;
+
+    /** Instrumented read. */
+    T
+    load(SourceLoc loc = SourceLoc::current()) const
+    {
+        auto &s = runtime::Scheduler::require();
+        s.emit(trace::EventType::VarRead, loc,
+               static_cast<int64_t>(id_));
+        return value_;
+    }
+
+    /** Instrumented write. */
+    void
+    store(T v, SourceLoc loc = SourceLoc::current())
+    {
+        auto &s = runtime::Scheduler::require();
+        s.emit(trace::EventType::VarWrite, loc,
+               static_cast<int64_t>(id_));
+        value_ = std::move(v);
+    }
+
+    /** Instrumented read-modify-write (not atomic — by design). */
+    template <typename Fn>
+    void
+    update(Fn fn, SourceLoc loc = SourceLoc::current())
+    {
+        T v = load(loc);
+        store(fn(std::move(v)), loc);
+    }
+
+    uint64_t id() const { return id_; }
+
+  private:
+    uint64_t id_;
+    T value_;
+};
+
+} // namespace goat::gosync
+
+#endif // GOAT_SYNC_SHAREDVAR_HH

@@ -1,0 +1,318 @@
+#include "sync/sync.hh"
+
+#include "base/logging.hh"
+
+namespace goat::gosync {
+
+using runtime::BlockReason;
+using runtime::Goroutine;
+using runtime::Scheduler;
+using staticmodel::CuKind;
+using trace::EventType;
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+Mutex::Mutex(SourceLoc loc)
+    : id_(Scheduler::require().newObjId())
+{
+}
+
+void
+Mutex::lockImpl(Scheduler &s, const SourceLoc &loc)
+{
+    s.emit(EventType::MuLockReq, loc, static_cast<int64_t>(id_),
+           holder_ ? static_cast<int64_t>(holder_) : -1);
+    if (holder_ == 0) {
+        holder_ = s.currentGid();
+        s.emit(EventType::MuLock, loc, static_cast<int64_t>(id_), 0);
+        return;
+    }
+    // Held (possibly by ourselves: Go mutexes are not reentrant, so a
+    // re-lock self-deadlocks exactly as in Go).
+    waitq_.push_back(s.current());
+    s.park(EventType::GoBlockSync, BlockReason::Mutex, id_, loc);
+    // unlock() transferred ownership to us before ready().
+    s.emit(EventType::MuLock, loc, static_cast<int64_t>(id_), 1);
+}
+
+void
+Mutex::lock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Lock, loc);
+    lockImpl(s, loc);
+}
+
+bool
+Mutex::tryLock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Lock, loc);
+    s.emit(EventType::MuLockReq, loc, static_cast<int64_t>(id_),
+           holder_ ? static_cast<int64_t>(holder_) : -1);
+    if (holder_ != 0)
+        return false;
+    holder_ = s.currentGid();
+    s.emit(EventType::MuLock, loc, static_cast<int64_t>(id_), 0);
+    return true;
+}
+
+void
+Mutex::unlockImpl(Scheduler &s, const SourceLoc &loc)
+{
+    if (holder_ == 0)
+        s.gopanic("sync: unlock of unlocked mutex", loc);
+    int woke = 0;
+    if (!waitq_.empty()) {
+        Goroutine *g = waitq_.front();
+        waitq_.pop_front();
+        holder_ = g->id();
+        s.ready(g, loc);
+        woke = 1;
+    } else {
+        holder_ = 0;
+    }
+    s.emit(EventType::MuUnlock, loc, static_cast<int64_t>(id_), woke);
+}
+
+void
+Mutex::unlock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Unlock, loc);
+    unlockImpl(s, loc);
+}
+
+// ---------------------------------------------------------------------
+// RWMutex
+// ---------------------------------------------------------------------
+
+RWMutex::RWMutex(SourceLoc loc)
+    : id_(Scheduler::require().newObjId())
+{
+}
+
+void
+RWMutex::lock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Lock, loc);
+    bool contended = writer_ != 0 || readers_ != 0 || !writeWaitq_.empty();
+    s.emit(EventType::RWLockReq, loc, static_cast<int64_t>(id_),
+           contended ? 1 : 0);
+    if (!contended) {
+        writer_ = s.currentGid();
+        s.emit(EventType::RWLock, loc, static_cast<int64_t>(id_), 0);
+        return;
+    }
+    writeWaitq_.push_back(s.current());
+    s.park(EventType::GoBlockSync, BlockReason::Mutex, id_, loc);
+    s.emit(EventType::RWLock, loc, static_cast<int64_t>(id_), 1);
+}
+
+void
+RWMutex::unlock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Unlock, loc);
+    if (writer_ == 0)
+        s.gopanic("sync: Unlock of unlocked RWMutex", loc);
+    writer_ = 0;
+    int woke = 0;
+    if (!readWaitq_.empty()) {
+        // Readers that queued behind the writer acquire together.
+        while (!readWaitq_.empty()) {
+            Goroutine *g = readWaitq_.front();
+            readWaitq_.pop_front();
+            ++readers_;
+            s.ready(g, loc);
+            ++woke;
+        }
+    } else if (!writeWaitq_.empty()) {
+        Goroutine *g = writeWaitq_.front();
+        writeWaitq_.pop_front();
+        writer_ = g->id();
+        s.ready(g, loc);
+        woke = 1;
+    }
+    s.emit(EventType::RWUnlock, loc, static_cast<int64_t>(id_), woke);
+}
+
+void
+RWMutex::rlock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Lock, loc);
+    bool contended = writer_ != 0 || !writeWaitq_.empty();
+    s.emit(EventType::RWRLockReq, loc, static_cast<int64_t>(id_),
+           contended ? 1 : 0);
+    // A pending writer blocks new readers (Go's anti-starvation rule).
+    if (!contended) {
+        ++readers_;
+        s.emit(EventType::RWRLock, loc, static_cast<int64_t>(id_), 0);
+        return;
+    }
+    readWaitq_.push_back(s.current());
+    s.park(EventType::GoBlockSync, BlockReason::RWMutex, id_, loc);
+    s.emit(EventType::RWRLock, loc, static_cast<int64_t>(id_), 1);
+}
+
+void
+RWMutex::runlock(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Unlock, loc);
+    if (readers_ == 0)
+        s.gopanic("sync: RUnlock of unlocked RWMutex", loc);
+    --readers_;
+    int woke = 0;
+    if (readers_ == 0 && !writeWaitq_.empty()) {
+        Goroutine *g = writeWaitq_.front();
+        writeWaitq_.pop_front();
+        writer_ = g->id();
+        s.ready(g, loc);
+        woke = 1;
+    }
+    s.emit(EventType::RWRUnlock, loc, static_cast<int64_t>(id_), woke);
+}
+
+// ---------------------------------------------------------------------
+// WaitGroup
+// ---------------------------------------------------------------------
+
+WaitGroup::WaitGroup(SourceLoc loc)
+    : id_(Scheduler::require().newObjId())
+{
+}
+
+void
+WaitGroup::addImpl(Scheduler &s, int delta, const SourceLoc &loc)
+{
+    count_ += delta;
+    if (count_ < 0)
+        s.gopanic("sync: negative WaitGroup counter", loc);
+    int woke = 0;
+    if (count_ == 0) {
+        while (!waitq_.empty()) {
+            Goroutine *g = waitq_.front();
+            waitq_.pop_front();
+            s.ready(g, loc);
+            ++woke;
+        }
+    }
+    s.emit(EventType::WgAdd, loc, static_cast<int64_t>(id_), delta, count_,
+           woke);
+}
+
+void
+WaitGroup::add(int delta, SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Add, loc);
+    addImpl(s, delta, loc);
+}
+
+void
+WaitGroup::done(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Done, loc);
+    addImpl(s, -1, loc);
+}
+
+void
+WaitGroup::wait(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Wait, loc);
+    if (count_ == 0) {
+        s.emit(EventType::WgWait, loc, static_cast<int64_t>(id_), 0);
+        return;
+    }
+    waitq_.push_back(s.current());
+    s.park(EventType::GoBlockSync, BlockReason::WaitGroup, id_, loc);
+    s.emit(EventType::WgWait, loc, static_cast<int64_t>(id_), 1);
+}
+
+// ---------------------------------------------------------------------
+// Cond
+// ---------------------------------------------------------------------
+
+Cond::Cond(Mutex &m, SourceLoc loc)
+    : id_(Scheduler::require().newObjId()), m_(m)
+{
+}
+
+void
+Cond::wait(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Wait, loc);
+    s.emit(EventType::CvWait, loc, static_cast<int64_t>(id_));
+    // Atomic with respect to goroutine interleaving: no yield point
+    // between releasing the mutex and parking.
+    m_.unlockImpl(s, loc);
+    waitq_.push_back(s.current());
+    s.park(EventType::GoBlockCond, BlockReason::Cond, id_, loc);
+    m_.lockImpl(s, loc);
+}
+
+void
+Cond::signal(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Signal, loc);
+    int woke = 0;
+    if (!waitq_.empty()) {
+        Goroutine *g = waitq_.front();
+        waitq_.pop_front();
+        s.ready(g, loc);
+        woke = 1;
+    }
+    s.emit(EventType::CvSignal, loc, static_cast<int64_t>(id_), woke);
+}
+
+void
+Cond::broadcast(SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    s.cuHook(CuKind::Broadcast, loc);
+    int woke = 0;
+    while (!waitq_.empty()) {
+        Goroutine *g = waitq_.front();
+        waitq_.pop_front();
+        s.ready(g, loc);
+        ++woke;
+    }
+    s.emit(EventType::CvBroadcast, loc, static_cast<int64_t>(id_), woke);
+}
+
+// ---------------------------------------------------------------------
+// Once
+// ---------------------------------------------------------------------
+
+void
+Once::do_(const std::function<void()> &fn, SourceLoc loc)
+{
+    auto &s = Scheduler::require();
+    if (done_)
+        return;
+    if (running_) {
+        waitq_.push_back(s.current());
+        s.park(EventType::GoBlockSync, BlockReason::Mutex, 0, loc);
+        return;
+    }
+    running_ = true;
+    fn();
+    done_ = true;
+    running_ = false;
+    while (!waitq_.empty()) {
+        Goroutine *g = waitq_.front();
+        waitq_.pop_front();
+        s.ready(g, loc);
+    }
+}
+
+} // namespace goat::gosync

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Go's sync package on the GoAT-CPP runtime: Mutex, RWMutex, WaitGroup,
+ * Cond, and Once, with Go's exact misuse semantics:
+ *
+ *  - Mutex is not reentrant: re-locking a held mutex parks the caller
+ *    forever (self-deadlock), and any goroutine may unlock it;
+ *  - unlocking an unlocked (rw)mutex panics;
+ *  - a WaitGroup counter dropping below zero panics;
+ *  - Cond.Wait atomically releases the associated Mutex, parks, and
+ *    re-acquires it on wake-up; a Signal with no waiter is lost.
+ *
+ * Lock handoff is FIFO and deterministic: unlock transfers ownership to
+ * the longest-waiting goroutine.
+ */
+
+#ifndef GOAT_SYNC_SYNC_HH
+#define GOAT_SYNC_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "base/source_loc.hh"
+#include "runtime/scheduler.hh"
+
+namespace goat::gosync {
+
+/**
+ * Mutual exclusion lock (sync.Mutex).
+ */
+class Mutex
+{
+  public:
+    explicit Mutex(SourceLoc loc = SourceLoc::current());
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    /** Acquire the lock; parks while another goroutine holds it. */
+    void lock(SourceLoc loc = SourceLoc::current());
+
+    /** Release the lock; panics when the mutex is not locked. */
+    void unlock(SourceLoc loc = SourceLoc::current());
+
+    /** Non-blocking acquire (sync.Mutex.TryLock, Go 1.18). */
+    bool tryLock(SourceLoc loc = SourceLoc::current());
+
+    /** Gid of the holder (0 = free). */
+    uint32_t holder() const { return holder_; }
+
+    uint64_t id() const { return id_; }
+
+  private:
+    friend class Cond;
+
+    /** Lock without the CU hook (used by Cond.Wait re-acquire). */
+    void lockImpl(runtime::Scheduler &s, const SourceLoc &loc);
+
+    /** Unlock without the CU hook (used by Cond.Wait release). */
+    void unlockImpl(runtime::Scheduler &s, const SourceLoc &loc);
+
+    uint64_t id_;
+    uint32_t holder_ = 0;
+    std::deque<runtime::Goroutine *> waitq_;
+};
+
+/**
+ * RAII lock guard for scoped critical sections (not part of Go's API,
+ * but idiomatic C++; equivalent to mu.Lock(); defer mu.Unlock()).
+ */
+class LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &m, SourceLoc loc = SourceLoc::current())
+        : m_(m), loc_(loc)
+    {
+        m_.lock(loc_);
+    }
+
+    ~LockGuard() { m_.unlock(loc_); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &m_;
+    SourceLoc loc_;
+};
+
+/**
+ * Reader/writer lock (sync.RWMutex) with Go's writer-preference rule:
+ * a pending writer blocks new readers.
+ */
+class RWMutex
+{
+  public:
+    explicit RWMutex(SourceLoc loc = SourceLoc::current());
+
+    RWMutex(const RWMutex &) = delete;
+    RWMutex &operator=(const RWMutex &) = delete;
+
+    /** Acquire the write lock. */
+    void lock(SourceLoc loc = SourceLoc::current());
+
+    /** Release the write lock; panics when not write-locked. */
+    void unlock(SourceLoc loc = SourceLoc::current());
+
+    /** Acquire a read lock. */
+    void rlock(SourceLoc loc = SourceLoc::current());
+
+    /** Release a read lock; panics when no read lock is held. */
+    void runlock(SourceLoc loc = SourceLoc::current());
+
+    uint64_t id() const { return id_; }
+    uint32_t writer() const { return writer_; }
+    int readers() const { return readers_; }
+
+  private:
+    uint64_t id_;
+    uint32_t writer_ = 0;
+    int readers_ = 0;
+    std::deque<runtime::Goroutine *> writeWaitq_;
+    std::deque<runtime::Goroutine *> readWaitq_;
+};
+
+/**
+ * Counter-based join point (sync.WaitGroup).
+ */
+class WaitGroup
+{
+  public:
+    explicit WaitGroup(SourceLoc loc = SourceLoc::current());
+
+    WaitGroup(const WaitGroup &) = delete;
+    WaitGroup &operator=(const WaitGroup &) = delete;
+
+    /** Adjust the counter; panics when it becomes negative. */
+    void add(int delta, SourceLoc loc = SourceLoc::current());
+
+    /** Decrement the counter (wg.Done()). */
+    void done(SourceLoc loc = SourceLoc::current());
+
+    /** Park until the counter reaches zero. */
+    void wait(SourceLoc loc = SourceLoc::current());
+
+    int count() const { return count_; }
+    uint64_t id() const { return id_; }
+
+  private:
+    void addImpl(runtime::Scheduler &s, int delta, const SourceLoc &loc);
+
+    uint64_t id_;
+    int count_ = 0;
+    std::deque<runtime::Goroutine *> waitq_;
+};
+
+/**
+ * Conditional variable (sync.Cond) bound to a Mutex.
+ */
+class Cond
+{
+  public:
+    explicit Cond(Mutex &m, SourceLoc loc = SourceLoc::current());
+
+    Cond(const Cond &) = delete;
+    Cond &operator=(const Cond &) = delete;
+
+    /**
+     * Atomically release the mutex and park; re-acquires the mutex
+     * before returning. The caller must hold the mutex.
+     */
+    void wait(SourceLoc loc = SourceLoc::current());
+
+    /** Wake the longest-waiting goroutine (lost when none waits). */
+    void signal(SourceLoc loc = SourceLoc::current());
+
+    /** Wake every waiting goroutine. */
+    void broadcast(SourceLoc loc = SourceLoc::current());
+
+    uint64_t id() const { return id_; }
+
+  private:
+    uint64_t id_;
+    Mutex &m_;
+    std::deque<runtime::Goroutine *> waitq_;
+};
+
+/**
+ * One-time initialization (sync.Once). Concurrent callers park until
+ * the first caller's function completes.
+ */
+class Once
+{
+  public:
+    Once() = default;
+
+    Once(const Once &) = delete;
+    Once &operator=(const Once &) = delete;
+
+    /** Run @p fn exactly once across all callers. */
+    void do_(const std::function<void()> &fn,
+             SourceLoc loc = SourceLoc::current());
+
+    bool didRun() const { return done_; }
+
+  private:
+    bool done_ = false;
+    bool running_ = false;
+    std::deque<runtime::Goroutine *> waitq_;
+};
+
+} // namespace goat::gosync
+
+#endif // GOAT_SYNC_SYNC_HH

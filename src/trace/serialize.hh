@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text serialization of ECTs.
+ *
+ * Format: metadata lines `# key value`, then one event per line:
+ *
+ *   ts gid type file line a0 a1 a2 a3 [|str]
+ *
+ * The format is line-oriented so traces can be grepped, diffed, and
+ * parsed back losslessly for offline analysis.
+ */
+
+#ifndef GOAT_TRACE_SERIALIZE_HH
+#define GOAT_TRACE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/ect.hh"
+
+namespace goat::trace {
+
+/** Serialize an ECT to a stream. */
+void writeEct(const Ect &ect, std::ostream &os);
+
+/** Serialize an ECT to a string. */
+std::string ectToString(const Ect &ect);
+
+/** Serialize an ECT to a file. @return false on I/O error. */
+bool writeEctFile(const Ect &ect, const std::string &path);
+
+/**
+ * Parse a serialized ECT.
+ *
+ * @param in Stream positioned at the start of a serialized trace.
+ * @param[out] ect Parsed trace (cleared first).
+ * @retval false on malformed input.
+ *
+ * @note Parsed events carry heap-interned file names that stay alive for
+ *       the process lifetime (interning keeps SourceLoc a plain pointer).
+ */
+bool readEct(std::istream &in, Ect &ect);
+
+/** Parse from a string. */
+bool ectFromString(const std::string &text, Ect &ect);
+
+/** Parse from a file. */
+bool readEctFile(const std::string &path, Ect &ect);
+
+/** Intern a file-name string for the process lifetime. */
+const char *internString(const std::string &s);
+
+} // namespace goat::trace
+
+#endif // GOAT_TRACE_SERIALIZE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the goat CLI flag grammar (tools/cli_options.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../tools/cli_options.hh"
+
+using goat::cli::Options;
+using goat::cli::parseOptions;
+
+namespace {
+
+bool
+parse(std::vector<const char *> args, Options &opt, std::string *err)
+{
+    args.insert(args.begin(), "goat");
+    return parseOptions(static_cast<int>(args.size()),
+                        const_cast<char **>(args.data()), opt, err);
+}
+
+} // namespace
+
+TEST(Cli, Defaults)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({}, opt, &err));
+    EXPECT_FALSE(opt.list);
+    EXPECT_EQ(opt.kernel, "");
+    EXPECT_EQ(opt.delay, 0);
+    EXPECT_EQ(opt.freq, 1);
+    EXPECT_FALSE(opt.cov);
+    EXPECT_FALSE(opt.race);
+    EXPECT_EQ(opt.seed, 1u);
+}
+
+TEST(Cli, AllFlagsTogether)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-kernel=moby_28462", "-d=3", "-freq=500", "-cov",
+                       "-race", "-stats", "-report",
+                       "-trace=/tmp/t.ect", "-html=/tmp/r.html",
+                       "-seed=0x10"},
+                      opt, &err));
+    EXPECT_EQ(opt.kernel, "moby_28462");
+    EXPECT_EQ(opt.delay, 3);
+    EXPECT_EQ(opt.freq, 500);
+    EXPECT_TRUE(opt.cov);
+    EXPECT_TRUE(opt.race);
+    EXPECT_TRUE(opt.stats);
+    EXPECT_TRUE(opt.report);
+    EXPECT_EQ(opt.trace_out, "/tmp/t.ect");
+    EXPECT_EQ(opt.html_out, "/tmp/r.html");
+    EXPECT_EQ(opt.seed, 16u);
+}
+
+TEST(Cli, ListFlag)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-list"}, opt, &err));
+    EXPECT_TRUE(opt.list);
+}
+
+TEST(Cli, UnknownFlagRejectedAndNamed)
+{
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse({"-bogus"}, opt, &err));
+    EXPECT_EQ(err, "-bogus");
+}
+
+TEST(Cli, ValueFlagsRequireEqualsForm)
+{
+    Options opt;
+    std::string err;
+    // "-d" without '=' is not the value form and must be rejected.
+    EXPECT_FALSE(parse({"-d"}, opt, &err));
+    EXPECT_EQ(err, "-d");
+}
+
+TEST(Cli, DecimalSeed)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-seed=12345"}, opt, &err));
+    EXPECT_EQ(opt.seed, 12345u);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the context package: cancellation, Done-channel close
+ * semantics, parent→child cascade, deadline firing on the virtual
+ * clock, and idempotent cancel functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chan/select.hh"
+#include "chan/time.hh"
+#include "ctx/context.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::runtime;
+using goat::test::runProgram;
+
+TEST(Ctx, BackgroundIsNeverDone)
+{
+    auto rr = runProgram([&] {
+        auto bg = ctx::background();
+        EXPECT_FALSE(bg->isDone());
+        EXPECT_EQ(bg->err(), "");
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, CancelClosesDoneChannel)
+{
+    bool observed = false;
+    auto rr = runProgram([&] {
+        auto [c, cancel] = ctx::withCancel(ctx::background());
+        go([&, c = c] {
+            auto [v, ok] = c->done().recvOk();
+            EXPECT_FALSE(ok); // done channels close, never send
+            observed = true;
+        });
+        yield();
+        cancel();
+        yield();
+        EXPECT_TRUE(c->isDone());
+        EXPECT_EQ(c->err(), "context canceled");
+    });
+    EXPECT_TRUE(observed);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, CancelIsIdempotent)
+{
+    auto rr = runProgram([&] {
+        auto [c, cancel] = ctx::withCancel(ctx::background());
+        cancel();
+        cancel(); // second cancel must not double-close
+        EXPECT_TRUE(c->isDone());
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, ParentCancelCascadesToChildren)
+{
+    auto rr = runProgram([&] {
+        auto [parent, cancelParent] = ctx::withCancel(ctx::background());
+        auto [child, cancelChild] = ctx::withCancel(parent);
+        auto [grandchild, cancelGc] = ctx::withCancel(child);
+        cancelParent();
+        EXPECT_TRUE(parent->isDone());
+        EXPECT_TRUE(child->isDone());
+        EXPECT_TRUE(grandchild->isDone());
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, ChildCancelDoesNotAffectParent)
+{
+    auto rr = runProgram([&] {
+        auto [parent, cancelParent] = ctx::withCancel(ctx::background());
+        auto [child, cancelChild] = ctx::withCancel(parent);
+        cancelChild();
+        EXPECT_TRUE(child->isDone());
+        EXPECT_FALSE(parent->isDone());
+        cancelParent();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, ChildOfCanceledParentIsBornCanceled)
+{
+    auto rr = runProgram([&] {
+        auto [parent, cancelParent] = ctx::withCancel(ctx::background());
+        cancelParent();
+        auto [child, cancelChild] = ctx::withCancel(parent);
+        EXPECT_TRUE(child->isDone());
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, TimeoutFiresOnVirtualClock)
+{
+    auto rr = runProgram([&] {
+        auto [c, cancel] = ctx::withTimeout(ctx::background(),
+                                            5 * gotime::Millisecond);
+        c->done().recvOk(); // parks until the deadline fires
+        EXPECT_EQ(c->err(), "context deadline exceeded");
+        EXPECT_EQ(now(), 5 * gotime::Millisecond);
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, ExplicitCancelBeatsDeadline)
+{
+    auto rr = runProgram([&] {
+        auto [c, cancel] = ctx::withTimeout(ctx::background(),
+                                            50 * gotime::Millisecond);
+        cancel();
+        EXPECT_EQ(c->err(), "context canceled");
+        // The later deadline timer must be a no-op.
+        sleepMs(100);
+        EXPECT_EQ(c->err(), "context canceled");
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, SelectOnDoneChannel)
+{
+    bool canceled = false;
+    auto rr = runProgram([&] {
+        auto [c, cancel] = ctx::withCancel(ctx::background());
+        Chan<int> work;
+        go([&, cancel = cancel] {
+            yield();
+            cancel();
+        });
+        Select()
+            .onRecv<int>(work, {})
+            .onRecv<Unit>(c->done(), [&](Unit, bool) { canceled = true; })
+            .run();
+        yield();
+    });
+    EXPECT_TRUE(canceled);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Ctx, ForgettingCancelLeaksWorker)
+{
+    // The classic context leak: a worker selects on ctx.Done() that is
+    // never canceled, and main exits.
+    auto rr = runProgram([&] {
+        auto [c, cancel] = ctx::withCancel(ctx::background());
+        go([c = c] { c->done().recvOk(); });
+        yield();
+        // main returns without cancel()
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+    EXPECT_EQ(rr.exec.leaked.size(), 1u);
+}

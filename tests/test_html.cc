@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the HTML report generator: escaping, verdict banners,
+ * goroutine-tree highlighting, interleaving lanes, statistics and
+ * coverage sections, truncation, and structural well-formedness of
+ * the emitted page.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.hh"
+#include "analysis/deadlock.hh"
+#include "analysis/html_report.hh"
+#include "chan/chan.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::analysis;
+using goat::test::runProgram;
+
+namespace {
+
+struct Rendered
+{
+    std::string html;
+    DeadlockReport dl;
+};
+
+Rendered
+renderFor(std::function<void()> prog, const CoverageState *cov = nullptr,
+          size_t max_events = 300)
+{
+    auto rr = runProgram(std::move(prog));
+    GoroutineTree tree(rr.ect);
+    Rendered out;
+    out.dl = deadlockCheck(tree);
+    out.html = htmlReportStr("unit-test", rr.ect, tree, out.dl, cov,
+                             max_events);
+    return out;
+}
+
+} // namespace
+
+TEST(HtmlEscape, EscapesSpecials)
+{
+    EXPECT_EQ(htmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    EXPECT_EQ(htmlEscape("plain"), "plain");
+    EXPECT_EQ(htmlEscape(""), "");
+}
+
+TEST(HtmlReport, StructurallyComplete)
+{
+    auto r = renderFor([] {
+        Chan<int> c(1);
+        c.send(1);
+        c.recv();
+    });
+    EXPECT_NE(r.html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(r.html.find("</html>"), std::string::npos);
+    EXPECT_NE(r.html.find("Goroutine tree"), std::string::npos);
+    EXPECT_NE(r.html.find("Executed interleaving"), std::string::npos);
+    EXPECT_NE(r.html.find("Trace statistics"), std::string::npos);
+}
+
+TEST(HtmlReport, PassVerdictBanner)
+{
+    auto r = renderFor([] {});
+    EXPECT_EQ(r.dl.verdict, Verdict::Pass);
+    EXPECT_NE(r.html.find("verdict pass"), std::string::npos);
+    EXPECT_NE(r.html.find("PASS"), std::string::npos);
+}
+
+TEST(HtmlReport, LeakHighlighted)
+{
+    auto r = renderFor([] {
+        Chan<int> c;
+        go([c]() mutable { c.recv(); });
+        yield();
+    });
+    EXPECT_EQ(r.dl.verdict, Verdict::PartialDeadlock);
+    EXPECT_NE(r.html.find("verdict bug"), std::string::npos);
+    EXPECT_NE(r.html.find("class=\"leaked\""), std::string::npos);
+    EXPECT_NE(r.html.find("leaked at"), std::string::npos);
+}
+
+TEST(HtmlReport, PanicShown)
+{
+    auto r = renderFor([] {
+        Chan<int> c;
+        c.close();
+        c.send(1);
+    });
+    EXPECT_EQ(r.dl.verdict, Verdict::Crash);
+    EXPECT_NE(r.html.find("send on closed channel"), std::string::npos);
+}
+
+TEST(HtmlReport, InterleavingHasGoroutineColumns)
+{
+    auto r = renderFor([] {
+        Chan<int> c(1);
+        go([c]() mutable { c.send(1); });
+        yield();
+        c.recv();
+    });
+    EXPECT_NE(r.html.find("<th>G1</th>"), std::string::npos);
+    EXPECT_NE(r.html.find("<th>G2</th>"), std::string::npos);
+    EXPECT_NE(r.html.find("ch_send"), std::string::npos);
+    EXPECT_NE(r.html.find("ch_recv"), std::string::npos);
+}
+
+TEST(HtmlReport, TruncationCap)
+{
+    auto r = renderFor(
+        [] {
+            Chan<int> c(1);
+            for (int i = 0; i < 50; ++i) {
+                c.send(i);
+                c.recv();
+            }
+        },
+        nullptr, 5);
+    EXPECT_NE(r.html.find("truncated"), std::string::npos);
+}
+
+TEST(HtmlReport, CoverageSectionWhenProvided)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        c.send(1);
+        c.recv();
+    });
+    CoverageState cov;
+    cov.addEct(rr.ect);
+    GoroutineTree tree(rr.ect);
+    DeadlockReport dl = deadlockCheck(tree);
+    std::string html =
+        htmlReportStr("covtest", rr.ect, tree, dl, &cov);
+    EXPECT_NE(html.find("Coverage:"), std::string::npos);
+    EXPECT_NE(html.find("uncovered"), std::string::npos);
+}
+
+TEST(HtmlReport, TitleEscaped)
+{
+    auto rr = runProgram([] {});
+    GoroutineTree tree(rr.ect);
+    DeadlockReport dl = deadlockCheck(tree);
+    std::string html =
+        htmlReportStr("<script>x</script>", rr.ect, tree, dl);
+    EXPECT_EQ(html.find("<script>"), std::string::npos);
+    EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Cross-cutting property suites (parameterized sweeps):
+ *
+ *  P1 every trace the runtime produces — across kernels, seeds, and
+ *     delay bounds — satisfies the ECT well-formedness invariants;
+ *  P2 channel conservation: with matching producer/consumer counts,
+ *     every message is delivered exactly once, for all capacities and
+ *     goroutine counts;
+ *  P3 executions are bit-deterministic per (seed, D);
+ *  P4 the coverage engine's covered set is always a subset of the
+ *     required set and its percentage is well-defined;
+ *  P5 mutual exclusion holds under arbitrary noise seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "analysis/coverage.hh"
+#include "analysis/validate.hh"
+#include "chan/chan.hh"
+#include "goat/engine.hh"
+#include "goker/registry.hh"
+#include "sync/sync.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using goat::test::runProgram;
+
+// ---------------------------------------------------------------------
+// P1: trace well-formedness over the whole benchmark suite.
+// ---------------------------------------------------------------------
+
+class TraceWellFormed : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TraceWellFormed, AllSeedsAndDelayBounds)
+{
+    const auto *kernel =
+        goker::KernelRegistry::instance().find(GetParam());
+    ASSERT_NE(kernel, nullptr);
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        for (int d : {0, 3}) {
+            engine::SingleRun sr =
+                engine::runOnce(kernel->fn, seed, d, 0.05, 400'000);
+            auto v = analysis::validateEct(sr.ect);
+            EXPECT_TRUE(v.ok())
+                << kernel->name << " seed " << seed << " d " << d
+                << ":\n" << v.str();
+        }
+    }
+}
+
+namespace {
+
+std::vector<std::string>
+kernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto *k : goker::KernelRegistry::instance().all())
+        names.push_back(k->name);
+    return names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, TraceWellFormed, ::testing::ValuesIn(kernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// P2: channel conservation sweep.
+// ---------------------------------------------------------------------
+
+class ChannelConservation
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(ChannelConservation, NoLostOrDuplicatedMessages)
+{
+    auto [capacity, producers, messages] = GetParam();
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        std::multiset<int> received;
+        auto rr = runProgram(
+            [&, capacity = capacity, producers = producers,
+             messages = messages] {
+                Chan<int> c(static_cast<size_t>(capacity));
+                gosync::WaitGroup wg;
+                wg.add(producers);
+                for (int p = 0; p < producers; ++p) {
+                    go([&, c, p]() mutable {
+                        for (int m = 0; m < messages; ++m)
+                            c.send(p * 1000 + m);
+                        wg.done();
+                    });
+                }
+                go([&, c]() mutable {
+                    wg.wait();
+                    c.close();
+                });
+                c.range([&](int v) { received.insert(v); });
+            },
+            seed, 0.1);
+        ASSERT_EQ(rr.exec.outcome, runtime::RunOutcome::Ok);
+        EXPECT_TRUE(rr.exec.leaked.empty());
+        ASSERT_EQ(received.size(),
+                  static_cast<size_t>(producers * messages));
+        for (int p = 0; p < producers; ++p)
+            for (int m = 0; m < messages; ++m)
+                EXPECT_EQ(received.count(p * 1000 + m), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChannelConservation,
+    ::testing::Combine(::testing::Values(0, 1, 4, 16),  // capacity
+                       ::testing::Values(1, 2, 5),      // producers
+                       ::testing::Values(1, 7)),        // messages each
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>> &info) {
+        return "cap" + std::to_string(std::get<0>(info.param)) + "_p" +
+               std::to_string(std::get<1>(info.param)) + "_m" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// P3: determinism per (seed, D).
+// ---------------------------------------------------------------------
+
+class Determinism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Determinism, IdenticalTracesForIdenticalSeeds)
+{
+    int d = GetParam();
+    const auto *kernel =
+        goker::KernelRegistry::instance().find("kubernetes_11298");
+    ASSERT_NE(kernel, nullptr);
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        auto a = engine::runOnce(kernel->fn, seed, d);
+        auto b = engine::runOnce(kernel->fn, seed, d);
+        ASSERT_EQ(a.ect.size(), b.ect.size()) << "seed " << seed;
+        for (size_t i = 0; i < a.ect.size(); ++i) {
+            EXPECT_EQ(a.ect.events()[i].type, b.ect.events()[i].type);
+            EXPECT_EQ(a.ect.events()[i].gid, b.ect.events()[i].gid);
+            EXPECT_EQ(a.ect.events()[i].args[0],
+                      b.ect.events()[i].args[0]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DelayBounds, Determinism,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// ---------------------------------------------------------------------
+// P4: coverage-set invariants across random executions.
+// ---------------------------------------------------------------------
+
+class CoverageInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CoverageInvariants, CoveredSubsetOfRequired)
+{
+    const auto *kernel =
+        goker::KernelRegistry::instance().find(GetParam());
+    ASSERT_NE(kernel, nullptr);
+    analysis::CoverageState cov(goker::kernelCuTable(*kernel));
+    size_t prev_covered = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        auto sr = engine::runOnce(kernel->fn, seed, 2, 0.05, 400'000);
+        cov.addEct(sr.ect);
+        EXPECT_LE(cov.coveredCount(), cov.totalRequirements());
+        EXPECT_GE(cov.coveredCount(), prev_covered)
+            << "covered set must be monotone";
+        prev_covered = cov.coveredCount();
+        EXPECT_GE(cov.percent(), 0.0);
+        EXPECT_LE(cov.percent(), 100.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representatives, CoverageInvariants,
+    ::testing::Values("etcd_7443", "kubernetes_11298", "moby_28462",
+                      "serving_2137", "hugo_3251"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// P5: mutual exclusion under noise.
+// ---------------------------------------------------------------------
+
+class MutualExclusion : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MutualExclusion, CriticalSectionsNeverOverlap)
+{
+    uint64_t seed = GetParam();
+    int inside = 0, max_inside = 0, entries = 0;
+    auto rr = runProgram(
+        [&] {
+            gosync::Mutex m;
+            for (int i = 0; i < 5; ++i) {
+                go([&] {
+                    for (int r = 0; r < 3; ++r) {
+                        m.lock();
+                        ++inside;
+                        ++entries;
+                        max_inside = std::max(max_inside, inside);
+                        yield(); // maximally hostile interleaving point
+                        --inside;
+                        m.unlock();
+                    }
+                });
+            }
+            for (int i = 0; i < 60; ++i)
+                yield();
+        },
+        seed, 0.15);
+    EXPECT_EQ(rr.exec.outcome, runtime::RunOutcome::Ok);
+    EXPECT_EQ(max_inside, 1);
+    EXPECT_EQ(entries, 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutualExclusion,
+                         ::testing::Range<uint64_t>(1, 13));

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests for the cooperative runtime: goroutine spawning and FIFO
+ * scheduling, yields, virtual-clock sleeps and timers, global-deadlock
+ * detection, step budgets, panic handling, and leak reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::runtime;
+using goat::test::countEvents;
+using goat::test::runProgram;
+
+TEST(Runtime, MainRunsToCompletion)
+{
+    bool ran = false;
+    auto rr = runProgram([&] { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+    EXPECT_TRUE(rr.exec.leaked.empty());
+}
+
+TEST(Runtime, SpawnedGoroutineRuns)
+{
+    bool child = false;
+    auto rr = runProgram([&] {
+        go([&] { child = true; });
+        yield();
+    });
+    EXPECT_TRUE(child);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Runtime, FifoSchedulingOrder)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        go([&] { order.push_back(1); });
+        go([&] { order.push_back(2); });
+        go([&] { order.push_back(3); });
+        yield();
+        order.push_back(0);
+    });
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 0}));
+}
+
+TEST(Runtime, YieldMovesToBackOfQueue)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        go([&] {
+            order.push_back(1);
+            yield();
+            order.push_back(3);
+        });
+        go([&] { order.push_back(2); });
+        yield();
+        yield();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Runtime, NestedSpawns)
+{
+    int depth = 0;
+    auto rr = runProgram([&] {
+        go([&] {
+            depth = 1;
+            go([&] {
+                depth = 2;
+                go([&] { depth = 3; });
+                yield();
+            });
+            yield();
+        });
+        for (int i = 0; i < 5; ++i)
+            yield();
+    });
+    EXPECT_EQ(depth, 3);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Runtime, ManyGoroutines)
+{
+    int count = 0;
+    auto rr = runProgram([&] {
+        for (int i = 0; i < 500; ++i)
+            go([&] { ++count; });
+        yield();
+    });
+    EXPECT_EQ(count, 500);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Runtime, DeepStackUsage)
+{
+    // Recursion exercising a significant part of the fiber stack.
+    std::function<int(int)> rec = [&](int n) {
+        char pad[512];
+        pad[0] = static_cast<char>(n);
+        if (n == 0)
+            return static_cast<int>(pad[0]);
+        return rec(n - 1) + 1;
+    };
+    int result = -1;
+    auto rr = runProgram([&] { go([&] { result = rec(100); }); yield(); });
+    EXPECT_EQ(result, 100);
+}
+
+TEST(Runtime, SleepAdvancesVirtualClock)
+{
+    uint64_t t0 = 0, t1 = 0;
+    auto rr = runProgram([&] {
+        t0 = now();
+        sleepMs(10);
+        t1 = now();
+    });
+    EXPECT_EQ(t1 - t0, 10'000'000u);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::GoSleep), 1u);
+}
+
+TEST(Runtime, SleepOrderingByDeadline)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        go([&] {
+            sleepMs(30);
+            order.push_back(30);
+        });
+        go([&] {
+            sleepMs(10);
+            order.push_back(10);
+        });
+        go([&] {
+            sleepMs(20);
+            order.push_back(20);
+        });
+        sleepMs(50);
+    });
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Runtime, EqualDeadlinesFireInRegistrationOrder)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        go([&] {
+            sleepMs(10);
+            order.push_back(1);
+        });
+        go([&] {
+            sleepMs(10);
+            order.push_back(2);
+        });
+        sleepMs(20);
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Runtime, GlobalDeadlockWhenMainBlocksForever)
+{
+    auto rr = runProgram([&] {
+        // Main parks on a select with no cases: nothing can wake it.
+        runtime::Scheduler::require().park(
+            trace::EventType::GoBlockSelect, BlockReason::Select, 0,
+            SourceLoc::current());
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+    ASSERT_FALSE(rr.exec.leaked.empty());
+    EXPECT_EQ(rr.exec.leaked[0].name, "main");
+}
+
+TEST(Runtime, LeakedChildReportedAfterMainExit)
+{
+    auto rr = runProgram([&] {
+        goNamed("stuck", [] {
+            runtime::Scheduler::require().park(
+                trace::EventType::GoBlockSelect, BlockReason::Select, 0,
+                SourceLoc::current());
+        });
+        yield();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+    ASSERT_EQ(rr.exec.leaked.size(), 1u);
+    EXPECT_EQ(rr.exec.leaked[0].name, "stuck");
+    EXPECT_EQ(rr.exec.leaked[0].reason, BlockReason::Select);
+}
+
+TEST(Runtime, SleepingChildLeaksWhenMainExits)
+{
+    // Main returns immediately; the child's timer never fires because a
+    // terminated program services no timers (Go kills goroutines at
+    // main exit).
+    bool woke = false;
+    auto rr = runProgram([&] {
+        go([&] {
+            sleepSec(3600);
+            woke = true;
+        });
+        yield();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+    EXPECT_FALSE(woke);
+    ASSERT_EQ(rr.exec.leaked.size(), 1u);
+    EXPECT_EQ(rr.exec.leaked[0].reason, BlockReason::Sleep);
+}
+
+TEST(Runtime, PanicProducesCrashOutcome)
+{
+    auto rr = runProgram([&] {
+        auto &s = runtime::Scheduler::require();
+        s.gopanic("boom", SourceLoc::current());
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "boom");
+    EXPECT_EQ(rr.exec.panicGid, 1u);
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::GoPanic), 1u);
+}
+
+TEST(Runtime, PanicInChildCrashesProgram)
+{
+    bool after = false;
+    auto rr = runProgram([&] {
+        go([&] {
+            runtime::Scheduler::require().gopanic("child boom",
+                                                  SourceLoc::current());
+        });
+        yield();
+        after = true;
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "child boom");
+    EXPECT_EQ(rr.exec.panicGid, 2u);
+    // Main never resumed after the crash.
+    EXPECT_FALSE(after);
+}
+
+TEST(Runtime, StepBudgetStopsRunawayProgram)
+{
+    runtime::SchedConfig cfg;
+    cfg.seed = 1;
+    cfg.noiseProb = 0.0;
+    cfg.stepBudget = 5000;
+    runtime::Scheduler sched(cfg);
+    auto res = sched.run([] {
+        while (true)
+            yield();
+    });
+    EXPECT_EQ(res.outcome, RunOutcome::StepBudget);
+}
+
+TEST(Runtime, TraceStartAndStopBracketTheEct)
+{
+    auto rr = runProgram([] {});
+    ASSERT_GE(rr.ect.size(), 2u);
+    EXPECT_EQ(rr.ect.events().front().type, trace::EventType::TraceStart);
+    EXPECT_EQ(rr.ect.events().back().type, trace::EventType::TraceStop);
+}
+
+TEST(Runtime, MainFinalEventIsGoSchedTraceStop)
+{
+    auto rr = runProgram([] {});
+    const trace::Event *last = rr.ect.lastEventOf(1);
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->type, trace::EventType::GoSched);
+    EXPECT_EQ(last->args[0], trace::SchedTagTraceStop);
+}
+
+TEST(Runtime, ChildFinalEventIsGoEnd)
+{
+    auto rr = runProgram([] {
+        go([] {});
+        yield();
+    });
+    const trace::Event *last = rr.ect.lastEventOf(2);
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->type, trace::EventType::GoEnd);
+}
+
+TEST(Runtime, GoCreateRecordsParentAndChild)
+{
+    auto rr = runProgram([] {
+        go([] {});
+        yield();
+    });
+    bool found = false;
+    for (const auto &ev : rr.ect.events()) {
+        if (ev.type == trace::EventType::GoCreate && ev.args[0] == 2) {
+            EXPECT_EQ(ev.gid, 1u); // created by main
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Runtime, EventTimestampsStrictlyIncrease)
+{
+    auto rr = runProgram([] {
+        for (int i = 0; i < 10; ++i)
+            go([] { yield(); });
+        for (int i = 0; i < 20; ++i)
+            yield();
+    });
+    uint64_t prev = 0;
+    for (const auto &ev : rr.ect.events()) {
+        EXPECT_GT(ev.ts, prev);
+        prev = ev.ts;
+    }
+}
+
+TEST(Runtime, DeterministicTraceForSameSeed)
+{
+    auto prog = [] {
+        for (int i = 0; i < 5; ++i)
+            go([] { yield(); });
+        for (int i = 0; i < 10; ++i)
+            yield();
+    };
+    auto a = runProgram(prog, 99, 0.05);
+    auto b = runProgram(prog, 99, 0.05);
+    ASSERT_EQ(a.ect.size(), b.ect.size());
+    for (size_t i = 0; i < a.ect.size(); ++i) {
+        EXPECT_EQ(a.ect.events()[i].type, b.ect.events()[i].type);
+        EXPECT_EQ(a.ect.events()[i].gid, b.ect.events()[i].gid);
+    }
+}
+
+TEST(Runtime, GoroutineIdsAreSequential)
+{
+    std::vector<uint32_t> ids;
+    auto rr = runProgram([&] {
+        ids.push_back(gid());
+        go([&] { ids.push_back(gid()); });
+        go([&] { ids.push_back(gid()); });
+        yield();
+    });
+    EXPECT_EQ(ids, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(Runtime, SchedulerCurIsNullOutsideRun)
+{
+    EXPECT_EQ(Scheduler::cur(), nullptr);
+    runProgram([] { EXPECT_NE(Scheduler::cur(), nullptr); });
+    EXPECT_EQ(Scheduler::cur(), nullptr);
+}
+
+TEST(Runtime, StackReuseAcrossManySequentialGoroutines)
+{
+    // Goroutines die and their stacks recycle through the pool.
+    int total = 0;
+    auto rr = runProgram([&] {
+        for (int i = 0; i < 200; ++i) {
+            go([&] { ++total; });
+            yield();
+        }
+    });
+    EXPECT_EQ(total, 200);
+}
+
+TEST(Runtime, AddTimerFiresOnlyWhenIdle)
+{
+    // A timer with an earlier deadline than a later-scheduled sleep
+    // still fires first (timer heap ordering).
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        auto &s = runtime::Scheduler::require();
+        s.addTimer(s.now() + 5, [&] { order.push_back(1); });
+        s.addTimer(s.now() + 3, [&] { order.push_back(0); });
+        sleepNs(10);
+        order.push_back(2);
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Runtime, NoiseProducesDifferentInterleavings)
+{
+    // With noise enabled, different seeds must yield at least two
+    // distinct interleavings of two racing goroutines.
+    std::set<std::string> shapes;
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+        std::string shape;
+        runProgram(
+            [&] {
+                go([&] {
+                    for (int i = 0; i < 3; ++i) {
+                        runtime::Scheduler::require().cuHook(
+                            staticmodel::CuKind::Send,
+                            SourceLoc::current());
+                        shape += 'a';
+                    }
+                });
+                go([&] {
+                    for (int i = 0; i < 3; ++i) {
+                        runtime::Scheduler::require().cuHook(
+                            staticmodel::CuKind::Send,
+                            SourceLoc::current());
+                        shape += 'b';
+                    }
+                });
+                for (int i = 0; i < 10; ++i)
+                    yield();
+            },
+            seed, 0.3);
+        shapes.insert(shape);
+    }
+    EXPECT_GE(shapes.size(), 2u);
+}

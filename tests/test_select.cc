@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit tests for the select statement: default case, uniform choice
+ * among ready cases, blocking select wake-up via send/recv/close,
+ * multi-case registration and eager dequeue, send-on-closed panics,
+ * and the SelectBegin/Case/End trace protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "chan/time.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::runtime;
+using goat::test::countEvents;
+using goat::test::runProgram;
+
+TEST(Select, DefaultTakenWhenNothingReady)
+{
+    int chosen = -2;
+    bool def = false;
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        chosen = Select()
+                     .onRecv<int>(c, {})
+                     .onDefault([&] { def = true; })
+                     .run();
+    });
+    EXPECT_EQ(chosen, -1);
+    EXPECT_TRUE(def);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, ReadyRecvCasePreferredOverDefault)
+{
+    int got = 0;
+    auto rr = runProgram([&] {
+        Chan<int> c(1);
+        c.send(5);
+        int chosen = Select()
+                         .onRecv<int>(c, [&](int v, bool) { got = v; })
+                         .onDefault()
+                         .run();
+        EXPECT_EQ(chosen, 0);
+    });
+    EXPECT_EQ(got, 5);
+}
+
+TEST(Select, ReadySendCaseExecutes)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c(1);
+        int chosen = Select().onSend(c, 9).run();
+        EXPECT_EQ(chosen, 0);
+        EXPECT_EQ(c.recv(), 9);
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, BlocksUntilSenderArrives)
+{
+    int got = 0;
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        go([&, c]() mutable {
+            yield();
+            c.send(11);
+        });
+        int chosen =
+            Select().onRecv<int>(c, [&](int v, bool) { got = v; }).run();
+        EXPECT_EQ(chosen, 0);
+        yield();
+    });
+    EXPECT_EQ(got, 11);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, BlocksUntilReceiverArrivesOnSendCase)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        int got = 0;
+        go([&, c]() mutable {
+            yield();
+            got = c.recv();
+        });
+        int chosen = Select().onSend(c, 21).run();
+        EXPECT_EQ(chosen, 0);
+        yield();
+        EXPECT_EQ(got, 21);
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, CloseWakesBlockedSelectWithOkFalse)
+{
+    bool got_ok = true;
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        go([&, c]() mutable {
+            yield();
+            c.close();
+        });
+        Select().onRecv<int>(c, [&](int, bool ok) { got_ok = ok; }).run();
+        yield();
+    });
+    EXPECT_FALSE(got_ok);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, SendCaseOnClosedChannelPanics)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        c.close();
+        Select().onSend(c, 1).run();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "send on closed channel");
+}
+
+TEST(Select, ParkedSendCaseWokenByClosePanics)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        go([&, c]() mutable {
+            yield();
+            c.close();
+        });
+        Select().onSend(c, 1).run(); // parks, then close wakes → panic
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "send on closed channel");
+}
+
+TEST(Select, ChoiceAmongReadyCasesIsRandomized)
+{
+    // Two ready receive cases: across seeds, both must get picked.
+    std::set<int> chosen_set;
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        runProgram(
+            [&] {
+                Chan<int> a(1), b(1);
+                a.send(1);
+                b.send(2);
+                int chosen = Select()
+                                 .onRecv<int>(a, {})
+                                 .onRecv<int>(b, {})
+                                 .run();
+                chosen_set.insert(chosen);
+            },
+            seed);
+    }
+    EXPECT_EQ(chosen_set, (std::set<int>{0, 1}));
+}
+
+TEST(Select, ChoiceIsRoughlyUniform)
+{
+    std::map<int, int> counts;
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+        runProgram(
+            [&] {
+                Chan<int> a(1), b(1), c(1);
+                a.send(1);
+                b.send(2);
+                c.send(3);
+                int chosen = Select()
+                                 .onRecv<int>(a, {})
+                                 .onRecv<int>(b, {})
+                                 .onRecv<int>(c, {})
+                                 .run();
+                counts[chosen]++;
+            },
+            seed);
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_GT(counts[i], 70);
+        EXPECT_LT(counts[i], 200);
+    }
+}
+
+TEST(Select, FirstWakerWinsWhenParkedOnManyChannels)
+{
+    int chosen = -2;
+    auto rr = runProgram([&] {
+        Chan<int> a, b;
+        go([&, b]() mutable {
+            yield();
+            b.send(99); // case 1 completes first
+        });
+        int got = 0;
+        chosen = Select()
+                     .onRecv<int>(a, [&](int v, bool) { got = v; })
+                     .onRecv<int>(b, [&](int v, bool) { got = v; })
+                     .run();
+        EXPECT_EQ(got, 99);
+        yield();
+        // The waiter on channel a must have been dequeued: a send on a
+        // would otherwise "deliver" to the finished select.
+        go([&, a]() mutable { a.send(1); });
+        yield();
+        EXPECT_EQ(a.recv(), 1);
+    });
+    EXPECT_EQ(chosen, 1);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, TwoCasesOnSameChannelCloseDecidesOnce)
+{
+    int body_runs = 0;
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        go([&, c]() mutable {
+            yield();
+            c.close();
+        });
+        Select()
+            .onRecv<int>(c, [&](int, bool) { ++body_runs; })
+            .onRecv<int>(c, [&](int, bool) { ++body_runs; })
+            .run();
+        yield();
+    });
+    EXPECT_EQ(body_runs, 1);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, EmptySelectBlocksForever)
+{
+    auto rr = runProgram([&] { Select().run(); });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+}
+
+TEST(Select, NoDefaultNoPeerGlobalDeadlock)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        Select().onRecv<int>(c, {}).run();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+}
+
+TEST(Select, WithTimeAfterTimeout)
+{
+    bool timed_out = false;
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        auto t = gotime::after(10 * gotime::Millisecond);
+        Select()
+            .onRecv<int>(c, {})
+            .onRecv<Unit>(t, [&](Unit, bool) { timed_out = true; })
+            .run();
+    });
+    EXPECT_TRUE(timed_out);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Select, TraceProtocolEmitted)
+{
+    auto rr = runProgram([&] {
+        Chan<int> a(1);
+        a.send(1);
+        Select().onRecv<int>(a, {}).onDefault().run();
+    });
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::SelectBegin), 1u);
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::SelectCase), 1u);
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::SelectEnd), 1u);
+    // SelectEnd must carry the chosen index 0 (ready recv wins over
+    // default) and blockedFirst = 0.
+    for (const auto &ev : rr.ect.events()) {
+        if (ev.type == trace::EventType::SelectEnd) {
+            EXPECT_EQ(ev.args[0], 0);
+            EXPECT_EQ(ev.args[1], 0);
+        }
+    }
+}
+
+TEST(Select, DefaultEndEventUsesMinusOne)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        Select().onRecv<int>(c, {}).onDefault().run();
+    });
+    bool found = false;
+    for (const auto &ev : rr.ect.events()) {
+        if (ev.type == trace::EventType::SelectEnd) {
+            EXPECT_EQ(ev.args[0], -1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Select, BlockedSelectEndHasBlockedFlag)
+{
+    auto rr = runProgram([&] {
+        Chan<int> c;
+        go([&, c]() mutable {
+            yield();
+            c.send(1);
+        });
+        Select().onRecv<int>(c, {}).run();
+        yield();
+    });
+    bool found = false;
+    for (const auto &ev : rr.ect.events()) {
+        if (ev.type == trace::EventType::SelectEnd) {
+            EXPECT_EQ(ev.args[1], 1); // blocked first
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Select, NestedSelectsInLoop)
+{
+    // A monitor loop draining two producers, Go-style.
+    int total = 0;
+    auto rr = runProgram([&] {
+        Chan<int> a(4), b(4);
+        Chan<Unit> done;
+        go([&, a]() mutable {
+            for (int i = 0; i < 3; ++i)
+                a.send(1);
+        });
+        go([&, b]() mutable {
+            for (int i = 0; i < 3; ++i)
+                b.send(1);
+        });
+        go([&, done]() mutable {
+            sleepMs(10);
+            done.close();
+        });
+        bool stop = false;
+        while (!stop) {
+            Select()
+                .onRecv<int>(a, [&](int v, bool ok) { total += ok ? v : 0; })
+                .onRecv<int>(b, [&](int v, bool ok) { total += ok ? v : 0; })
+                .onRecv<Unit>(done, [&](Unit, bool) { stop = true; })
+                .run();
+        }
+    });
+    EXPECT_EQ(total, 6);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the static model: CU kind naming, CU table operations,
+ * comment/string stripping, and the lexical source scanner that builds
+ * the static model M from GoAT-CPP sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "staticmodel/cutable.hh"
+#include "staticmodel/scanner.hh"
+
+using namespace goat;
+using namespace goat::staticmodel;
+
+TEST(CuKind, NameRoundTrip)
+{
+    for (size_t i = 0; i < static_cast<size_t>(CuKind::NumCuKinds); ++i) {
+        auto k = static_cast<CuKind>(i);
+        EXPECT_EQ(cuKindFromName(cuKindName(k)), k);
+    }
+    EXPECT_EQ(cuKindFromName("bogus"), CuKind::NumCuKinds);
+}
+
+TEST(CuTable, AddDeduplicatesAndSorts)
+{
+    CuTable t;
+    t.add(Cu(SourceLoc("b.cc", 5), CuKind::Send));
+    t.add(Cu(SourceLoc("a.cc", 9), CuKind::Lock));
+    t.add(Cu(SourceLoc("b.cc", 5), CuKind::Send)); // duplicate
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.all()[0].loc.basename(), "a.cc");
+}
+
+TEST(CuTable, FindByLocation)
+{
+    CuTable t;
+    t.add(Cu(SourceLoc("k.cc", 10), CuKind::Recv));
+    const Cu *cu = t.find(SourceLoc("k.cc", 10));
+    ASSERT_NE(cu, nullptr);
+    EXPECT_EQ(cu->kind, CuKind::Recv);
+    EXPECT_EQ(t.find(SourceLoc("k.cc", 11)), nullptr);
+}
+
+TEST(CuTable, MergeCombines)
+{
+    CuTable a, b;
+    a.add(Cu(SourceLoc("x.cc", 1), CuKind::Go));
+    b.add(Cu(SourceLoc("x.cc", 2), CuKind::Select));
+    b.add(Cu(SourceLoc("x.cc", 1), CuKind::Go));
+    a.merge(b);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Strip, LineComments)
+{
+    EXPECT_EQ(stripCommentsAndStrings("a // c.send(x)\nb"), "a \nb");
+}
+
+TEST(Strip, BlockCommentsPreserveLineCount)
+{
+    std::string in = "a /* c.send(\n.lock( */ b\nc";
+    std::string out = stripCommentsAndStrings(in);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+    EXPECT_EQ(out.find(".send("), std::string::npos);
+    EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(Strip, StringLiterals)
+{
+    std::string out =
+        stripCommentsAndStrings("f(\"x.send(1)\"); g.send(2);");
+    EXPECT_EQ(out.find("x.send"), std::string::npos);
+    EXPECT_NE(out.find("g.send"), std::string::npos);
+}
+
+TEST(Strip, EscapedQuoteInsideString)
+{
+    std::string out = stripCommentsAndStrings("\"a\\\"b.lock(\" m.lock();");
+    EXPECT_NE(out.find("m.lock("), std::string::npos);
+    EXPECT_EQ(out.find("b.lock("), std::string::npos);
+}
+
+TEST(Strip, CharLiterals)
+{
+    std::string out = stripCommentsAndStrings("x = '\\''; m.lock();");
+    EXPECT_NE(out.find("m.lock("), std::string::npos);
+}
+
+TEST(Scanner, FindsChannelUsages)
+{
+    std::string src =
+        "void f() {\n"
+        "    c.send(1);\n"
+        "    auto v = c.recv();\n"
+        "    c.close();\n"
+        "}\n";
+    CuTable t = scanSource(src, "prog.cc");
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.all()[0].kind, CuKind::Send);
+    EXPECT_EQ(t.all()[0].loc.line, 2u);
+    EXPECT_EQ(t.all()[1].kind, CuKind::Recv);
+    EXPECT_EQ(t.all()[2].kind, CuKind::Close);
+}
+
+TEST(Scanner, FindsSyncUsages)
+{
+    std::string src =
+        "m.lock();\n"
+        "m.unlock();\n"
+        "rw.rlock();\n"
+        "rw.runlock();\n"
+        "wg.add(2);\n"
+        "wg.done();\n"
+        "wg.wait();\n"
+        "cv.signal();\n"
+        "cv.broadcast();\n";
+    CuTable t = scanSource(src, "s.cc");
+    EXPECT_EQ(t.size(), 9u);
+    EXPECT_EQ(t.find(SourceLoc("s.cc", 3))->kind, CuKind::Lock);
+    EXPECT_EQ(t.find(SourceLoc("s.cc", 4))->kind, CuKind::Unlock);
+    EXPECT_EQ(t.find(SourceLoc("s.cc", 5))->kind, CuKind::Add);
+    EXPECT_EQ(t.find(SourceLoc("s.cc", 6))->kind, CuKind::Done);
+}
+
+TEST(Scanner, FindsGoAndSelect)
+{
+    std::string src =
+        "goat::go([&] { work(); });\n"
+        "goNamed(\"w\", [&] {});\n"
+        "int c = goat::Select()\n"
+        "    .onRecv<int>(ch, {})\n"
+        "    .run();\n";
+    CuTable t = scanSource(src, "g.cc");
+    EXPECT_EQ(t.find(SourceLoc("g.cc", 1))->kind, CuKind::Go);
+    EXPECT_EQ(t.find(SourceLoc("g.cc", 2))->kind, CuKind::Go);
+    EXPECT_EQ(t.find(SourceLoc("g.cc", 3))->kind, CuKind::Select);
+    // onRecv / run are not CUs.
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Scanner, FindsRange)
+{
+    CuTable t = scanSource("ch.range([&](int v) { use(v); });\n", "r.cc");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].kind, CuKind::Range);
+}
+
+TEST(Scanner, LockGuardYieldsLockAndUnlock)
+{
+    CuTable t = scanSource("gosync::LockGuard g(m);\n", "lg.cc");
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_NE(t.find(SourceLoc("lg.cc", 1)), nullptr);
+}
+
+TEST(Scanner, IgnoresNonCallIdentifiers)
+{
+    // `go` as a plain word, `send` without a dot-call: no CUs.
+    CuTable t = scanSource("int go = 1; send(x); int Select = 2;\n",
+                           "n.cc");
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Scanner, IgnoresCommentedUsages)
+{
+    std::string src =
+        "// c.send(1);\n"
+        "/* m.lock(); */\n"
+        "c.recv();\n";
+    CuTable t = scanSource(src, "c.cc");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].loc.line, 3u);
+}
+
+TEST(Scanner, DoesNotConfuseSimilarMethodNames)
+{
+    // .onRecv( must not register as recv; .closed( not as close.
+    CuTable t = scanSource("s.onRecv<int>(c, {}); if (c.closed()) {}\n",
+                           "m.cc");
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Scanner, MultipleUsagesOnOneLineAllFound)
+{
+    CuTable t = scanSource("m.lock(); x = c.recv(); m.unlock();\n",
+                           "one.cc");
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Scanner, MissingFileYieldsEmptyTable)
+{
+    EXPECT_TRUE(scanFile("/nonexistent/zz.cc").empty());
+}

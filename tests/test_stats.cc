@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for trace statistics and the DOT visualization: event
+ * accounting per goroutine, parked-step attribution (including leaked
+ * goroutines charged to trace end), per-object contention counters,
+ * and the Graphviz rendering of the goroutine tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/goroutine_tree.hh"
+#include "analysis/report.hh"
+#include "analysis/stats.hh"
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "sync/sync.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::analysis;
+using goat::test::runProgram;
+
+TEST(Stats, CountsEventsPerGoroutine)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        go([c]() mutable { c.send(1); });
+        yield();
+        c.recv();
+    });
+    TraceStats stats = computeStats(rr.ect);
+    EXPECT_GE(stats.goroutines.size(), 2u); // gid 0 + main + child
+    EXPECT_GT(stats.goroutines[1].events, 0u);
+    EXPECT_EQ(stats.goroutines[1].spawns, 1u);
+    EXPECT_EQ(stats.goroutines[2].chanOps, 1u);
+    EXPECT_EQ(stats.goroutines[1].chanOps, 1u);
+    EXPECT_EQ(stats.totalEvents, rr.ect.size());
+}
+
+TEST(Stats, ParkedStepsForBlockedAndWoken)
+{
+    auto rr = runProgram([] {
+        Chan<int> c;
+        go([c]() mutable { c.send(1); }); // parks until main receives
+        yield();
+        yield();
+        c.recv();
+        yield();
+    });
+    TraceStats stats = computeStats(rr.ect);
+    EXPECT_GT(stats.goroutines[2].parkedSteps, 0u);
+    EXPECT_EQ(stats.goroutines[2].blocks, 1u);
+}
+
+TEST(Stats, LeakedGoroutineChargedToTraceEnd)
+{
+    auto rr = runProgram([] {
+        Chan<int> c;
+        go([c]() mutable { c.recv(); }); // leaks
+        yield();
+        for (int i = 0; i < 10; ++i)
+            yield(); // trace keeps growing while the child is parked
+    });
+    TraceStats stats = computeStats(rr.ect);
+    // The leaked goroutine's dwell time spans to the end of the trace.
+    EXPECT_GT(stats.goroutines[2].parkedSteps, 10u);
+}
+
+TEST(Stats, ChannelContentionCounters)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        c.send(1); // nop
+        go([c]() mutable { c.send(2); }); // blocks: buffer full
+        yield();
+        c.recv(); // unblocking
+        c.recv();
+        yield();
+    });
+    TraceStats stats = computeStats(rr.ect);
+    ASSERT_EQ(stats.channels.size(), 1u);
+    const ObjectStats &ch = stats.channels.begin()->second;
+    EXPECT_EQ(ch.ops, 4u);          // 2 sends + 2 recvs
+    EXPECT_GE(ch.blockingOps, 1u);  // the blocked send
+    EXPECT_GE(ch.unblockingOps, 1u); // the waking recv
+}
+
+TEST(Stats, LockContentionCounters)
+{
+    auto rr = runProgram([] {
+        gosync::Mutex m;
+        m.lock();
+        go([&] {
+            m.lock(); // blocked
+            m.unlock();
+        });
+        yield();
+        m.unlock(); // unblocking
+        yield();
+    });
+    TraceStats stats = computeStats(rr.ect);
+    ASSERT_EQ(stats.locks.size(), 1u);
+    const ObjectStats &mu = stats.locks.begin()->second;
+    EXPECT_EQ(mu.ops, 4u);
+    EXPECT_EQ(mu.blockingOps, 1u);
+    EXPECT_EQ(mu.unblockingOps, 1u);
+}
+
+TEST(Stats, PreemptionsCounted)
+{
+    auto rr = runProgram(
+        [] {
+            Chan<int> c(32);
+            go([c]() mutable {
+                for (int i = 0; i < 20; ++i)
+                    c.send(i);
+            });
+            for (int i = 0; i < 30; ++i)
+                yield();
+        },
+        3, /*noise=*/0.5);
+    TraceStats stats = computeStats(rr.ect);
+    size_t total_preempt = 0;
+    for (const auto &[gid, g] : stats.goroutines)
+        total_preempt += g.preemptions;
+    EXPECT_GT(total_preempt, 0u);
+}
+
+TEST(Stats, SelectsCounted)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        c.send(1);
+        Select().onRecv<int>(c, {}).onDefault().run();
+        Select().onRecv<int>(c, {}).onDefault().run();
+    });
+    TraceStats stats = computeStats(rr.ect);
+    EXPECT_EQ(stats.goroutines[1].selects, 2u);
+}
+
+TEST(Stats, RenderingContainsTables)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        c.send(1);
+        c.recv();
+    });
+    std::string s = computeStats(rr.ect).str();
+    EXPECT_NE(s.find("events"), std::string::npos);
+    EXPECT_NE(s.find("channels:"), std::string::npos);
+    EXPECT_NE(s.find("g1"), std::string::npos);
+}
+
+TEST(Dot, RendersNodesEdgesAndLeakColors)
+{
+    auto rr = runProgram([] {
+        Chan<int> c;
+        go([c]() mutable { c.recv(); }); // leaks
+        go([] {});                        // finishes
+        yield();
+        yield();
+    });
+    GoroutineTree tree(rr.ect);
+    std::string dot = goroutineTreeDot(tree);
+    EXPECT_NE(dot.find("digraph goroutines"), std::string::npos);
+    EXPECT_NE(dot.find("g1 -> g2"), std::string::npos);
+    EXPECT_NE(dot.find("g1 -> g3"), std::string::npos);
+    EXPECT_NE(dot.find("lightcoral"), std::string::npos); // leaked
+    EXPECT_NE(dot.find("palegreen"), std::string::npos);  // finished
+    EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, PanickedGoroutineHighlighted)
+{
+    auto rr = runProgram([] {
+        Chan<int> c;
+        c.close();
+        c.send(1);
+    });
+    GoroutineTree tree(rr.ect);
+    std::string dot = goroutineTreeDot(tree);
+    EXPECT_NE(dot.find("orange"), std::string::npos);
+}

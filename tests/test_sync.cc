@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Unit tests for the sync package: mutex exclusion and FIFO handoff,
+ * Go's self-deadlock on re-lock, unlock-of-unlocked panics, RWMutex
+ * reader/writer rules, WaitGroup counting and misuse panics, Cond
+ * wait/signal/broadcast (including the missed-signal pattern), and
+ * Once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chan/chan.hh"
+#include "sync/sync.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::runtime;
+using goat::test::countEvents;
+using goat::test::runProgram;
+
+TEST(Mutex, LockUnlockSingleGoroutine)
+{
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        EXPECT_EQ(m.holder(), 1u);
+        m.unlock();
+        EXPECT_EQ(m.holder(), 0u);
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Mutex, ProvidesMutualExclusion)
+{
+    int counter = 0;
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        for (int i = 0; i < 4; ++i) {
+            go([&] {
+                m.lock();
+                int v = counter;
+                yield(); // try to race inside the critical section
+                counter = v + 1;
+                m.unlock();
+            });
+        }
+        for (int i = 0; i < 20; ++i)
+            yield();
+    });
+    EXPECT_EQ(counter, 4);
+}
+
+TEST(Mutex, BlockedWaiterAcquiresAfterUnlock)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        go([&] {
+            order.push_back(1);
+            m.lock(); // parks: main holds it
+            order.push_back(3);
+            m.unlock();
+        });
+        yield();
+        order.push_back(2);
+        m.unlock(); // hands off to the waiter
+        yield();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mutex, FifoHandoffAmongWaiters)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        for (int i = 0; i < 3; ++i) {
+            go([&, i] {
+                m.lock();
+                order.push_back(i);
+                m.unlock();
+            });
+        }
+        for (int i = 0; i < 4; ++i)
+            yield();
+        m.unlock();
+        for (int i = 0; i < 6; ++i)
+            yield();
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Mutex, ReLockSelfDeadlocks)
+{
+    // Go mutexes are not reentrant: double lock by the same goroutine
+    // blocks forever → global deadlock when it is the only goroutine.
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        m.lock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+}
+
+TEST(Mutex, UnlockOfUnlockedPanics)
+{
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.unlock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "sync: unlock of unlocked mutex");
+}
+
+TEST(Mutex, UnlockByDifferentGoroutineAllowed)
+{
+    // Go allows any goroutine to unlock a mutex.
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        go([&] { m.unlock(); });
+        yield();
+        m.lock(); // re-acquirable after the child's unlock
+        m.unlock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Mutex, TryLockFailsWhenHeld)
+{
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        EXPECT_FALSE(m.tryLock());
+        m.unlock();
+        EXPECT_TRUE(m.tryLock());
+        m.unlock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Mutex, LockGuardReleasesOnScopeExit)
+{
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        {
+            gosync::LockGuard g(m);
+            EXPECT_EQ(m.holder(), 1u);
+        }
+        EXPECT_EQ(m.holder(), 0u);
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Mutex, EmitsLockReqAndLockEvents)
+{
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        m.lock();
+        m.unlock();
+    });
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::MuLockReq), 1u);
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::MuLock), 1u);
+    EXPECT_EQ(countEvents(rr.ect, trace::EventType::MuUnlock), 1u);
+}
+
+TEST(RWMutex, MultipleReadersShareTheLock)
+{
+    int concurrent = 0, max_concurrent = 0;
+    auto rr = runProgram([&] {
+        gosync::RWMutex rw;
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                rw.rlock();
+                ++concurrent;
+                max_concurrent = std::max(max_concurrent, concurrent);
+                yield();
+                --concurrent;
+                rw.runlock();
+            });
+        }
+        for (int i = 0; i < 10; ++i)
+            yield();
+    });
+    EXPECT_EQ(max_concurrent, 3);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(RWMutex, WriterExcludesReaders)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        gosync::RWMutex rw;
+        rw.lock();
+        go([&] {
+            rw.rlock();
+            order.push_back(2);
+            rw.runlock();
+        });
+        yield();
+        order.push_back(1);
+        rw.unlock();
+        yield();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(RWMutex, PendingWriterBlocksNewReaders)
+{
+    // Go's anti-starvation rule: a reader arriving after a queued
+    // writer waits behind it.
+    std::vector<char> order;
+    auto rr = runProgram([&] {
+        gosync::RWMutex rw;
+        rw.rlock(); // main holds a read lock
+        go([&] {
+            rw.lock(); // writer queues
+            order.push_back('w');
+            rw.unlock();
+        });
+        yield();
+        go([&] {
+            rw.rlock(); // must wait behind the queued writer
+            order.push_back('r');
+            rw.runlock();
+        });
+        yield();
+        rw.runlock(); // release: writer goes first, then the reader
+        for (int i = 0; i < 6; ++i)
+            yield();
+    });
+    EXPECT_EQ(order, (std::vector<char>{'w', 'r'}));
+}
+
+TEST(RWMutex, RUnlockOfUnlockedPanics)
+{
+    auto rr = runProgram([&] {
+        gosync::RWMutex rw;
+        rw.runlock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "sync: RUnlock of unlocked RWMutex");
+}
+
+TEST(RWMutex, UnlockOfUnlockedPanics)
+{
+    auto rr = runProgram([&] {
+        gosync::RWMutex rw;
+        rw.unlock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "sync: Unlock of unlocked RWMutex");
+}
+
+TEST(RWMutex, WriteAfterReadSelfDeadlocks)
+{
+    // rlock then lock by the same goroutine: the writer waits for the
+    // reader (itself) forever — Go deadlocks identically.
+    auto rr = runProgram([&] {
+        gosync::RWMutex rw;
+        rw.rlock();
+        rw.lock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+}
+
+TEST(WaitGroup, WaitReturnsImmediatelyAtZero)
+{
+    auto rr = runProgram([&] {
+        gosync::WaitGroup wg;
+        wg.wait(); // counter is 0
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(WaitGroup, WaitBlocksUntilAllDone)
+{
+    int finished = 0;
+    auto rr = runProgram([&] {
+        gosync::WaitGroup wg;
+        wg.add(3);
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                yield();
+                ++finished;
+                wg.done();
+            });
+        }
+        wg.wait();
+        EXPECT_EQ(finished, 3);
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(WaitGroup, MultipleWaitersAllReleased)
+{
+    int released = 0;
+    auto rr = runProgram([&] {
+        gosync::WaitGroup wg;
+        wg.add(1);
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                wg.wait();
+                ++released;
+            });
+        }
+        for (int i = 0; i < 4; ++i)
+            yield();
+        wg.done();
+        for (int i = 0; i < 4; ++i)
+            yield();
+    });
+    EXPECT_EQ(released, 3);
+}
+
+TEST(WaitGroup, NegativeCounterPanics)
+{
+    auto rr = runProgram([&] {
+        gosync::WaitGroup wg;
+        wg.done();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Crash);
+    EXPECT_EQ(rr.exec.panicMsg, "sync: negative WaitGroup counter");
+}
+
+TEST(WaitGroup, MissingDoneLeadsToDeadlock)
+{
+    auto rr = runProgram([&] {
+        gosync::WaitGroup wg;
+        wg.add(2);
+        go([&] { wg.done(); }); // only one Done
+        wg.wait();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+}
+
+TEST(Cond, SignalWakesWaiter)
+{
+    bool woke = false;
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        gosync::Cond cv(m);
+        go([&] {
+            m.lock();
+            cv.wait();
+            woke = true;
+            m.unlock();
+        });
+        yield();
+        m.lock();
+        cv.signal();
+        m.unlock();
+        yield();
+    });
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Cond, WaitReleasesAndReacquiresMutex)
+{
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        gosync::Cond cv(m);
+        go([&] {
+            m.lock();
+            cv.wait(); // must release m while parked
+            EXPECT_EQ(m.holder(), gid());
+            m.unlock();
+        });
+        yield();
+        m.lock(); // succeeds because wait released it
+        cv.signal();
+        m.unlock();
+        yield();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Cond, BroadcastWakesAllWaiters)
+{
+    int woke = 0;
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        gosync::Cond cv(m);
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                m.lock();
+                cv.wait();
+                ++woke;
+                m.unlock();
+            });
+        }
+        for (int i = 0; i < 4; ++i)
+            yield();
+        m.lock();
+        cv.broadcast();
+        m.unlock();
+        for (int i = 0; i < 8; ++i)
+            yield();
+    });
+    EXPECT_EQ(woke, 3);
+}
+
+TEST(Cond, SignalBeforeWaitIsLost)
+{
+    // The classic missed-signal bug: signal with no waiter is a no-op,
+    // so the later wait blocks forever.
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        gosync::Cond cv(m);
+        cv.signal(); // lost
+        m.lock();
+        cv.wait();
+        m.unlock();
+    });
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::GlobalDeadlock);
+}
+
+TEST(Cond, SignalWakesWaitersInFifoOrder)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        gosync::Mutex m;
+        gosync::Cond cv(m);
+        for (int i = 0; i < 2; ++i) {
+            go([&, i] {
+                m.lock();
+                cv.wait();
+                order.push_back(i);
+                m.unlock();
+            });
+        }
+        for (int i = 0; i < 3; ++i)
+            yield();
+        m.lock();
+        cv.signal();
+        m.unlock();
+        yield();
+        yield();
+        m.lock();
+        cv.signal();
+        m.unlock();
+        for (int i = 0; i < 4; ++i)
+            yield();
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Once, RunsExactlyOnce)
+{
+    int runs = 0;
+    auto rr = runProgram([&] {
+        gosync::Once once;
+        for (int i = 0; i < 3; ++i)
+            go([&] { once.do_([&] { ++runs; }); });
+        for (int i = 0; i < 6; ++i)
+            yield();
+        once.do_([&] { ++runs; });
+    });
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(rr.exec.outcome, RunOutcome::Ok);
+}
+
+TEST(Once, ConcurrentCallersBlockUntilFirstCompletes)
+{
+    std::vector<int> order;
+    auto rr = runProgram([&] {
+        gosync::Once once;
+        Chan<Unit> gate;
+        go([&] {
+            once.do_([&] {
+                order.push_back(1);
+                gate.recv(); // park inside the once body
+                order.push_back(2);
+            });
+        });
+        go([&] {
+            once.do_([] {});
+            order.push_back(3); // must run after the first completes
+        });
+        yield();
+        yield();
+        gate.send(Unit{});
+        for (int i = 0; i < 4; ++i)
+            yield();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the trace subsystem: event-type naming round trips,
+ * ECT queries, serialization/parsing round trips (including metadata
+ * and panic messages), and classification helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chan/chan.hh"
+#include "trace/ect.hh"
+#include "trace/serialize.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::trace;
+using goat::test::runProgram;
+
+TEST(TraceEvent, NameRoundTripAllTypes)
+{
+    for (size_t i = 0; i < static_cast<size_t>(EventType::NumEventTypes);
+         ++i) {
+        auto t = static_cast<EventType>(i);
+        EXPECT_EQ(eventTypeFromName(eventTypeName(t)), t)
+            << "type index " << i;
+    }
+}
+
+TEST(TraceEvent, UnknownNameRejected)
+{
+    EXPECT_EQ(eventTypeFromName("bogus"), EventType::NumEventTypes);
+}
+
+TEST(TraceEvent, BlockClassification)
+{
+    EXPECT_TRUE(isBlockEvent(EventType::GoBlockSend));
+    EXPECT_TRUE(isBlockEvent(EventType::GoBlockRecv));
+    EXPECT_TRUE(isBlockEvent(EventType::GoBlockSelect));
+    EXPECT_TRUE(isBlockEvent(EventType::GoBlockSync));
+    EXPECT_TRUE(isBlockEvent(EventType::GoBlockCond));
+    EXPECT_FALSE(isBlockEvent(EventType::GoSched));
+    EXPECT_FALSE(isBlockEvent(EventType::ChSend));
+}
+
+TEST(TraceEvent, ConcurrencyClassification)
+{
+    EXPECT_TRUE(isConcurrencyEvent(EventType::ChSend));
+    EXPECT_TRUE(isConcurrencyEvent(EventType::CvBroadcast));
+    EXPECT_TRUE(isConcurrencyEvent(EventType::MuLock));
+    EXPECT_FALSE(isConcurrencyEvent(EventType::GoCreate));
+    EXPECT_FALSE(isConcurrencyEvent(EventType::TraceStart));
+}
+
+TEST(Ect, MetaStorage)
+{
+    Ect ect;
+    ect.setMeta("seed", "42");
+    ect.setMeta("outcome", "ok");
+    EXPECT_EQ(ect.meta("seed"), "42");
+    EXPECT_EQ(ect.meta("missing"), "");
+}
+
+TEST(Ect, EventsOfAndLastEventOf)
+{
+    Ect ect;
+    ect.append(Event(1, 1, EventType::GoCreate, SourceLoc("a.cc", 1)));
+    ect.append(Event(2, 2, EventType::GoStart, SourceLoc("a.cc", 1)));
+    ect.append(Event(3, 1, EventType::GoSched, SourceLoc("a.cc", 2)));
+    ect.append(Event(4, 2, EventType::GoEnd, SourceLoc("a.cc", 1)));
+    EXPECT_EQ(ect.eventsOf(1).size(), 2u);
+    EXPECT_EQ(ect.eventsOf(2).size(), 2u);
+    EXPECT_EQ(ect.lastEventOf(1)->type, EventType::GoSched);
+    EXPECT_EQ(ect.lastEventOf(2)->type, EventType::GoEnd);
+    EXPECT_EQ(ect.lastEventOf(99), nullptr);
+}
+
+TEST(Ect, GoroutineIds)
+{
+    Ect ect;
+    ect.append(Event(1, 3, EventType::GoSched, SourceLoc("a.cc", 1)));
+    ect.append(Event(2, 1, EventType::GoSched, SourceLoc("a.cc", 1)));
+    ect.append(Event(3, 3, EventType::GoSched, SourceLoc("a.cc", 1)));
+    EXPECT_EQ(ect.goroutineIds(), (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(Serialize, RoundTripSimpleTrace)
+{
+    Ect ect;
+    ect.setMeta("seed", "7");
+    ect.append(Event(1, 0, EventType::TraceStart, SourceLoc("main", 0)));
+    ect.append(
+        Event(2, 1, EventType::ChSend, SourceLoc("prog.cc", 42), 5, 1, 0, 0));
+    ect.append(Event(3, 0, EventType::TraceStop, SourceLoc("main", 0)));
+
+    std::string text = ectToString(ect);
+    Ect back;
+    ASSERT_TRUE(ectFromString(text, back));
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.meta("seed"), "7");
+    EXPECT_EQ(back.events()[1].type, EventType::ChSend);
+    EXPECT_EQ(back.events()[1].loc.basename(), "prog.cc");
+    EXPECT_EQ(back.events()[1].loc.line, 42u);
+    EXPECT_EQ(back.events()[1].args[0], 5);
+    EXPECT_EQ(back.events()[1].args[1], 1);
+}
+
+TEST(Serialize, RoundTripPanicMessage)
+{
+    Ect ect;
+    Event ev(1, 2, EventType::GoPanic, SourceLoc("k.cc", 9));
+    ev.str = "send on closed channel";
+    ect.append(ev);
+    Ect back;
+    ASSERT_TRUE(ectFromString(ectToString(ect), back));
+    EXPECT_EQ(back.events()[0].str, "send on closed channel");
+}
+
+TEST(Serialize, RoundTripRealExecution)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        go([c]() mutable { c.send(3); });
+        yield();
+        c.recv();
+    });
+    std::string text = ectToString(rr.ect);
+    Ect back;
+    ASSERT_TRUE(ectFromString(text, back));
+    ASSERT_EQ(back.size(), rr.ect.size());
+    for (size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back.events()[i].type, rr.ect.events()[i].type);
+        EXPECT_EQ(back.events()[i].ts, rr.ect.events()[i].ts);
+        EXPECT_EQ(back.events()[i].gid, rr.ect.events()[i].gid);
+        EXPECT_EQ(back.events()[i].loc.line, rr.ect.events()[i].loc.line);
+    }
+}
+
+TEST(Serialize, MalformedLineRejected)
+{
+    Ect back;
+    EXPECT_FALSE(ectFromString("1 2 not_a_type x 1 0 0 0 0\n", back));
+    EXPECT_FALSE(ectFromString("garbage\n", back));
+}
+
+TEST(Serialize, EmptyInputYieldsEmptyTrace)
+{
+    Ect back;
+    EXPECT_TRUE(ectFromString("", back));
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    Ect ect;
+    ect.setMeta("name", "t");
+    ect.append(Event(1, 1, EventType::GoEnd, SourceLoc("f.cc", 3)));
+    std::string path = testing::TempDir() + "/goat_trace_test.ect";
+    ASSERT_TRUE(writeEctFile(ect, path));
+    Ect back;
+    ASSERT_TRUE(readEctFile(path, back));
+    EXPECT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.meta("name"), "t");
+}
+
+TEST(Serialize, InternStringStableAndShared)
+{
+    const char *a = internString("hello.cc");
+    const char *b = internString("hello.cc");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "hello.cc");
+}
+
+TEST(Recorder, CapturesEveryEmittedEvent)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(2);
+        c.send(1);
+        c.send(2);
+        c.recv();
+        c.close();
+    });
+    EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChSend), 2u);
+    EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChRecv), 1u);
+    EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChClose), 1u);
+    EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChMake), 1u);
+}

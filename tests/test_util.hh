@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the GoAT-CPP test suites: run a program under a
+ * fresh scheduler with an attached ECT recorder and return both the
+ * execution result and the trace.
+ */
+
+#ifndef GOAT_TESTS_TEST_UTIL_HH
+#define GOAT_TESTS_TEST_UTIL_HH
+
+#include <functional>
+#include <utility>
+
+#include "runtime/api.hh"
+#include "runtime/scheduler.hh"
+#include "trace/ect.hh"
+
+namespace goat::test {
+
+struct RunResult
+{
+    runtime::ExecResult exec;
+    trace::Ect ect;
+};
+
+/**
+ * Execute @p fn as a program main under a fresh scheduler.
+ *
+ * @param fn The program.
+ * @param seed Scheduler seed.
+ * @param noise Noise-preemption probability (0 = fully deterministic).
+ */
+inline RunResult
+runProgram(std::function<void()> fn, uint64_t seed = 1, double noise = 0.0)
+{
+    runtime::SchedConfig cfg;
+    cfg.seed = seed;
+    cfg.noiseProb = noise;
+    runtime::Scheduler sched(cfg);
+    trace::EctRecorder rec;
+    sched.addSink(&rec);
+    RunResult rr;
+    rr.exec = sched.run(std::move(fn));
+    rr.ect = rec.ect();
+    return rr;
+}
+
+/** Count events of one type in a trace. */
+inline size_t
+countEvents(const trace::Ect &ect, trace::EventType t)
+{
+    size_t n = 0;
+    for (const auto &ev : ect.events())
+        if (ev.type == t)
+            ++n;
+    return n;
+}
+
+} // namespace goat::test
+
+#endif // GOAT_TESTS_TEST_UTIL_HH

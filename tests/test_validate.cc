@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the ECT well-formedness validator: each invariant
+ * I1–I8 is violated by a hand-crafted trace and accepted on real
+ * executions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/validate.hh"
+#include "chan/chan.hh"
+#include "chan/select.hh"
+#include "sync/sync.hh"
+#include "test_util.hh"
+
+using namespace goat;
+using namespace goat::analysis;
+using namespace goat::trace;
+using goat::test::runProgram;
+
+namespace {
+
+Event
+ev(uint64_t ts, uint32_t gid, EventType t, int64_t a0 = 0, int64_t a1 = 0)
+{
+    return Event(ts, gid, t, SourceLoc("v.cc", 1), a0, a1);
+}
+
+/** A minimal well-formed trace skeleton. */
+Ect
+skeleton()
+{
+    Ect ect;
+    ect.append(ev(1, 0, EventType::TraceStart));
+    ect.append(ev(2, 0, EventType::GoCreate, 1));
+    ect.append(ev(3, 1, EventType::GoStart));
+    return ect;
+}
+
+void
+finish(Ect &ect, uint64_t ts)
+{
+    Event sched = ev(ts, 1, EventType::GoSched, SchedTagTraceStop);
+    ect.append(sched);
+    ect.append(ev(ts + 1, 0, EventType::TraceStop));
+}
+
+} // namespace
+
+TEST(Validate, AcceptsMinimalTrace)
+{
+    Ect ect = skeleton();
+    finish(ect, 4);
+    EXPECT_TRUE(validateEct(ect).ok()) << validateEct(ect).str();
+}
+
+TEST(Validate, I1TimestampsMustIncrease)
+{
+    Ect ect = skeleton();
+    ect.append(ev(3, 1, EventType::GoSched, SchedTagYield)); // dup ts
+    finish(ect, 4);
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("timestamp"), std::string::npos);
+}
+
+TEST(Validate, I2MustBeBracketed)
+{
+    Ect ect;
+    ect.append(ev(1, 0, EventType::GoCreate, 1));
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Validate, I3ExecutionBeforeCreateRejected)
+{
+    Ect ect;
+    ect.append(ev(1, 0, EventType::TraceStart));
+    ect.append(ev(2, 5, EventType::GoSched, SchedTagYield)); // no create
+    ect.append(ev(3, 0, EventType::TraceStop));
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("before its go_create"), std::string::npos);
+}
+
+TEST(Validate, I4NothingAfterTermination)
+{
+    Ect ect = skeleton();
+    ect.append(ev(4, 1, EventType::GoEnd));
+    ect.append(ev(5, 1, EventType::GoSched, SchedTagYield)); // zombie
+    ect.append(ev(6, 0, EventType::TraceStop));
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("after its terminal"), std::string::npos);
+}
+
+TEST(Validate, I5ParkedGoroutineMustBeUnblocked)
+{
+    Ect ect = skeleton();
+    ect.append(ev(4, 1, EventType::GoBlockSend, 7));
+    ect.append(ev(5, 1, EventType::ChSend, 7)); // runs while parked
+    ect.append(ev(6, 0, EventType::TraceStop));
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("parked"), std::string::npos);
+}
+
+TEST(Validate, I6UnblockTargetMustBeParked)
+{
+    Ect ect = skeleton();
+    ect.append(ev(4, 0, EventType::GoUnblock, 1)); // g1 not parked
+    finish(ect, 5);
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("non-parked"), std::string::npos);
+}
+
+TEST(Validate, I7ChannelMustBeIntroduced)
+{
+    Ect ect = skeleton();
+    ect.append(ev(4, 1, EventType::ChSend, 99));
+    finish(ect, 5);
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("unknown channel"), std::string::npos);
+}
+
+TEST(Validate, I8SelectChosenCaseMustBeDeclared)
+{
+    Ect ect = skeleton();
+    ect.append(ev(4, 1, EventType::ChMake, 7));
+    ect.append(ev(5, 1, EventType::SelectBegin, 1, 0));
+    {
+        Event c = ev(6, 1, EventType::SelectCase, 0, 0);
+        c.args[2] = 7;
+        ect.append(c);
+    }
+    ect.append(ev(7, 1, EventType::SelectEnd, 3, 0)); // case 3 undeclared
+    finish(ect, 8);
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.str().find("not declared"), std::string::npos);
+}
+
+TEST(Validate, I8DefaultMustBeDeclared)
+{
+    Ect ect = skeleton();
+    ect.append(ev(4, 1, EventType::SelectBegin, 0, 0)); // no default
+    ect.append(ev(5, 1, EventType::SelectEnd, -1, 0));  // default chosen
+    finish(ect, 6);
+    auto r = validateEct(ect);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Validate, RealCleanExecutionIsWellFormed)
+{
+    auto rr = runProgram([] {
+        Chan<int> c(2);
+        gosync::Mutex m;
+        go([&, c]() mutable {
+            m.lock();
+            c.send(1);
+            m.unlock();
+        });
+        yield();
+        c.recv();
+        Select().onRecv<int>(c, {}).onDefault().run();
+        yield();
+    });
+    auto r = validateEct(rr.ect);
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(Validate, RealDeadlockedExecutionIsWellFormed)
+{
+    auto rr = runProgram([] {
+        Chan<int> c;
+        go([c]() mutable { c.send(1); });
+        yield();
+    });
+    auto r = validateEct(rr.ect);
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(Validate, RealCrashExecutionIsWellFormed)
+{
+    auto rr = runProgram([] {
+        Chan<int> c;
+        c.close();
+        c.send(1);
+    });
+    auto r = validateEct(rr.ect);
+    EXPECT_TRUE(r.ok()) << r.str();
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Option parsing for the `goat` CLI, kept header-only so the flag
+ * grammar is unit-testable without spawning the binary.
+ */
+
+#ifndef GOAT_TOOLS_CLI_OPTIONS_HH
+#define GOAT_TOOLS_CLI_OPTIONS_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace goat::cli {
+
+/**
+ * Parsed command line of the goat tool.
+ */
+struct Options
+{
+    bool list = false;
+    std::string kernel;
+    int delay = 0;
+    int freq = 1;
+    bool cov = false;
+    bool race = false;
+    bool report = false;
+    bool stats = false;
+    std::string trace_out;
+    std::string html_out;
+    uint64_t seed = 1;
+};
+
+/**
+ * Parse argv into @p opt.
+ *
+ * @param[out] error The offending argument on failure.
+ * @retval false on an unknown flag.
+ */
+inline bool
+parseOptions(int argc, char **argv, Options &opt, std::string *error)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (arg == "-list") {
+            opt.list = true;
+        } else if (arg == "-cov") {
+            opt.cov = true;
+        } else if (arg == "-race") {
+            opt.race = true;
+        } else if (arg == "-stats") {
+            opt.stats = true;
+        } else if (arg == "-report") {
+            opt.report = true;
+        } else if (const char *v = val("-kernel=")) {
+            opt.kernel = v;
+        } else if (const char *v = val("-d=")) {
+            opt.delay = std::atoi(v);
+        } else if (const char *v = val("-freq=")) {
+            opt.freq = std::atoi(v);
+        } else if (const char *v = val("-trace=")) {
+            opt.trace_out = v;
+        } else if (const char *v = val("-html=")) {
+            opt.html_out = v;
+        } else if (const char *v = val("-seed=")) {
+            opt.seed = std::strtoull(v, nullptr, 0);
+        } else {
+            if (error)
+                *error = arg;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace goat::cli
+
+#endif // GOAT_TOOLS_CLI_OPTIONS_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The `goat` command-line tool, mirroring the paper's artifact
+ * workflow (appendix listing 3): pick a target bug kernel (the stand-
+ * in for `-path`, since C++ programs are compiled in rather than
+ * instrumented on disk), choose the delay bound and iteration budget,
+ * and optionally measure coverage, dump the buggy trace, and print the
+ * full report.
+ *
+ *   goat -list
+ *   goat -kernel=moby_28462 -d=2 -freq=1000 -cov -report
+ *   goat -kernel=all -d=3 -freq=200
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/logging.hh"
+#include "analysis/goroutine_tree.hh"
+#include "analysis/html_report.hh"
+#include "analysis/stats.hh"
+#include "goat/engine.hh"
+#include "goker/registry.hh"
+#include "trace/serialize.hh"
+
+#include "cli_options.hh"
+
+using namespace goat;
+using namespace goat::engine;
+
+namespace {
+
+using goat::cli::Options;
+
+void
+usage()
+{
+    std::printf(
+        "Usage of goat:\n"
+        "  -list           list the available bug kernels\n"
+        "  -kernel=NAME    target kernel name, or 'all'\n"
+        "  -d=N            number of delays (yield bound D, default 0)\n"
+        "  -freq=N         frequency of executions (default 1)\n"
+        "  -cov            include coverage report in evaluation\n"
+        "  -race           enable happens-before race detection\n"
+        "  -stats          print the buggy trace's blocking profile\n"
+        "  -report         print the full deadlock report on detection\n"
+        "  -trace=PATH     write the first buggy ECT to PATH\n"
+        "  -html=PATH      write a self-contained HTML report to PATH\n"
+        "  -seed=N         seed base (default 1)\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    std::string bad;
+    if (!goat::cli::parseOptions(argc, argv, opt, &bad)) {
+        std::printf("unknown flag: %s\n\n", bad.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+runKernel(const goker::KernelInfo &kernel, const Options &opt)
+{
+    GoatConfig cfg;
+    cfg.delayBound = opt.delay;
+    cfg.maxIterations = opt.freq;
+    cfg.collectCoverage = opt.cov;
+    cfg.raceDetect = opt.race;
+    cfg.covThreshold = 200.0;
+    cfg.seedBase = opt.seed;
+    cfg.staticModel = goker::kernelCuTable(kernel);
+    GoatEngine engine(cfg);
+    GoatResult result = engine.run(kernel.fn);
+
+    std::printf("%-22s ", kernel.name.c_str());
+    if (result.bugFound) {
+        std::printf("%s at iteration %d/%zu",
+                    result.firstBug.shortStr().c_str(),
+                    result.bugIteration, result.iterations.size());
+    } else {
+        std::printf("no bug in %zu iterations",
+                    result.iterations.size());
+    }
+    if (opt.cov)
+        std::printf(", coverage %.1f%%", result.finalCoverage);
+    std::printf("\n");
+
+    if (result.raceIteration > 0) {
+        std::printf("%-22s %zu data race(s) at iteration %d\n", "",
+                    result.firstRaces.races.size(),
+                    result.raceIteration);
+        if (opt.report)
+            std::printf("%s", result.firstRaces.str().c_str());
+    }
+    if (result.bugFound && opt.report && !result.report.empty())
+        std::printf("\n%s\n", result.report.c_str());
+    if (result.bugFound && opt.stats) {
+        std::printf("\n-- trace statistics --\n%s",
+                    analysis::computeStats(result.firstBugEct)
+                        .str()
+                        .c_str());
+    }
+    if (result.bugFound && !opt.html_out.empty()) {
+        analysis::GoroutineTree tree(result.firstBugEct);
+        std::string html = analysis::htmlReportStr(
+            kernel.name, result.firstBugEct, tree, result.firstBug,
+            opt.cov ? &engine.coverage() : nullptr);
+        std::FILE *f = std::fopen(opt.html_out.c_str(), "w");
+        if (f) {
+            std::fwrite(html.data(), 1, html.size(), f);
+            std::fclose(f);
+            std::printf("HTML report written to %s\n",
+                        opt.html_out.c_str());
+        } else {
+            std::printf("cannot write %s\n", opt.html_out.c_str());
+        }
+    }
+    if (result.bugFound && !opt.trace_out.empty()) {
+        if (trace::writeEctFile(result.firstBugEct, opt.trace_out))
+            std::printf("buggy ECT written to %s\n",
+                        opt.trace_out.c_str());
+        else
+            std::printf("cannot write %s\n", opt.trace_out.c_str());
+    }
+    if (opt.cov && opt.report) {
+        std::printf("\n-- coverage requirements --\n%s",
+                    engine.coverage().tableStr().c_str());
+    }
+    return result.bugFound ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    auto &registry = goker::KernelRegistry::instance();
+
+    if (opt.list) {
+        std::printf("%-22s %-12s %-14s %s\n", "kernel", "project",
+                    "class", "description");
+        for (const auto *k : registry.all())
+            std::printf("%-22s %-12s %-14s %s\n", k->name.c_str(),
+                        k->project.c_str(), bugClassName(k->bugClass),
+                        k->description.substr(0, 60).c_str());
+        return 0;
+    }
+    if (opt.kernel.empty()) {
+        usage();
+        return 2;
+    }
+    setQuiet(true);
+
+    if (opt.kernel == "all") {
+        int bugs = 0;
+        for (const auto *k : registry.all())
+            bugs += runKernel(*k, opt);
+        std::printf("\n%d of %zu kernels exposed their bug\n", bugs,
+                    registry.size());
+        return 0;
+    }
+    const goker::KernelInfo *k = registry.find(opt.kernel);
+    if (!k) {
+        std::printf("unknown kernel '%s' (try -list)\n",
+                    opt.kernel.c_str());
+        return 2;
+    }
+    runKernel(*k, opt);
+    return 0;
+}

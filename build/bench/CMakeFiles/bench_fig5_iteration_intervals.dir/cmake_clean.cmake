@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_iteration_intervals.dir/bench_fig5_iteration_intervals.cc.o"
+  "CMakeFiles/bench_fig5_iteration_intervals.dir/bench_fig5_iteration_intervals.cc.o.d"
+  "bench_fig5_iteration_intervals"
+  "bench_fig5_iteration_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_iteration_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

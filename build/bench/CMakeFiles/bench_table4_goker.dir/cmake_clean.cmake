@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_goker.dir/bench_table4_goker.cc.o"
+  "CMakeFiles/bench_table4_goker.dir/bench_table4_goker.cc.o.d"
+  "bench_table4_goker"
+  "bench_table4_goker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_goker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

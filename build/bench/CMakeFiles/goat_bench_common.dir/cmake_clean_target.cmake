@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgoat_bench_common.a"
+)

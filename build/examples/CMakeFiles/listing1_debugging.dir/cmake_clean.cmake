@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_debugging.dir/listing1_debugging.cpp.o"
+  "CMakeFiles/listing1_debugging.dir/listing1_debugging.cpp.o.d"
+  "listing1_debugging"
+  "listing1_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_pool.dir/worker_pool.cpp.o"
+  "CMakeFiles/worker_pool.dir/worker_pool.cpp.o.d"
+  "worker_pool"
+  "worker_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("trace")
+subdirs("runtime")
+subdirs("chan")
+subdirs("sync")
+subdirs("ctx")
+subdirs("staticmodel")
+subdirs("perturb")
+subdirs("analysis")
+subdirs("detectors")
+subdirs("goat")
+subdirs("goker")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/coverage.cc" "src/analysis/CMakeFiles/goat_analysis.dir/coverage.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/coverage.cc.o.d"
+  "/root/repo/src/analysis/deadlock.cc" "src/analysis/CMakeFiles/goat_analysis.dir/deadlock.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/deadlock.cc.o.d"
+  "/root/repo/src/analysis/goroutine_tree.cc" "src/analysis/CMakeFiles/goat_analysis.dir/goroutine_tree.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/goroutine_tree.cc.o.d"
+  "/root/repo/src/analysis/happens_before.cc" "src/analysis/CMakeFiles/goat_analysis.dir/happens_before.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/happens_before.cc.o.d"
+  "/root/repo/src/analysis/html_report.cc" "src/analysis/CMakeFiles/goat_analysis.dir/html_report.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/html_report.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/goat_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/goat_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/stats.cc.o.d"
+  "/root/repo/src/analysis/validate.cc" "src/analysis/CMakeFiles/goat_analysis.dir/validate.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/validate.cc.o.d"
+  "/root/repo/src/analysis/waitgraph.cc" "src/analysis/CMakeFiles/goat_analysis.dir/waitgraph.cc.o" "gcc" "src/analysis/CMakeFiles/goat_analysis.dir/waitgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/goat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticmodel/CMakeFiles/goat_staticmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/goat_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_analysis.dir/coverage.cc.o"
+  "CMakeFiles/goat_analysis.dir/coverage.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/deadlock.cc.o"
+  "CMakeFiles/goat_analysis.dir/deadlock.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/goroutine_tree.cc.o"
+  "CMakeFiles/goat_analysis.dir/goroutine_tree.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/happens_before.cc.o"
+  "CMakeFiles/goat_analysis.dir/happens_before.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/html_report.cc.o"
+  "CMakeFiles/goat_analysis.dir/html_report.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/report.cc.o"
+  "CMakeFiles/goat_analysis.dir/report.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/stats.cc.o"
+  "CMakeFiles/goat_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/validate.cc.o"
+  "CMakeFiles/goat_analysis.dir/validate.cc.o.d"
+  "CMakeFiles/goat_analysis.dir/waitgraph.cc.o"
+  "CMakeFiles/goat_analysis.dir/waitgraph.cc.o.d"
+  "libgoat_analysis.a"
+  "libgoat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

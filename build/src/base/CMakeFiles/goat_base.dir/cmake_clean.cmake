@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_base.dir/fmt.cc.o"
+  "CMakeFiles/goat_base.dir/fmt.cc.o.d"
+  "CMakeFiles/goat_base.dir/logging.cc.o"
+  "CMakeFiles/goat_base.dir/logging.cc.o.d"
+  "CMakeFiles/goat_base.dir/rng.cc.o"
+  "CMakeFiles/goat_base.dir/rng.cc.o.d"
+  "libgoat_base.a"
+  "libgoat_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

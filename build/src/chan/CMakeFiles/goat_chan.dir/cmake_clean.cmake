@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_chan.dir/chan.cc.o"
+  "CMakeFiles/goat_chan.dir/chan.cc.o.d"
+  "libgoat_chan.a"
+  "libgoat_chan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

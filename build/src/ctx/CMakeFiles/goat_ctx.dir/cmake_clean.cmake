@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_ctx.dir/context.cc.o"
+  "CMakeFiles/goat_ctx.dir/context.cc.o.d"
+  "libgoat_ctx.a"
+  "libgoat_ctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

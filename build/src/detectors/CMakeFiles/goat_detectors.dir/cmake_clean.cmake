@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_detectors.dir/builtin.cc.o"
+  "CMakeFiles/goat_detectors.dir/builtin.cc.o.d"
+  "CMakeFiles/goat_detectors.dir/goleak.cc.o"
+  "CMakeFiles/goat_detectors.dir/goleak.cc.o.d"
+  "CMakeFiles/goat_detectors.dir/lockdl.cc.o"
+  "CMakeFiles/goat_detectors.dir/lockdl.cc.o.d"
+  "libgoat_detectors.a"
+  "libgoat_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_engine.dir/engine.cc.o"
+  "CMakeFiles/goat_engine.dir/engine.cc.o.d"
+  "CMakeFiles/goat_engine.dir/tool.cc.o"
+  "CMakeFiles/goat_engine.dir/tool.cc.o.d"
+  "libgoat_engine.a"
+  "libgoat_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/goker/kernels/goker_cockroach.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_cockroach.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_cockroach.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_etcd.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_etcd.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_etcd.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_grpc.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_grpc.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_grpc.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_hugo.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_hugo.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_hugo.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_istio.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_istio.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_istio.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_kubernetes.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_kubernetes.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_kubernetes.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_moby.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_moby.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_moby.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_serving.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_serving.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_serving.cc.o.d"
+  "/root/repo/src/goker/kernels/goker_syncthing.cc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_syncthing.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/kernels/goker_syncthing.cc.o.d"
+  "/root/repo/src/goker/registry.cc" "src/goker/CMakeFiles/goat_goker.dir/registry.cc.o" "gcc" "src/goker/CMakeFiles/goat_goker.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_goker.dir/kernels/goker_cockroach.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_cockroach.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_etcd.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_etcd.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_grpc.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_grpc.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_hugo.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_hugo.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_istio.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_istio.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_kubernetes.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_kubernetes.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_moby.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_moby.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_serving.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_serving.cc.o.d"
+  "CMakeFiles/goat_goker.dir/kernels/goker_syncthing.cc.o"
+  "CMakeFiles/goat_goker.dir/kernels/goker_syncthing.cc.o.d"
+  "CMakeFiles/goat_goker.dir/registry.cc.o"
+  "CMakeFiles/goat_goker.dir/registry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_goker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_perturb.dir/perturb.cc.o"
+  "CMakeFiles/goat_perturb.dir/perturb.cc.o.d"
+  "libgoat_perturb.a"
+  "libgoat_perturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

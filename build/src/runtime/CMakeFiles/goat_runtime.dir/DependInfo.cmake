@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/runtime/context_x86_64.S" "/root/repo/build/src/runtime/CMakeFiles/goat_runtime.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/api.cc" "src/runtime/CMakeFiles/goat_runtime.dir/api.cc.o" "gcc" "src/runtime/CMakeFiles/goat_runtime.dir/api.cc.o.d"
+  "/root/repo/src/runtime/context.cc" "src/runtime/CMakeFiles/goat_runtime.dir/context.cc.o" "gcc" "src/runtime/CMakeFiles/goat_runtime.dir/context.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/goat_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/goat_runtime.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/goat_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/goat_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

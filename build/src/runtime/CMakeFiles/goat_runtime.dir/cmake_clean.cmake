@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_runtime.dir/api.cc.o"
+  "CMakeFiles/goat_runtime.dir/api.cc.o.d"
+  "CMakeFiles/goat_runtime.dir/context.cc.o"
+  "CMakeFiles/goat_runtime.dir/context.cc.o.d"
+  "CMakeFiles/goat_runtime.dir/context_x86_64.S.o"
+  "CMakeFiles/goat_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/goat_runtime.dir/scheduler.cc.o.d"
+  "libgoat_runtime.a"
+  "libgoat_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/goat_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

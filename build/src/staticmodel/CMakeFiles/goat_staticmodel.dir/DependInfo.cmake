@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staticmodel/cu.cc" "src/staticmodel/CMakeFiles/goat_staticmodel.dir/cu.cc.o" "gcc" "src/staticmodel/CMakeFiles/goat_staticmodel.dir/cu.cc.o.d"
+  "/root/repo/src/staticmodel/cutable.cc" "src/staticmodel/CMakeFiles/goat_staticmodel.dir/cutable.cc.o" "gcc" "src/staticmodel/CMakeFiles/goat_staticmodel.dir/cutable.cc.o.d"
+  "/root/repo/src/staticmodel/scanner.cc" "src/staticmodel/CMakeFiles/goat_staticmodel.dir/scanner.cc.o" "gcc" "src/staticmodel/CMakeFiles/goat_staticmodel.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/goat_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/goat_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

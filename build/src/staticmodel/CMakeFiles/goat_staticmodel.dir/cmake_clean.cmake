@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_staticmodel.dir/cu.cc.o"
+  "CMakeFiles/goat_staticmodel.dir/cu.cc.o.d"
+  "CMakeFiles/goat_staticmodel.dir/cutable.cc.o"
+  "CMakeFiles/goat_staticmodel.dir/cutable.cc.o.d"
+  "CMakeFiles/goat_staticmodel.dir/scanner.cc.o"
+  "CMakeFiles/goat_staticmodel.dir/scanner.cc.o.d"
+  "libgoat_staticmodel.a"
+  "libgoat_staticmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_staticmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

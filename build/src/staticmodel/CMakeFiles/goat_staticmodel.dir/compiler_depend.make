@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for goat_staticmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for goat_staticmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_sync.dir/sync.cc.o"
+  "CMakeFiles/goat_sync.dir/sync.cc.o.d"
+  "libgoat_sync.a"
+  "libgoat_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

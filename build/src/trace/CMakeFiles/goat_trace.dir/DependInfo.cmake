@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ect.cc" "src/trace/CMakeFiles/goat_trace.dir/ect.cc.o" "gcc" "src/trace/CMakeFiles/goat_trace.dir/ect.cc.o.d"
+  "/root/repo/src/trace/event.cc" "src/trace/CMakeFiles/goat_trace.dir/event.cc.o" "gcc" "src/trace/CMakeFiles/goat_trace.dir/event.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/trace/CMakeFiles/goat_trace.dir/serialize.cc.o" "gcc" "src/trace/CMakeFiles/goat_trace.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/goat_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

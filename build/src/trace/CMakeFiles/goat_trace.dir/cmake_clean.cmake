@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat_trace.dir/ect.cc.o"
+  "CMakeFiles/goat_trace.dir/ect.cc.o.d"
+  "CMakeFiles/goat_trace.dir/event.cc.o"
+  "CMakeFiles/goat_trace.dir/event.cc.o.d"
+  "CMakeFiles/goat_trace.dir/serialize.cc.o"
+  "CMakeFiles/goat_trace.dir/serialize.cc.o.d"
+  "libgoat_trace.a"
+  "libgoat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

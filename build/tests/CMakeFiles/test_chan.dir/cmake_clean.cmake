@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chan.dir/test_chan.cc.o"
+  "CMakeFiles/test_chan.dir/test_chan.cc.o.d"
+  "test_chan"
+  "test_chan.pdb"
+  "test_chan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goker.dir/test_goker.cc.o"
+  "CMakeFiles/test_goker.dir/test_goker.cc.o.d"
+  "test_goker"
+  "test_goker.pdb"
+  "test_goker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

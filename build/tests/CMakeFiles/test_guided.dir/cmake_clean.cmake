@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guided.dir/test_guided.cc.o"
+  "CMakeFiles/test_guided.dir/test_guided.cc.o.d"
+  "test_guided"
+  "test_guided.pdb"
+  "test_guided[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

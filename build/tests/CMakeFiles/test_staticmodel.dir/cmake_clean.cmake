@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staticmodel.dir/test_staticmodel.cc.o"
+  "CMakeFiles/test_staticmodel.dir/test_staticmodel.cc.o.d"
+  "test_staticmodel"
+  "test_staticmodel.pdb"
+  "test_staticmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staticmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sync.cc" "tests/CMakeFiles/test_sync.dir/test_sync.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/goat/CMakeFiles/goat_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/goat_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctx/CMakeFiles/goat_ctx.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/goat_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/perturb/CMakeFiles/goat_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/goat_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticmodel/CMakeFiles/goat_staticmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/goat_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/goat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/goat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/goat_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

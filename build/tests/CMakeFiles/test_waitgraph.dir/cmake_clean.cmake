@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waitgraph.dir/test_waitgraph.cc.o"
+  "CMakeFiles/test_waitgraph.dir/test_waitgraph.cc.o.d"
+  "test_waitgraph"
+  "test_waitgraph.pdb"
+  "test_waitgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waitgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

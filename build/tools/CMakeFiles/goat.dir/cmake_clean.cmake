@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goat.dir/goat_main.cc.o"
+  "CMakeFiles/goat.dir/goat_main.cc.o.d"
+  "goat"
+  "goat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark micro-suite for the telemetry subsystem: the
+ * hot-path cost of counter increments and histogram observations
+ * (what every scheduler event now pays), snapshot/delta (what every
+ * ledgered iteration pays), and the Chrome trace export (a one-shot
+ * cost on the buggy iteration).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chan/chan.hh"
+#include "goat/engine.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/ledger.hh"
+#include "obs/metrics.hh"
+#include "runtime/api.hh"
+
+using namespace goat;
+using namespace goat::obs;
+
+static void
+BM_CounterInc(benchmark::State &state)
+{
+    Registry reg;
+    Counter &c = reg.counter("bench");
+    for (auto _ : state)
+        c.inc();
+    benchmark::DoNotOptimize(c.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+static void
+BM_HistogramObserve(benchmark::State &state)
+{
+    Registry reg;
+    Histogram &h = reg.histogram(
+        "bench", {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000});
+    uint64_t v = 1;
+    for (auto _ : state) {
+        h.observe(v);
+        v = v * 31 % 20'000'000;
+    }
+    benchmark::DoNotOptimize(h.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+static void
+BM_SnapshotDelta(benchmark::State &state)
+{
+    // Populate a registry the size of the real global one.
+    Registry reg;
+    for (int i = 0; i < 80; ++i)
+        reg.counter("c" + std::to_string(i)).inc(i);
+    for (int i = 0; i < 4; ++i)
+        reg.gauge("g" + std::to_string(i)).set(i);
+    reg.histogram("h", {100, 1'000, 10'000}).observe(7);
+    Snapshot before = reg.snapshot();
+    for (auto _ : state) {
+        reg.counter("c1").inc();
+        Snapshot now = reg.snapshot();
+        Snapshot delta = now.deltaFrom(before);
+        benchmark::DoNotOptimize(delta.counters.size());
+        before = std::move(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotDelta);
+
+static void
+BM_LedgerEntryJson(benchmark::State &state)
+{
+    Registry reg;
+    for (int i = 0; i < 30; ++i)
+        reg.counter("c" + std::to_string(i)).inc(i + 1);
+    LedgerEntry e;
+    e.iteration = 1;
+    e.seed = 42;
+    e.outcome = "ok";
+    e.verdict = "pass";
+    e.steps = 1234;
+    e.coveragePct = 61.8;
+    e.metricsDelta = reg.snapshot();
+    for (auto _ : state) {
+        std::string json = ledgerEntryJson(e);
+        benchmark::DoNotOptimize(json.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LedgerEntryJson);
+
+static void
+BM_ChromeTraceExport(benchmark::State &state)
+{
+    // A leaky producer/consumer mix gives the export all three shapes:
+    // instants, blocking durations, and unblock flows.
+    auto program = [] {
+        Chan<int> c;
+        go([c]() mutable {
+            for (int i = 0; i < 50; ++i)
+                c.send(i);
+        });
+        for (int i = 0; i < 50; ++i)
+            c.recv();
+    };
+    engine::SingleRun sr = engine::runOnce(program, /*seed=*/1);
+    for (auto _ : state) {
+        std::string json = chromeTraceJson(sr.ect);
+        benchmark::DoNotOptimize(json.size());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(sr.ect.events().size()));
+}
+BENCHMARK(BM_ChromeTraceExport);
+
+BENCHMARK_MAIN();

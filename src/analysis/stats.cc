@@ -152,4 +152,42 @@ TraceStats::str() const
     return out;
 }
 
+std::string
+TraceStats::jsonStr() const
+{
+    std::string out = strFormat(
+        "{\"total_events\":%zu,\"total_steps\":%lu,\"goroutines\":[",
+        totalEvents, static_cast<unsigned long>(totalSteps));
+    bool first = true;
+    for (const auto &[gid, g] : goroutines) {
+        out += strFormat(
+            "%s{\"gid\":%u,\"events\":%zu,\"chan_ops\":%zu,"
+            "\"lock_ops\":%zu,\"selects\":%zu,\"spawns\":%zu,"
+            "\"blocks\":%zu,\"parked_steps\":%lu,\"preemptions\":%zu}",
+            first ? "" : ",", gid, g.events, g.chanOps, g.lockOps,
+            g.selects, g.spawns, g.blocks,
+            static_cast<unsigned long>(g.parkedSteps), g.preemptions);
+        first = false;
+    }
+    out += "],";
+    auto objs = [&](const char *key,
+                    const std::map<int64_t, ObjectStats> &table) {
+        out += strFormat("\"%s\":[", key);
+        bool f = true;
+        for (const auto &[id, o] : table) {
+            out += strFormat("%s{\"id\":%ld,\"ops\":%zu,"
+                             "\"blocking\":%zu,\"unblocking\":%zu}",
+                             f ? "" : ",", static_cast<long>(id), o.ops,
+                             o.blockingOps, o.unblockingOps);
+            f = false;
+        }
+        out += "]";
+    };
+    objs("channels", channels);
+    out += ",";
+    objs("locks", locks);
+    out += "}";
+    return out;
+}
+
 } // namespace goat::analysis

@@ -67,6 +67,13 @@ struct TraceStats
 
     /** Printable profile (one block per goroutine + object tables). */
     std::string str() const;
+
+    /**
+     * Machine-readable rendering: one JSON object with "goroutines",
+     * "channels", and "locks" arrays (consumed by telemetry tooling
+     * alongside the run ledger).
+     */
+    std::string jsonStr() const;
 };
 
 /**

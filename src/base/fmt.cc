@@ -83,4 +83,28 @@ pathBasename(const std::string &path)
     return pos == std::string::npos ? path : path.substr(pos + 1);
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
 } // namespace goat

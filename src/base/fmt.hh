@@ -42,6 +42,12 @@ bool strStartsWith(const std::string &s, const std::string &prefix);
 /** Return the final path component of a file path. */
 std::string pathBasename(const std::string &path);
 
+/**
+ * Escape a string for inclusion inside a JSON string literal (quotes,
+ * backslashes, control characters; no surrounding quotes added).
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace goat
 
 #endif // GOAT_BASE_FMT_HH

@@ -2,12 +2,58 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 
 namespace goat {
 
 namespace {
-bool quietMode = false;
+
+LogLevel activeLevel = LogLevel::Info;
+
+/** GOAT_LOG_LEVEL parse result, computed once at first use. */
+const std::optional<LogLevel> &
+envLevel()
+{
+    static const std::optional<LogLevel> lvl = []() -> std::optional<LogLevel> {
+        const char *v = std::getenv("GOAT_LOG_LEVEL");
+        if (!v || !*v)
+            return std::nullopt;
+        if (!std::strcmp(v, "debug") || !std::strcmp(v, "0"))
+            return LogLevel::Debug;
+        if (!std::strcmp(v, "info") || !std::strcmp(v, "1"))
+            return LogLevel::Info;
+        if (!std::strcmp(v, "warn") || !std::strcmp(v, "2"))
+            return LogLevel::Warn;
+        if (!std::strcmp(v, "quiet") || !std::strcmp(v, "silent") ||
+            !std::strcmp(v, "3"))
+            return LogLevel::Quiet;
+        std::fprintf(stderr, "warn: unknown GOAT_LOG_LEVEL '%s' ignored\n",
+                     v);
+        return std::nullopt;
+    }();
+    return lvl;
+}
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    activeLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return envLevel() ? *envLevel() : activeLevel;
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<uint8_t>(level) >= static_cast<uint8_t>(logLevel());
+}
 
 void
 panic(const std::string &msg)
@@ -26,21 +72,28 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    if (!quietMode)
+    if (logEnabled(LogLevel::Warn))
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 inform(const std::string &msg)
 {
-    if (!quietMode)
+    if (logEnabled(LogLevel::Info))
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (logEnabled(LogLevel::Debug))
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    activeLevel = quiet ? LogLevel::Quiet : LogLevel::Info;
 }
 
 } // namespace goat

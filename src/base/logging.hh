@@ -54,7 +54,37 @@ void warn(const std::string &msg);
 /** Informational status message with no negative connotation. */
 void inform(const std::string &msg);
 
-/** Globally silence warn()/inform() (used by benchmark harnesses). */
+/** High-volume diagnostics (per-iteration engine progress, ...). */
+void debugLog(const std::string &msg);
+
+/**
+ * Runtime log verbosity. Messages at a level below the active one are
+ * suppressed. The initial level is Info, overridable at startup with
+ * the GOAT_LOG_LEVEL environment variable ("debug", "info", "warn",
+ * "quiet", or 0–3); when the env var is set it also wins over
+ * setQuiet()/setLogLevel() so a user can always turn logging on.
+ */
+enum class LogLevel : uint8_t
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Quiet = 3,
+};
+
+/** Set the active log level (ignored while GOAT_LOG_LEVEL is set). */
+void setLogLevel(LogLevel level);
+
+/** The effective log level (env override applied). */
+LogLevel logLevel();
+
+/** True when messages at @p level are currently emitted. */
+bool logEnabled(LogLevel level);
+
+/**
+ * Globally silence warn()/inform() (used by benchmark harnesses).
+ * Equivalent to setLogLevel(Quiet) / setLogLevel(Info).
+ */
 void setQuiet(bool quiet);
 
 } // namespace goat

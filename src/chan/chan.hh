@@ -41,6 +41,10 @@ struct Unit
 
 namespace chandetail {
 
+// Channel-op telemetry ("immediate" = completed without parking,
+// "parked" = blocked first) lands in the scheduler's per-run
+// SchedTallies and is flushed to the obs registry at run() end.
+
 /** Remove a specific SudoG from a waiter queue (no-op when absent). */
 inline void
 eraseWaiter(std::deque<SudoG *> &q, SudoG *w)
@@ -235,6 +239,7 @@ class Chan
         impl_->id = s.newObjId();
         impl_->cap = capacity;
         impl_->makeLoc = loc;
+        ++s.tallies().chanMakes;
         s.emit(trace::EventType::ChMake, loc,
                static_cast<int64_t>(impl_->id),
                static_cast<int64_t>(capacity));
@@ -254,10 +259,12 @@ class Chan
             s.gopanic("send on closed channel", loc);
         int woke = 0;
         if (im->trySend(s, v, woke, loc)) {
+            ++s.tallies().chanSendImmediate;
             s.emit(trace::EventType::ChSend, loc,
                    static_cast<int64_t>(im->id), 0, woke);
             return;
         }
+        ++s.tallies().chanSendParked;
         // Park until a receiver or a close arrives.
         chandetail::SudoG me;
         me.g = s.current();
@@ -289,10 +296,12 @@ class Chan
         bool ok = false;
         int woke = 0;
         if (im->tryRecv(s, out, ok, woke, loc)) {
+            ++s.tallies().chanRecvImmediate;
             s.emit(trace::EventType::ChRecv, loc,
                    static_cast<int64_t>(im->id), 0, woke, ok ? 1 : 0);
             return {std::move(out), ok};
         }
+        ++s.tallies().chanRecvParked;
         chandetail::SudoG me;
         me.g = s.current();
         me.elem = &out;
@@ -324,6 +333,7 @@ class Chan
         auto *im = impl_.get();
         if (im->closed)
             s.gopanic("close of closed channel", loc);
+        ++s.tallies().chanCloses;
         int woke = im->doClose(s, loc);
         s.emit(trace::EventType::ChClose, loc,
                static_cast<int64_t>(im->id), woke);

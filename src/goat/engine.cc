@@ -1,8 +1,13 @@
 #include "goat/engine.hh"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "analysis/report.hh"
+#include "base/fmt.hh"
+#include "base/logging.hh"
+#include "obs/ledger.hh"
+#include "obs/metrics.hh"
 #include "perturb/guided.hh"
 #include "perturb/perturb.hh"
 
@@ -132,10 +137,28 @@ GoatEngine::iterationSeed(int iter) const
 GoatResult
 GoatEngine::run(const std::function<void()> &program)
 {
+    using std::chrono::steady_clock;
+
     GoatResult result;
     bool guided = cfg_.coverageGuided;
+
+    auto &reg = obs::Registry::global();
+    obs::Counter &iterations_total = reg.counter("engine.iterations");
+    obs::Counter &campaigns_total = reg.counter("engine.campaigns");
+    obs::Counter &bugs_total = reg.counter("engine.bugs_found");
+    obs::Histogram &iter_wall = reg.histogram(
+        "engine.iter_wall_us",
+        {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000});
+    campaigns_total.inc();
+
+    obs::RunLedger ledger(cfg_.ledgerPath);
+    obs::Snapshot prev_snap;
+    if (ledger.enabled())
+        prev_snap = reg.snapshot();
+
     for (int iter = 1; iter <= cfg_.maxIterations; ++iter) {
         uint64_t seed = iterationSeed(iter);
+        auto t0 = steady_clock::now();
         SingleRun sr;
         if (guided) {
             perturb::GuidedPerturber perturber(&cov_, cfg_.delayBound,
@@ -151,6 +174,7 @@ GoatEngine::run(const std::function<void()> &program)
         IterationOutcome io;
         io.exec = sr.exec;
         io.dl = sr.dl;
+        iterations_total.inc();
 
         if (cfg_.collectCoverage || guided) {
             cov_.addEct(sr.ect);
@@ -178,6 +202,45 @@ GoatEngine::run(const std::function<void()> &program)
             GoroutineTree tree(sr.ect);
             result.report =
                 analysis::deadlockReportStr(sr.ect, tree, sr.dl);
+            bugs_total.inc();
+        }
+
+        io.wallMicros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                steady_clock::now() - t0)
+                .count());
+        iter_wall.observe(io.wallMicros);
+
+        if (logEnabled(LogLevel::Debug)) {
+            std::string line = strFormat(
+                "goat: iter %d/%d seed=%llu outcome=%s verdict=%s "
+                "steps=%llu wall_us=%llu",
+                iter, cfg_.maxIterations,
+                static_cast<unsigned long long>(seed),
+                runtime::runOutcomeName(sr.exec.outcome),
+                analysis::verdictName(sr.dl.verdict),
+                static_cast<unsigned long long>(sr.exec.steps),
+                static_cast<unsigned long long>(io.wallMicros));
+            if (io.coveragePct >= 0)
+                line += strFormat(" coverage=%.1f%%", io.coveragePct);
+            debugLog(line);
+        }
+
+        if (ledger.enabled()) {
+            obs::Snapshot snap = reg.snapshot();
+            obs::LedgerEntry e;
+            e.iteration = iter;
+            e.seed = seed;
+            e.delayBound = cfg_.delayBound;
+            e.outcome = runtime::runOutcomeName(sr.exec.outcome);
+            e.verdict = analysis::verdictName(sr.dl.verdict);
+            e.bug = buggy;
+            e.steps = sr.exec.steps;
+            e.coveragePct = io.coveragePct;
+            e.wallMicros = io.wallMicros;
+            e.metricsDelta = snap.deltaFrom(prev_snap);
+            prev_snap = std::move(snap);
+            ledger.append(e);
         }
 
         result.iterations.push_back(std::move(io));
@@ -186,6 +249,12 @@ GoatEngine::run(const std::function<void()> &program)
             break;
         if (cfg_.collectCoverage && cov_.percent() >= cfg_.covThreshold)
             break;
+    }
+
+    if (result.bugFound) {
+        debugLog(strFormat("goat: bug found at iteration %d (%s)",
+                           result.bugIteration,
+                           result.firstBug.shortStr().c_str()));
     }
     return result;
 }

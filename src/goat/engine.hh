@@ -55,6 +55,11 @@ struct GoatConfig
     uint64_t stepBudget = 2'000'000;
     /** Run happens-before race detection on every trace (-race). */
     bool raceDetect = false;
+    /**
+     * Append one JSON line per iteration to this file (the campaign
+     * run ledger; "" disables). See obs/ledger.hh for the schema.
+     */
+    std::string ledgerPath;
     /** Static CU model (coverage denominators; may be empty). */
     staticmodel::CuTable staticModel;
 };
@@ -68,6 +73,8 @@ struct IterationOutcome
     analysis::DeadlockReport dl;
     /** Cumulative coverage after this iteration (-1 without -cov). */
     double coveragePct = -1.0;
+    /** Host wall-clock cost of the iteration, microseconds. */
+    uint64_t wallMicros = 0;
 };
 
 /**

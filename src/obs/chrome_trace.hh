@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Chrome trace-event export of ECTs.
+ *
+ * Serializes an execution concurrency trace to the Chrome/Perfetto
+ * `trace_event` JSON format so any recorded schedule — in particular
+ * the bug-triggering iteration of a campaign — can be opened in
+ * `about://tracing` or https://ui.perfetto.dev:
+ *
+ *  - one track (tid) per goroutine, named and sorted by gid;
+ *  - a duration event ("ph":"X") for every blocking episode, from the
+ *    GoBlock* park to the goroutine's resume (or to trace end for
+ *    goroutines that stay parked — the leak is visible as a bar
+ *    running off the end of the timeline);
+ *  - an instant event ("ph":"i") for every other ECT event (sends,
+ *    recvs, locks, spawns, preemptions, ...) carrying the source
+ *    location and event arguments;
+ *  - a flow arrow ("ph":"s" → "ph":"f") from each GoUnblock to the
+ *    unblocked goroutine's resume, making wake-up causality chains
+ *    clickable.
+ *
+ * Logical trace timestamps (scheduler steps) are mapped 1:1 to
+ * microseconds — the timeline shows logical time, not wall time.
+ */
+
+#ifndef GOAT_OBS_CHROME_TRACE_HH
+#define GOAT_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "trace/ect.hh"
+
+namespace goat::obs {
+
+/** Serialize @p ect as a Chrome trace_event JSON document. */
+std::string chromeTraceJson(const trace::Ect &ect);
+
+/** Write chromeTraceJson() to @p path. @return false on I/O error. */
+bool writeChromeTraceFile(const trace::Ect &ect, const std::string &path);
+
+} // namespace goat::obs
+
+#endif // GOAT_OBS_CHROME_TRACE_HH

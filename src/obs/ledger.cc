@@ -1,0 +1,55 @@
+#include "obs/ledger.hh"
+
+#include <sstream>
+
+#include "base/fmt.hh"
+#include "base/logging.hh"
+
+namespace goat::obs {
+
+std::string
+ledgerEntryJson(const LedgerEntry &e)
+{
+    std::ostringstream os;
+    os << "{\"iter\":" << e.iteration << ",\"seed\":" << e.seed
+       << ",\"delay_bound\":" << e.delayBound << ",\"outcome\":\""
+       << jsonEscape(e.outcome) << "\",\"verdict\":\""
+       << jsonEscape(e.verdict) << "\",\"bug\":"
+       << (e.bug ? "true" : "false") << ",\"steps\":" << e.steps;
+    // Omitted entirely when coverage was not measured (< 0).
+    if (e.coveragePct >= 0)
+        os << strFormat(",\"coverage_pct\":%.3f", e.coveragePct);
+    os << ",\"wall_us\":" << e.wallMicros << ",\"metrics\":"
+       << e.metricsDelta.jsonStr() << '}';
+    return os.str();
+}
+
+RunLedger::RunLedger(const std::string &path)
+    : path_(path)
+{
+    if (path_.empty())
+        return;
+    f_ = std::fopen(path_.c_str(), "a");
+    if (!f_)
+        warn("cannot open ledger file " + path_);
+}
+
+RunLedger::~RunLedger()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+RunLedger::append(const LedgerEntry &e)
+{
+    if (!f_)
+        return;
+    std::string line = ledgerEntryJson(e);
+    std::fwrite(line.data(), 1, line.size(), f_);
+    std::fputc('\n', f_);
+    std::fflush(f_);
+    ++lines_;
+}
+
+} // namespace goat::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * JSONL run ledger: one JSON object per testing iteration, appended to
+ * a file as the campaign runs. The ledger makes every campaign
+ * reproducible (seed + delay bound per line) and diffable across
+ * builds, and is the substrate for offline trajectory analysis: each
+ * line carries the iteration outcome, the offline verdict, step and
+ * wall-clock costs, cumulative coverage, and the per-iteration delta
+ * of every metrics-registry counter.
+ *
+ * Line schema (stable keys; validators live in tools/check_ledger.py
+ * and tests/test_obs.cc):
+ *
+ *   {"iter":1,"seed":123,"delay_bound":2,"outcome":"ok",
+ *    "verdict":"pass","bug":false,"steps":412,"coverage_pct":63.1,
+ *    "wall_us":184,"metrics":{"counters":{...},...}}
+ */
+
+#ifndef GOAT_OBS_LEDGER_HH
+#define GOAT_OBS_LEDGER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace goat::obs {
+
+/**
+ * One ledger line's worth of data.
+ */
+struct LedgerEntry
+{
+    /** 1-based iteration index within the campaign. */
+    int iteration = 0;
+    uint64_t seed = 0;
+    int delayBound = 0;
+    /** Runtime outcome name ("ok", "global_deadlock", ...). */
+    std::string outcome;
+    /** Offline verdict name ("pass", "partial_deadlock", ...). */
+    std::string verdict;
+    bool bug = false;
+    uint64_t steps = 0;
+    /** Cumulative coverage after this iteration (-1 = not measured). */
+    double coveragePct = -1.0;
+    /** Host wall-clock cost of the execution + analysis, microseconds. */
+    uint64_t wallMicros = 0;
+    /** Metrics-registry delta over this iteration. */
+    Snapshot metricsDelta;
+};
+
+/** Render one entry as a single-line JSON object (no newline). */
+std::string ledgerEntryJson(const LedgerEntry &e);
+
+/**
+ * Append-only JSONL writer. Lines are flushed as they are written so
+ * a ledger is complete up to the last finished iteration even if the
+ * campaign crashes or is killed.
+ */
+class RunLedger
+{
+  public:
+    /** Open @p path for appending ("" = disabled, every call no-ops). */
+    explicit RunLedger(const std::string &path);
+    ~RunLedger();
+
+    RunLedger(const RunLedger &) = delete;
+    RunLedger &operator=(const RunLedger &) = delete;
+
+    /** False when a path was given but could not be opened. */
+    bool ok() const { return path_.empty() || f_ != nullptr; }
+
+    /** True when lines are actually being written. */
+    bool enabled() const { return f_ != nullptr; }
+
+    /** Write one entry as one line. */
+    void append(const LedgerEntry &e);
+
+    size_t linesWritten() const { return lines_; }
+
+  private:
+    std::string path_;
+    std::FILE *f_ = nullptr;
+    size_t lines_ = 0;
+};
+
+} // namespace goat::obs
+
+#endif // GOAT_OBS_LEDGER_HH

@@ -1,0 +1,182 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "base/fmt.hh"
+
+namespace goat::obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (bounds_[i] <= bounds_[i - 1])
+            bounds_[i] = bounds_[i - 1] + 1; // enforce ascending bounds
+    }
+}
+
+void
+Histogram::observe(uint64_t v)
+{
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    ++buckets_[i];
+    ++count_;
+    sum_ += v;
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    if (i >= buckets_.size())
+        return 0;
+    return buckets_[i];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    count_ = 0;
+    sum_ = 0;
+}
+
+Snapshot
+Snapshot::deltaFrom(const Snapshot &earlier) const
+{
+    Snapshot d;
+    for (const auto &[name, v] : counters) {
+        uint64_t prev = 0;
+        auto it = earlier.counters.find(name);
+        if (it != earlier.counters.end())
+            prev = it->second;
+        if (v != prev)
+            d.counters[name] = v - prev;
+    }
+    d.gauges = gauges;
+    d.histograms = histograms;
+    return d;
+}
+
+std::string
+Snapshot::jsonStr() const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, v] : counters) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name) << "\":" << v;
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, v] : gauges) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name) << "\":" << v;
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":{\"bounds\":[";
+        for (size_t i = 0; i < h.bounds.size(); ++i)
+            os << (i ? "," : "") << h.bounds[i];
+        os << "],\"buckets\":[";
+        for (size_t i = 0; i < h.buckets.size(); ++i)
+            os << (i ? "," : "") << h.buckets[i];
+        os << "],\"count\":" << h.count << ",\"sum\":" << h.sum << '}';
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    Snapshot s;
+    for (const auto &[name, c] : counters_)
+        s.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        s.gauges[name] = g->value();
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot hs;
+        hs.bounds = h->bounds();
+        hs.buckets.resize(hs.bounds.size() + 1);
+        for (size_t i = 0; i < hs.buckets.size(); ++i)
+            hs.buckets[i] = h->bucketCount(i);
+        hs.count = h->count();
+        hs.sum = h->sum();
+        s.histograms[name] = std::move(hs);
+    }
+    return s;
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    std::vector<std::string> out;
+    for (const auto &[name, c] : counters_)
+        out.push_back(name);
+    for (const auto &[name, g] : gauges_)
+        out.push_back(name);
+    for (const auto &[name, h] : histograms_)
+        out.push_back(name);
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *r = new Registry(); // never destroyed: instruments
+                                         // outlive static teardown
+    return *r;
+}
+
+} // namespace goat::obs

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Campaign telemetry: the metrics registry.
+ *
+ * A process-wide `Registry` hands out named `Counter`s, `Gauge`s, and
+ * fixed-bucket `Histogram`s. Registration (name lookup) is cold and
+ * mutex-protected; the instruments themselves are plain words — the
+ * whole runtime is single-threaded by construction (cooperative
+ * fibers on one OS thread), so no atomic RMW or fence is ever needed.
+ * Runtime hot paths (emit, park, channel ops) do not even touch the
+ * instruments: they bump plain fields in the scheduler's per-run
+ * SchedTallies, which Scheduler::run() flushes into this registry once
+ * per execution. Direct instrument use is reserved for cold paths
+ * (engine iteration bookkeeping, run outcomes).
+ *
+ * `snapshot()` returns a value-type `Snapshot` that can be diffed
+ * against an earlier one (`deltaFrom`) and rendered as JSON — the
+ * substrate of the engine's per-iteration run ledger.
+ */
+
+#ifndef GOAT_OBS_METRICS_HH
+#define GOAT_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace goat::obs {
+
+/**
+ * Monotonically increasing event tally.
+ */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { v_ += n; }
+
+    uint64_t value() const { return v_; }
+
+    void reset() { v_ = 0; }
+
+  private:
+    uint64_t v_ = 0;
+};
+
+/**
+ * Point-in-time signed level (pool sizes, peaks, live counts).
+ */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_ = v; }
+
+    void add(int64_t n) { v_ += n; }
+
+    /** Raise the gauge to @p v if it is below (peak tracking). */
+    void
+    setMax(int64_t v)
+    {
+        if (v_ < v)
+            v_ = v;
+    }
+
+    int64_t value() const { return v_; }
+
+    void reset() { v_ = 0; }
+
+  private:
+    int64_t v_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram: counts per upper bound plus an overflow
+ * bucket, a running sum, and a total count. Bucket bounds are set at
+ * registration and never change; observe() is a linear scan over a
+ * handful of bounds plus three plain increments.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    void observe(uint64_t v);
+
+    const std::vector<uint64_t> &bounds() const { return bounds_; }
+
+    /** Count in bucket @p i (i == bounds().size() = overflow). */
+    uint64_t bucketCount(size_t i) const;
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+
+    void reset();
+
+  private:
+    std::vector<uint64_t> bounds_;
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/** Value snapshot of one histogram. */
+struct HistogramSnapshot
+{
+    std::vector<uint64_t> bounds;
+    /** bounds.size() + 1 entries; the last is the overflow bucket. */
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+};
+
+/**
+ * Value snapshot of a whole registry at one instant.
+ */
+struct Snapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /**
+     * Counter deltas since @p earlier (zero-delta entries dropped);
+     * gauges and histograms carry the current values.
+     */
+    Snapshot deltaFrom(const Snapshot &earlier) const;
+
+    /** Render as one JSON object (counters/gauges/histograms keys). */
+    std::string jsonStr() const;
+};
+
+/**
+ * Named-instrument registry. Instrument addresses are stable for the
+ * registry's lifetime, so callers cache references.
+ */
+class Registry
+{
+  public:
+    /** Find-or-create the counter named @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Find-or-create the gauge named @p name. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create a histogram. @p bounds is used only on first
+     * registration; later calls return the existing instrument.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<uint64_t> bounds);
+
+    /** Value snapshot of every registered instrument. */
+    Snapshot snapshot() const;
+
+    /** Zero every instrument (registration survives). */
+    void resetAll();
+
+    /** Registered instrument names, sorted (for reports and tests). */
+    std::vector<std::string> names() const;
+
+    /** The process-wide registry every built-in metric lives in. */
+    static Registry &global();
+
+  private:
+    mutable std::mutex mtx_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace goat::obs
+
+#endif // GOAT_OBS_METRICS_HH

@@ -18,6 +18,7 @@
 
 #include "analysis/coverage.hh"
 #include "base/rng.hh"
+#include "perturb/perturb.hh"
 #include "runtime/scheduler.hh"
 #include "staticmodel/cu.hh"
 
@@ -50,13 +51,19 @@ class GuidedPerturber
     bool
     shouldYield(staticmodel::CuKind kind, const SourceLoc &loc)
     {
-        if (used_ >= bound_)
+        if (used_ >= bound_) {
+            detail::tally(&runtime::SchedTallies::perturbSkipped);
             return false;
-        double p =
-            cov_->uncoveredAtLoc(loc) > 0 ? hotProb_ : coldProb_;
-        if (!rng_.chance(p))
+        }
+        bool hot = cov_->uncoveredAtLoc(loc) > 0;
+        detail::tally(hot ? &runtime::SchedTallies::guidedHot
+                          : &runtime::SchedTallies::guidedCold);
+        if (!rng_.chance(hot ? hotProb_ : coldProb_)) {
+            detail::tally(&runtime::SchedTallies::perturbSkipped);
             return false;
+        }
         ++used_;
+        detail::tally(&runtime::SchedTallies::perturbInjected);
         return true;
     }
 

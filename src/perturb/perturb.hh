@@ -23,6 +23,23 @@
 
 namespace goat::perturb {
 
+namespace detail {
+
+/**
+ * Perturbation telemetry (yields injected vs. skipped, and the guided
+ * policy's hot/cold classifications) lands in the live scheduler's
+ * per-run SchedTallies; a no-op when called outside a run (unit tests
+ * exercise the policies without a scheduler).
+ */
+inline void
+tally(uint64_t runtime::SchedTallies::*field)
+{
+    if (auto *s = runtime::Scheduler::cur())
+        ++(s->tallies().*field);
+}
+
+} // namespace detail
+
 /**
  * Bounded random-yield policy, one instance per execution.
  */
@@ -47,11 +64,16 @@ class YieldPerturber
     bool
     shouldYield(staticmodel::CuKind kind, const SourceLoc &loc)
     {
-        if (used_ >= bound_)
+        if (used_ >= bound_) {
+            detail::tally(&runtime::SchedTallies::perturbSkipped);
             return false;
-        if (!rng_.chance(prob_))
+        }
+        if (!rng_.chance(prob_)) {
+            detail::tally(&runtime::SchedTallies::perturbSkipped);
             return false;
+        }
         ++used_;
+        detail::tally(&runtime::SchedTallies::perturbInjected);
         return true;
     }
 

@@ -4,12 +4,163 @@
 
 #include "base/fmt.hh"
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace goat::runtime {
 
 namespace {
 
 thread_local Scheduler *tlsSched = nullptr;
+
+/**
+ * Registry-side instrumentation: every instrument is registered once
+ * (on first use) and cached here. The execution hot paths never touch
+ * these — they bump the plain per-run SchedTallies on the Scheduler
+ * object, and flush() folds a whole run's tallies into the registry in
+ * one pass at the end of Scheduler::run().
+ */
+struct SchedMetrics
+{
+    obs::Counter *event[static_cast<size_t>(trace::EventType::NumEventTypes)];
+    obs::Counter *park[9];    // indexed by BlockReason
+    obs::Counter *outcome[4]; // indexed by RunOutcome
+    obs::Counter &runs;
+    obs::Counter &dispatches;
+    obs::Counter &ctxSwitches;
+    obs::Counter &spawns;
+    obs::Counter &wakes;
+    obs::Counter &yields;
+    obs::Counter &preemptNoise;
+    obs::Counter &preemptPerturb;
+    obs::Counter &timerFires;
+    obs::Counter &stackPoolHits;
+    obs::Counter &stackPoolMisses;
+    obs::Counter &chanMakes;
+    obs::Counter &chanSendImmediate;
+    obs::Counter &chanSendParked;
+    obs::Counter &chanRecvImmediate;
+    obs::Counter &chanRecvParked;
+    obs::Counter &chanCloses;
+    obs::Counter &mutexFast;
+    obs::Counter &mutexContended;
+    obs::Counter &rwFast;
+    obs::Counter &rwContended;
+    obs::Counter &wgWaitFast;
+    obs::Counter &wgWaitParked;
+    obs::Counter &condWaits;
+    obs::Counter &condSignals;
+    obs::Counter &perturbInjected;
+    obs::Counter &perturbSkipped;
+    obs::Counter &guidedHot;
+    obs::Counter &guidedCold;
+    obs::Gauge &stackPoolSize;
+    obs::Gauge &goroutinesPeak;
+    obs::Histogram &stepsPerRun;
+
+    SchedMetrics()
+        : runs(reg().counter("sched.runs")),
+          dispatches(reg().counter("sched.dispatches")),
+          ctxSwitches(reg().counter("sched.ctx_switches")),
+          spawns(reg().counter("sched.spawns")),
+          wakes(reg().counter("sched.wakes")),
+          yields(reg().counter("sched.yields")),
+          preemptNoise(reg().counter("sched.preempt.noise")),
+          preemptPerturb(reg().counter("sched.preempt.perturb")),
+          timerFires(reg().counter("sched.timer_fires")),
+          stackPoolHits(reg().counter("sched.stackpool.hits")),
+          stackPoolMisses(reg().counter("sched.stackpool.misses")),
+          chanMakes(reg().counter("chan.makes")),
+          chanSendImmediate(reg().counter("chan.send.immediate")),
+          chanSendParked(reg().counter("chan.send.parked")),
+          chanRecvImmediate(reg().counter("chan.recv.immediate")),
+          chanRecvParked(reg().counter("chan.recv.parked")),
+          chanCloses(reg().counter("chan.closes")),
+          mutexFast(reg().counter("sync.mutex.acquire.fast")),
+          mutexContended(reg().counter("sync.mutex.acquire.contended")),
+          rwFast(reg().counter("sync.rwmutex.acquire.fast")),
+          rwContended(reg().counter("sync.rwmutex.acquire.contended")),
+          wgWaitFast(reg().counter("sync.wg.wait.fast")),
+          wgWaitParked(reg().counter("sync.wg.wait.parked")),
+          condWaits(reg().counter("sync.cond.waits")),
+          condSignals(reg().counter("sync.cond.signals")),
+          perturbInjected(reg().counter("perturb.yields.injected")),
+          perturbSkipped(reg().counter("perturb.yields.skipped")),
+          guidedHot(reg().counter("perturb.guided.hot_picks")),
+          guidedCold(reg().counter("perturb.guided.cold_picks")),
+          stackPoolSize(reg().gauge("sched.stackpool.size")),
+          goroutinesPeak(reg().gauge("sched.goroutines_peak")),
+          stepsPerRun(reg().histogram(
+              "sched.steps_per_run",
+              {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000}))
+    {
+        for (size_t i = 0;
+             i < static_cast<size_t>(trace::EventType::NumEventTypes); ++i) {
+            event[i] = &reg().counter(
+                std::string("event.") +
+                trace::eventTypeName(static_cast<trace::EventType>(i)));
+        }
+        static const char *reason_names[9] = {
+            "none", "chan_send", "chan_recv", "select", "mutex",
+            "rwmutex", "waitgroup", "cond", "sleep"};
+        for (size_t i = 0; i < 9; ++i)
+            park[i] = &reg().counter(std::string("sched.park.") +
+                                     reason_names[i]);
+        static const char *outcome_names[4] = {
+            "ok", "global_deadlock", "crash", "step_budget"};
+        for (size_t i = 0; i < 4; ++i)
+            outcome[i] = &reg().counter(std::string("sched.outcome.") +
+                                        outcome_names[i]);
+    }
+
+    /** Fold one run's tallies into the registry counters. */
+    void
+    flush(const SchedTallies &t)
+    {
+        for (size_t i = 0;
+             i < static_cast<size_t>(trace::EventType::NumEventTypes); ++i)
+            event[i]->inc(t.event[i]);
+        for (size_t i = 0; i < 9; ++i)
+            park[i]->inc(t.park[i]);
+        dispatches.inc(t.dispatches);
+        // One swap in plus one swap back out per dispatch.
+        ctxSwitches.inc(t.dispatches * 2);
+        spawns.inc(t.spawns);
+        wakes.inc(t.wakes);
+        yields.inc(t.yields);
+        preemptNoise.inc(t.preemptNoise);
+        preemptPerturb.inc(t.preemptPerturb);
+        timerFires.inc(t.timerFires);
+        stackPoolHits.inc(t.stackPoolHits);
+        stackPoolMisses.inc(t.stackPoolMisses);
+        chanMakes.inc(t.chanMakes);
+        chanSendImmediate.inc(t.chanSendImmediate);
+        chanSendParked.inc(t.chanSendParked);
+        chanRecvImmediate.inc(t.chanRecvImmediate);
+        chanRecvParked.inc(t.chanRecvParked);
+        chanCloses.inc(t.chanCloses);
+        mutexFast.inc(t.mutexFast);
+        mutexContended.inc(t.mutexContended);
+        rwFast.inc(t.rwFast);
+        rwContended.inc(t.rwContended);
+        wgWaitFast.inc(t.wgWaitFast);
+        wgWaitParked.inc(t.wgWaitParked);
+        condWaits.inc(t.condWaits);
+        condSignals.inc(t.condSignals);
+        perturbInjected.inc(t.perturbInjected);
+        perturbSkipped.inc(t.perturbSkipped);
+        guidedHot.inc(t.guidedHot);
+        guidedCold.inc(t.guidedCold);
+    }
+
+    static obs::Registry &reg() { return obs::Registry::global(); }
+};
+
+SchedMetrics &
+schedMetrics()
+{
+    static SchedMetrics m;
+    return m;
+}
 
 } // namespace
 
@@ -89,6 +240,7 @@ Scheduler::emit(trace::EventType type, const SourceLoc &loc, int64_t a0,
     trace::Event ev(++steps_, currentGid(), type, loc, a0, a1, a2, a3);
     if (!str.empty())
         ev.str = str;
+    ++tallies_.event[static_cast<size_t>(type)];
     for (auto *sink : sinks_)
         sink->onEvent(ev);
 }
@@ -103,6 +255,7 @@ Scheduler::spawn(std::function<void()> fn, const SourceLoc &loc, bool system,
     g->status = GoStatus::Runnable;
     runq_.push_back(g.get());
     goroutines_.push_back(std::move(g));
+    ++tallies_.spawns;
     emit(trace::EventType::GoCreate, loc, gid, system ? 1 : 0);
     return gid;
 }
@@ -113,6 +266,7 @@ Scheduler::yieldNow(const SourceLoc &loc, int64_t tag)
     Goroutine *g = current_;
     if (!g)
         panic("yieldNow outside goroutine context");
+    ++tallies_.yields;
     emit(trace::EventType::GoSched, loc, tag);
     g->status = GoStatus::Runnable;
     runq_.push_back(g);
@@ -135,6 +289,8 @@ void
 Scheduler::preemptCurrent(int64_t tag, const SourceLoc &loc)
 {
     Goroutine *g = current_;
+    ++(tag == trace::PreemptTagPerturb ? tallies_.preemptPerturb
+                                       : tallies_.preemptNoise);
     emit(trace::EventType::GoPreempt, loc, tag);
     g->status = GoStatus::Runnable;
     runq_.push_back(g);
@@ -152,6 +308,7 @@ Scheduler::park(trace::EventType block_ev, BlockReason reason, uint64_t obj,
     g->blockReason = reason;
     g->blockObj = obj;
     g->blockLoc = loc;
+    ++tallies_.park[static_cast<size_t>(reason)];
     emit(block_ev, loc, static_cast<int64_t>(obj),
          static_cast<int64_t>(reason));
     switchToScheduler();
@@ -167,6 +324,7 @@ Scheduler::ready(Goroutine *g, const SourceLoc &loc)
         panic(strFormat("ready() on goroutine %u in state %s", g->id(),
                         goStatusName(g->status)));
     }
+    ++tallies_.wakes;
     emit(trace::EventType::GoUnblock, loc, g->id());
     g->status = GoStatus::Runnable;
     runq_.push_back(g);
@@ -214,8 +372,10 @@ Scheduler::allocStack()
     if (!stackPool_.empty()) {
         char *s = stackPool_.back();
         stackPool_.pop_back();
+        ++tallies_.stackPoolHits;
         return s;
     }
+    ++tallies_.stackPoolMisses;
     return new char[cfg_.stackSize];
 }
 
@@ -282,6 +442,7 @@ Scheduler::switchToScheduler()
 void
 Scheduler::dispatch(Goroutine *g)
 {
+    ++tallies_.dispatches;
     current_ = g;
     g->status = GoStatus::Running;
     if (!g->started) {
@@ -312,6 +473,7 @@ Scheduler::advanceClock()
         // progress (e.g. a dropped-tick Ticker) trips the step budget
         // instead of spinning the clock forever.
         ++steps_;
+        ++tallies_.timerFires;
         fn();
     }
 }
@@ -395,6 +557,15 @@ Scheduler::run(std::function<void()> main_fn)
 
     emit(trace::EventType::TraceStop, SourceLoc("main", 0));
     res.steps = steps_;
+
+    SchedMetrics &m = schedMetrics();
+    m.flush(tallies_);
+    tallies_ = SchedTallies{}; // run() may be called again on this object
+    m.runs.inc();
+    m.outcome[static_cast<size_t>(res.outcome)]->inc();
+    m.stackPoolSize.set(static_cast<int64_t>(stackPool_.size()));
+    m.goroutinesPeak.setMax(static_cast<int64_t>(goroutines_.size()));
+    m.stepsPerRun.observe(steps_);
 
     tlsSched = prev;
     running_ = false;

@@ -107,6 +107,48 @@ struct SchedConfig
 };
 
 /**
+ * Per-run telemetry tallies: plain words on the scheduler object,
+ * incremented inline by the scheduler, channels, sync primitives, and
+ * the perturbation layer, and flushed into the global metrics registry
+ * (obs::Registry) once at the end of run(). Keeping the hot path to a
+ * single indexed increment on an already-hot cache line — no atomics,
+ * no guard checks, no pointer chases — is what keeps instrumentation
+ * overhead in the noise; see bench_obs / bench_primitives.
+ */
+struct SchedTallies
+{
+    uint64_t event[static_cast<size_t>(trace::EventType::NumEventTypes)] = {};
+    uint64_t park[9] = {}; // indexed by BlockReason
+    uint64_t dispatches = 0;
+    uint64_t spawns = 0;
+    uint64_t wakes = 0;
+    uint64_t yields = 0;
+    uint64_t preemptNoise = 0;
+    uint64_t preemptPerturb = 0;
+    uint64_t timerFires = 0;
+    uint64_t stackPoolHits = 0;
+    uint64_t stackPoolMisses = 0;
+    uint64_t chanMakes = 0;
+    uint64_t chanSendImmediate = 0;
+    uint64_t chanSendParked = 0;
+    uint64_t chanRecvImmediate = 0;
+    uint64_t chanRecvParked = 0;
+    uint64_t chanCloses = 0;
+    uint64_t mutexFast = 0;
+    uint64_t mutexContended = 0;
+    uint64_t rwFast = 0;
+    uint64_t rwContended = 0;
+    uint64_t wgWaitFast = 0;
+    uint64_t wgWaitParked = 0;
+    uint64_t condWaits = 0;
+    uint64_t condSignals = 0;
+    uint64_t perturbInjected = 0;
+    uint64_t perturbSkipped = 0;
+    uint64_t guidedHot = 0;
+    uint64_t guidedCold = 0;
+};
+
+/**
  * Cooperative scheduler executing goroutines on the host thread.
  */
 class Scheduler
@@ -184,6 +226,9 @@ class Scheduler
 
     /** Allocate an id for a channel / mutex / waitgroup / cond. */
     uint64_t newObjId() { return nextObjId_++; }
+
+    /** This run's telemetry tallies (flushed to obs at run() end). */
+    SchedTallies &tallies() { return tallies_; }
 
     /** Publish a trace event (ts and gid are stamped here). */
     void emit(trace::EventType type, const SourceLoc &loc, int64_t a0 = 0,
@@ -279,6 +324,9 @@ class Scheduler
     SourceLoc pendingPanicLoc_;
     uint32_t panicGid_ = 0;
     bool running_ = false;
+
+    // Last: keeps the hot members above on adjacent cache lines.
+    SchedTallies tallies_;
 };
 
 } // namespace goat::runtime

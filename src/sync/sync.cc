@@ -10,6 +10,10 @@ using runtime::Scheduler;
 using staticmodel::CuKind;
 using trace::EventType;
 
+// Sync-primitive telemetry (acquisitions split by whether the caller
+// had to park first) lands in the scheduler's per-run SchedTallies and
+// is flushed to the obs registry at run() end.
+
 // ---------------------------------------------------------------------
 // Mutex
 // ---------------------------------------------------------------------
@@ -26,11 +30,13 @@ Mutex::lockImpl(Scheduler &s, const SourceLoc &loc)
            holder_ ? static_cast<int64_t>(holder_) : -1);
     if (holder_ == 0) {
         holder_ = s.currentGid();
+        ++s.tallies().mutexFast;
         s.emit(EventType::MuLock, loc, static_cast<int64_t>(id_), 0);
         return;
     }
     // Held (possibly by ourselves: Go mutexes are not reentrant, so a
     // re-lock self-deadlocks exactly as in Go).
+    ++s.tallies().mutexContended;
     waitq_.push_back(s.current());
     s.park(EventType::GoBlockSync, BlockReason::Mutex, id_, loc);
     // unlock() transferred ownership to us before ready().
@@ -104,9 +110,11 @@ RWMutex::lock(SourceLoc loc)
            contended ? 1 : 0);
     if (!contended) {
         writer_ = s.currentGid();
+        ++s.tallies().rwFast;
         s.emit(EventType::RWLock, loc, static_cast<int64_t>(id_), 0);
         return;
     }
+    ++s.tallies().rwContended;
     writeWaitq_.push_back(s.current());
     s.park(EventType::GoBlockSync, BlockReason::Mutex, id_, loc);
     s.emit(EventType::RWLock, loc, static_cast<int64_t>(id_), 1);
@@ -151,9 +159,11 @@ RWMutex::rlock(SourceLoc loc)
     // A pending writer blocks new readers (Go's anti-starvation rule).
     if (!contended) {
         ++readers_;
+        ++s.tallies().rwFast;
         s.emit(EventType::RWRLock, loc, static_cast<int64_t>(id_), 0);
         return;
     }
+    ++s.tallies().rwContended;
     readWaitq_.push_back(s.current());
     s.park(EventType::GoBlockSync, BlockReason::RWMutex, id_, loc);
     s.emit(EventType::RWRLock, loc, static_cast<int64_t>(id_), 1);
@@ -228,9 +238,11 @@ WaitGroup::wait(SourceLoc loc)
     auto &s = Scheduler::require();
     s.cuHook(CuKind::Wait, loc);
     if (count_ == 0) {
+        ++s.tallies().wgWaitFast;
         s.emit(EventType::WgWait, loc, static_cast<int64_t>(id_), 0);
         return;
     }
+    ++s.tallies().wgWaitParked;
     waitq_.push_back(s.current());
     s.park(EventType::GoBlockSync, BlockReason::WaitGroup, id_, loc);
     s.emit(EventType::WgWait, loc, static_cast<int64_t>(id_), 1);
@@ -250,6 +262,7 @@ Cond::wait(SourceLoc loc)
 {
     auto &s = Scheduler::require();
     s.cuHook(CuKind::Wait, loc);
+    ++s.tallies().condWaits;
     s.emit(EventType::CvWait, loc, static_cast<int64_t>(id_));
     // Atomic with respect to goroutine interleaving: no yield point
     // between releasing the mutex and parking.
@@ -264,6 +277,7 @@ Cond::signal(SourceLoc loc)
 {
     auto &s = Scheduler::require();
     s.cuHook(CuKind::Signal, loc);
+    ++s.tallies().condSignals;
     int woke = 0;
     if (!waitq_.empty()) {
         Goroutine *g = waitq_.front();

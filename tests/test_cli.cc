@@ -45,6 +45,8 @@ TEST(Cli, AllFlagsTogether)
     EXPECT_TRUE(parse({"-kernel=moby_28462", "-d=3", "-freq=500", "-cov",
                        "-race", "-stats", "-report",
                        "-trace=/tmp/t.ect", "-html=/tmp/r.html",
+                       "-ledger=/tmp/run.jsonl",
+                       "-chrome-trace=/tmp/ct.json", "-metrics",
                        "-seed=0x10"},
                       opt, &err));
     EXPECT_EQ(opt.kernel, "moby_28462");
@@ -56,7 +58,28 @@ TEST(Cli, AllFlagsTogether)
     EXPECT_TRUE(opt.report);
     EXPECT_EQ(opt.trace_out, "/tmp/t.ect");
     EXPECT_EQ(opt.html_out, "/tmp/r.html");
+    EXPECT_EQ(opt.ledger_out, "/tmp/run.jsonl");
+    EXPECT_EQ(opt.chrome_out, "/tmp/ct.json");
+    EXPECT_TRUE(opt.metrics);
     EXPECT_EQ(opt.seed, 16u);
+}
+
+TEST(Cli, TelemetryDefaultsOff)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({}, opt, &err));
+    EXPECT_EQ(opt.ledger_out, "");
+    EXPECT_EQ(opt.chrome_out, "");
+    EXPECT_FALSE(opt.metrics);
+}
+
+TEST(Cli, ChromeTraceRequiresEqualsForm)
+{
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse({"-chrome-trace"}, opt, &err));
+    EXPECT_EQ(err, "-chrome-trace");
 }
 
 TEST(Cli, ListFlag)

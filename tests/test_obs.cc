@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the campaign telemetry subsystem (src/obs): metrics
+ * registry semantics, histogram bucketing, snapshot/delta/JSON
+ * rendering, the JSONL run ledger (standalone and engine-driven), and
+ * the Chrome trace-event export of ECTs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/fmt.hh"
+#include "chan/chan.hh"
+#include "goat/engine.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/ledger.hh"
+#include "obs/metrics.hh"
+#include "runtime/api.hh"
+
+using namespace goat;
+using namespace goat::obs;
+
+namespace {
+
+/**
+ * Minimal JSON well-formedness check: balanced braces/brackets outside
+ * string literals, no trailing garbage. Not a full parser — structure
+ * is asserted separately via substring probes; full validation happens
+ * in tools/check_ledger.py with a real parser.
+ */
+bool
+jsonBalanced(const std::string &s)
+{
+    std::vector<char> stack;
+    bool in_str = false, esc = false;
+    for (char c : s) {
+        if (in_str) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_str = true;
+            break;
+          case '{':
+          case '[':
+            stack.push_back(c);
+            break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default:
+            break;
+        }
+    }
+    return !in_str && stack.empty();
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Deterministically leaking program (blocked sender). */
+void
+leakyProgram()
+{
+    Chan<int> c;
+    go([c]() mutable { c.send(1); });
+    yield();
+}
+
+} // namespace
+
+TEST(Metrics, CounterBasics)
+{
+    Registry reg;
+    Counter &c = reg.counter("x");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryFindOrCreateReturnsSameInstrument)
+{
+    Registry reg;
+    Counter &a = reg.counter("same");
+    Counter &b = reg.counter("same");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    EXPECT_EQ(b.value(), 1u);
+
+    Gauge &g1 = reg.gauge("g");
+    Gauge &g2 = reg.gauge("g");
+    EXPECT_EQ(&g1, &g2);
+
+    Histogram &h1 = reg.histogram("h", {10, 20});
+    // Later bounds are ignored; the first registration wins.
+    Histogram &h2 = reg.histogram("h", {1, 2, 3});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(Metrics, GaugeSetAddSetMax)
+{
+    Gauge g;
+    g.set(10);
+    EXPECT_EQ(g.value(), 10);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 7);
+    g.setMax(5);
+    EXPECT_EQ(g.value(), 7); // not lowered
+    g.setMax(12);
+    EXPECT_EQ(g.value(), 12);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Metrics, HistogramBucketingAndOverflow)
+{
+    Histogram h({10, 100, 1000});
+    h.observe(5);    // bucket 0 (<= 10)
+    h.observe(10);   // bucket 0 (boundary is inclusive)
+    h.observe(11);   // bucket 1
+    h.observe(1000); // bucket 2
+    h.observe(5000); // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // overflow bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 5u + 10 + 11 + 1000 + 5000);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(3), 0u);
+}
+
+TEST(Metrics, SnapshotAndResetAll)
+{
+    Registry reg;
+    reg.counter("a").inc(3);
+    reg.gauge("g").set(-7);
+    reg.histogram("h", {10}).observe(4);
+
+    Snapshot s = reg.snapshot();
+    EXPECT_EQ(s.counters.at("a"), 3u);
+    EXPECT_EQ(s.gauges.at("g"), -7);
+    EXPECT_EQ(s.histograms.at("h").count, 1u);
+    EXPECT_EQ(s.histograms.at("h").buckets.size(), 2u);
+
+    reg.resetAll();
+    Snapshot z = reg.snapshot();
+    EXPECT_EQ(z.counters.at("a"), 0u);
+    EXPECT_EQ(z.gauges.at("g"), 0);
+    EXPECT_EQ(z.histograms.at("h").count, 0u);
+    // Registration survives the reset.
+    std::vector<std::string> names = reg.names();
+    EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(Metrics, DeltaDropsZeroCounters)
+{
+    Registry reg;
+    Counter &a = reg.counter("moved");
+    reg.counter("idle");
+    Snapshot before = reg.snapshot();
+    a.inc(5);
+    Snapshot delta = reg.snapshot().deltaFrom(before);
+    EXPECT_EQ(delta.counters.size(), 1u);
+    EXPECT_EQ(delta.counters.at("moved"), 5u);
+    EXPECT_EQ(delta.counters.count("idle"), 0u);
+}
+
+TEST(Metrics, SnapshotJsonWellFormed)
+{
+    Registry reg;
+    reg.counter("c").inc();
+    reg.gauge("g").set(2);
+    reg.histogram("h", {1, 10}).observe(3);
+    std::string json = reg.snapshot().jsonStr();
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"c\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"bounds\":[1,10]"), std::string::npos);
+}
+
+TEST(Metrics, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Ledger, EntryJsonShape)
+{
+    LedgerEntry e;
+    e.iteration = 7;
+    e.seed = 42;
+    e.delayBound = 3;
+    e.outcome = "ok";
+    e.verdict = "pass";
+    e.bug = true;
+    e.steps = 99;
+    e.coveragePct = 62.5;
+    e.wallMicros = 1234;
+    std::string json = ledgerEntryJson(e);
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+    EXPECT_NE(json.find("\"iter\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"delay_bound\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\":\"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"verdict\":\"pass\""), std::string::npos);
+    EXPECT_NE(json.find("\"bug\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"steps\":99"), std::string::npos);
+    EXPECT_NE(json.find("\"coverage_pct\":62.5"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_us\":1234"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(Ledger, UnmeasuredCoverageOmitted)
+{
+    LedgerEntry e;
+    std::string json = ledgerEntryJson(e);
+    EXPECT_EQ(json.find("coverage_pct"), std::string::npos) << json;
+}
+
+TEST(Ledger, DisabledWithEmptyPath)
+{
+    RunLedger ledger("");
+    EXPECT_TRUE(ledger.ok());
+    EXPECT_FALSE(ledger.enabled());
+    ledger.append(LedgerEntry{});
+    EXPECT_EQ(ledger.linesWritten(), 0u);
+}
+
+TEST(Ledger, WritesOneLinePerAppend)
+{
+    std::string path = testing::TempDir() + "/goat_obs_ledger.jsonl";
+    std::remove(path.c_str());
+    {
+        RunLedger ledger(path);
+        ASSERT_TRUE(ledger.enabled());
+        for (int i = 1; i <= 3; ++i) {
+            LedgerEntry e;
+            e.iteration = i;
+            e.outcome = "ok";
+            e.verdict = "pass";
+            ledger.append(e);
+        }
+        EXPECT_EQ(ledger.linesWritten(), 3u);
+    }
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);
+    for (const std::string &l : lines)
+        EXPECT_TRUE(jsonBalanced(l)) << l;
+    EXPECT_NE(lines[2].find("\"iter\":3"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Ledger, EngineWritesOneLinePerIteration)
+{
+    std::string path = testing::TempDir() + "/goat_obs_engine.jsonl";
+    std::remove(path.c_str());
+    engine::GoatConfig cfg;
+    cfg.maxIterations = 4;
+    cfg.stopOnBug = false;
+    cfg.collectCoverage = true;
+    cfg.ledgerPath = path;
+    engine::GoatEngine engine(cfg);
+    engine::GoatResult result = engine.run(leakyProgram);
+    EXPECT_TRUE(result.bugFound);
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), result.iterations.size());
+    for (const std::string &l : lines) {
+        EXPECT_TRUE(jsonBalanced(l)) << l;
+        EXPECT_NE(l.find("\"metrics\":"), std::string::npos);
+        EXPECT_NE(l.find("\"coverage_pct\":"), std::string::npos);
+    }
+    // The leaky program deterministically leaks: every line reports it.
+    EXPECT_NE(lines[0].find("\"bug\":true"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, ExportsTracksBlocksAndFlows)
+{
+    engine::SingleRun sr = engine::runOnce(leakyProgram, /*seed=*/1);
+    ASSERT_TRUE(sr.dl.buggy());
+    std::string json = chromeTraceJson(sr.ect);
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // One named track per goroutine (main + leaked child).
+    EXPECT_NE(json.find("\"G1 (main)\""), std::string::npos);
+    EXPECT_NE(json.find("\"G2\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_sort_index\""), std::string::npos);
+    // The blocked send shows as a duration event that leaks.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"leaked\":true"), std::string::npos);
+    // Instant events for the non-blocking ops.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTrace, FlowArrowsLinkUnblockPairs)
+{
+    // A program with a real unblock: the child send wakes the parent
+    // recv, so the export must contain an s/f flow pair.
+    auto program = [] {
+        Chan<int> c;
+        go([c]() mutable { c.send(1); });
+        c.recv();
+    };
+    engine::SingleRun sr = engine::runOnce(program, /*seed=*/1);
+    std::string json = chromeTraceJson(sr.ect);
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"wake\""), std::string::npos);
+}
+
+TEST(ChromeTrace, WriteFile)
+{
+    engine::SingleRun sr = engine::runOnce(leakyProgram, /*seed=*/1);
+    std::string path = testing::TempDir() + "/goat_obs_trace.json";
+    std::remove(path.c_str());
+    EXPECT_TRUE(writeChromeTraceFile(sr.ect, path));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), chromeTraceJson(sr.ect));
+    std::remove(path.c_str());
+    EXPECT_FALSE(
+        writeChromeTraceFile(sr.ect, "/nonexistent-dir/x.json"));
+}
+
+TEST(SchedulerMetrics, GlobalCountersAdvanceAcrossARun)
+{
+    Registry &reg = Registry::global();
+    Snapshot before = reg.snapshot();
+    engine::runOnce(leakyProgram, /*seed=*/7);
+    Snapshot delta = reg.snapshot().deltaFrom(before);
+    EXPECT_GE(delta.counters["sched.runs"], 1u);
+    EXPECT_GE(delta.counters["sched.dispatches"], 2u);
+    EXPECT_GE(delta.counters["sched.spawns"], 2u);
+    EXPECT_GE(delta.counters["event.go_create"], 2u);
+    EXPECT_GE(delta.counters["chan.makes"], 1u);
+    EXPECT_GE(delta.counters["sched.park.chan_send"], 1u);
+}

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""End-to-end validator for the goat campaign telemetry.
+
+Runs a tiny campaign through the goat CLI with -ledger and
+-chrome-trace, then validates both artifacts with a real JSON parser:
+
+  * the ledger is JSONL — one valid object per iteration, with the
+    stable key set documented in src/obs/ledger.hh and sane types;
+  * the Chrome trace is one JSON document in trace_event format, with
+    a named track per goroutine, duration events for blocking
+    episodes, and s/f flow pairs that share an id.
+
+Usage: check_ledger.py /path/to/goat [kernel]
+
+Registered as the `check_ledger` ctest; exits non-zero (with a
+diagnostic on stderr) on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LEDGER_KEYS = {
+    "iter": int,
+    "seed": int,
+    "delay_bound": int,
+    "outcome": str,
+    "verdict": str,
+    "bug": bool,
+    "steps": int,
+    "coverage_pct": float,
+    "wall_us": int,
+    "metrics": dict,
+}
+
+
+def fail(msg):
+    print(f"check_ledger: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_ledger(path, expect_min_lines):
+    lines = path.read_text().splitlines()
+    if len(lines) < expect_min_lines:
+        fail(f"ledger has {len(lines)} lines, expected >= {expect_min_lines}")
+    prev_iter = 0
+    for i, line in enumerate(lines, 1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"ledger line {i} is not valid JSON: {e}")
+        for key, typ in LEDGER_KEYS.items():
+            if key == "coverage_pct" and key not in obj:
+                continue  # omitted when coverage is not measured
+            if key not in obj:
+                fail(f"ledger line {i} missing key '{key}': {line}")
+            val = obj[key]
+            if typ is float:
+                ok = isinstance(val, (int, float)) and not isinstance(val, bool)
+            elif typ is int:
+                ok = isinstance(val, int) and not isinstance(val, bool)
+            else:
+                ok = isinstance(val, typ)
+            if not ok:
+                fail(f"ledger line {i} key '{key}' has type "
+                     f"{type(val).__name__}, expected {typ.__name__}")
+        if obj["iter"] != prev_iter + 1:
+            fail(f"ledger line {i}: iter {obj['iter']} does not follow "
+                 f"{prev_iter}")
+        prev_iter = obj["iter"]
+        metrics = obj["metrics"]
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                fail(f"ledger line {i} metrics missing '{section}'")
+        if obj["bug"] and obj["verdict"] == "pass" \
+                and obj["outcome"] == "ok":
+            fail(f"ledger line {i}: bug=true but outcome/verdict clean")
+    return lines
+
+
+def check_chrome_trace(path):
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"chrome trace is not valid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("chrome trace has no traceEvents array")
+
+    tids = {e["tid"] for e in events if "tid" in e}
+    named = {e["tid"]: e["args"]["name"] for e in events
+             if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    for tid in tids:
+        if tid not in named:
+            fail(f"track tid={tid} has no thread_name metadata")
+    app_tracks = [n for n in named.values() if n.startswith("G")]
+    if not app_tracks:
+        fail("no goroutine tracks in chrome trace")
+
+    durations = [e for e in events if e.get("ph") == "X"]
+    if not durations:
+        fail("no duration (blocking-episode) events in chrome trace")
+    for e in durations:
+        if "dur" not in e or e["dur"] < 0:
+            fail(f"duration event without sane dur: {e}")
+
+    starts = {e["id"] for e in events if e.get("ph") == "s"}
+    finishes = {e["id"] for e in events if e.get("ph") == "f"}
+    if starts != finishes:
+        fail(f"unpaired flow ids: starts={starts} finishes={finishes}")
+
+    for e in events:
+        if "ts" not in e and e.get("ph") != "M":
+            fail(f"event without ts: {e}")
+    return events, starts
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_ledger.py /path/to/goat [kernel]")
+    goat = sys.argv[1]
+    kernel = sys.argv[2] if len(sys.argv) > 2 else "cockroach_1055"
+    iterations = 25
+
+    with tempfile.TemporaryDirectory(prefix="goat_ledger_") as tmp:
+        ledger = Path(tmp) / "run.jsonl"
+        trace = Path(tmp) / "trace.json"
+        cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
+               "-cov", f"-ledger={ledger}", f"-chrome-trace={trace}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=90)
+        if proc.returncode != 0:
+            fail(f"goat exited {proc.returncode}: {proc.stdout}"
+                 f"{proc.stderr}")
+        if not ledger.exists():
+            fail(f"ledger file not written (cmd: {' '.join(cmd)})")
+
+        lines = check_ledger(ledger, expect_min_lines=1)
+        bug_found = any(json.loads(l)["bug"] for l in lines)
+        if bug_found:
+            if not trace.exists():
+                fail("bug found but no chrome trace written")
+            events, flows = check_chrome_trace(trace)
+            print(f"check_ledger: OK — {len(lines)} ledger line(s), "
+                  f"{len(events)} trace event(s), "
+                  f"{len(flows)} flow pair(s)")
+        else:
+            print(f"check_ledger: OK — {len(lines)} ledger line(s), "
+                  f"no bug surfaced so no trace expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,9 @@ struct Options
     bool stats = false;
     std::string trace_out;
     std::string html_out;
+    std::string ledger_out;
+    std::string chrome_out;
+    bool metrics = false;
     uint64_t seed = 1;
 };
 
@@ -68,6 +71,12 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.trace_out = v;
         } else if (const char *v = val("-html=")) {
             opt.html_out = v;
+        } else if (const char *v = val("-ledger=")) {
+            opt.ledger_out = v;
+        } else if (const char *v = val("-chrome-trace=")) {
+            opt.chrome_out = v;
+        } else if (arg == "-metrics") {
+            opt.metrics = true;
         } else if (const char *v = val("-seed=")) {
             opt.seed = std::strtoull(v, nullptr, 0);
         } else {

@@ -23,6 +23,8 @@
 #include "analysis/stats.hh"
 #include "goat/engine.hh"
 #include "goker/registry.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
 #include "trace/serialize.hh"
 
 #include "cli_options.hh"
@@ -49,6 +51,11 @@ usage()
         "  -report         print the full deadlock report on detection\n"
         "  -trace=PATH     write the first buggy ECT to PATH\n"
         "  -html=PATH      write a self-contained HTML report to PATH\n"
+        "  -ledger=PATH    append one JSON line per iteration to PATH\n"
+        "  -chrome-trace=PATH\n"
+        "                  write the buggy ECT as a Chrome/Perfetto\n"
+        "                  trace-event file to PATH\n"
+        "  -metrics        print the final metrics snapshot as JSON\n"
         "  -seed=N         seed base (default 1)\n");
 }
 
@@ -73,6 +80,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
     cfg.raceDetect = opt.race;
     cfg.covThreshold = 200.0;
     cfg.seedBase = opt.seed;
+    cfg.ledgerPath = opt.ledger_out;
     cfg.staticModel = goker::kernelCuTable(kernel);
     GoatEngine engine(cfg);
     GoatResult result = engine.run(kernel.fn);
@@ -127,6 +135,14 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
         else
             std::printf("cannot write %s\n", opt.trace_out.c_str());
     }
+    if (result.bugFound && !opt.chrome_out.empty()) {
+        if (obs::writeChromeTraceFile(result.firstBugEct,
+                                      opt.chrome_out))
+            std::printf("chrome trace written to %s\n",
+                        opt.chrome_out.c_str());
+        else
+            std::printf("cannot write %s\n", opt.chrome_out.c_str());
+    }
     if (opt.cov && opt.report) {
         std::printf("\n-- coverage requirements --\n%s",
                     engine.coverage().tableStr().c_str());
@@ -167,6 +183,9 @@ main(int argc, char **argv)
             bugs += runKernel(*k, opt);
         std::printf("\n%d of %zu kernels exposed their bug\n", bugs,
                     registry.size());
+        if (opt.metrics)
+            std::printf("%s\n",
+                        obs::Registry::global().snapshot().jsonStr().c_str());
         return 0;
     }
     const goker::KernelInfo *k = registry.find(opt.kernel);
@@ -176,5 +195,8 @@ main(int argc, char **argv)
         return 2;
     }
     runKernel(*k, opt);
+    if (opt.metrics)
+        std::printf("%s\n",
+                    obs::Registry::global().snapshot().jsonStr().c_str());
     return 0;
 }

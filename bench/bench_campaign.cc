@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Campaign-runner scaling bench: wall-time speedup of the parallel
+ * campaign at jobs ∈ {1, 2, 4, 8} on a Table-IV subset, with
+ * stop-on-bug disabled so every configuration executes the same fixed
+ * iteration budget (GOAT_SWEEP_MAXITER overrides it, default 400).
+ *
+ * Also cross-checks the determinism contract while it is at it: the
+ * merged coverage bitmap at every worker count must equal the jobs=1
+ * bitmap, or the speedup numbers are meaningless.
+ *
+ * Writes a machine-readable summary to BENCH_campaign.json in the
+ * current directory (per-jobs wall time and speedup, plus the host
+ * core count — speedup is bounded by the cores the container grants).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "bench_common.hh"
+#include "campaign/campaign.hh"
+
+using namespace goat;
+using goat::campaign::CampaignConfig;
+using goat::campaign::CampaignResult;
+
+namespace {
+
+/** Table-IV subset: varied projects and detection difficulty. */
+const char *kSubset[] = {
+    "cockroach_1055", "cockroach_10214", "etcd_7443",
+    "kubernetes_30872", "moby_28462",    "grpc_2371",
+};
+
+struct JobsSample
+{
+    int jobs = 0;
+    uint64_t wallMicros = 0;
+    int executed = 0;
+    bool identical = true; // merged bitmaps equal to jobs=1
+};
+
+uint64_t
+runSubset(int jobs, int iterations, std::vector<std::string> *bitmaps)
+{
+    using std::chrono::steady_clock;
+    auto &reg = goker::KernelRegistry::instance();
+    auto t0 = steady_clock::now();
+    for (const char *name : kSubset) {
+        const goker::KernelInfo *k = reg.find(name);
+        if (!k) {
+            std::printf("unknown kernel %s\n", name);
+            std::exit(1);
+        }
+        CampaignConfig cfg;
+        cfg.engine.delayBound = 2;
+        cfg.engine.seedBase = 0xC0FFEE;
+        cfg.engine.maxIterations = iterations;
+        cfg.engine.stopOnBug = false;
+        cfg.engine.collectCoverage = true;
+        cfg.engine.covThreshold = 200.0;
+        cfg.engine.staticModel = goker::kernelCuTable(*k);
+        cfg.jobs = jobs;
+        CampaignResult r = campaign::runCampaign(cfg, k->fn);
+        bitmaps->push_back(r.coverage.bitmapStr());
+    }
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    int iterations = bench::sweepMaxIter();
+    if (iterations > 400)
+        iterations = 400; // 6 kernels × 4 job counts; keep it bounded
+    unsigned cores = std::thread::hardware_concurrency();
+
+    std::printf("=== Campaign scaling: %zu-kernel Table-IV subset, "
+                "%d iterations each, stop-on-bug off ===\n"
+                "host grants %u core(s)\n\n",
+                std::size(kSubset), iterations, cores);
+
+    std::vector<std::string> base_bitmaps;
+    std::vector<JobsSample> samples;
+    for (int jobs : {1, 2, 4, 8}) {
+        std::vector<std::string> bitmaps;
+        JobsSample s;
+        s.jobs = jobs;
+        s.wallMicros = runSubset(jobs, iterations, &bitmaps);
+        s.executed =
+            iterations * static_cast<int>(std::size(kSubset));
+        if (jobs == 1)
+            base_bitmaps = bitmaps;
+        else
+            s.identical = bitmaps == base_bitmaps;
+        samples.push_back(s);
+    }
+
+    uint64_t base = samples[0].wallMicros;
+    std::printf("%-6s %12s %10s %10s\n", "jobs", "wall_ms", "speedup",
+                "identical");
+    for (const JobsSample &s : samples) {
+        std::printf("%-6d %12.1f %9.2fx %10s\n", s.jobs,
+                    s.wallMicros / 1e3,
+                    s.wallMicros ? static_cast<double>(base) /
+                                       static_cast<double>(s.wallMicros)
+                                 : 0.0,
+                    s.identical ? "yes" : "NO");
+        if (!s.identical) {
+            std::printf("determinism violation at jobs=%d\n", s.jobs);
+            return 1;
+        }
+    }
+    std::printf("\n(speedup is capped by the %u core(s) this host "
+                "grants the process)\n",
+                cores);
+
+    std::FILE *f = std::fopen("BENCH_campaign.json", "w");
+    if (f) {
+        std::fprintf(f,
+                     "{\"bench\":\"campaign_scaling\","
+                     "\"kernels\":%zu,\"iterations\":%d,"
+                     "\"host_cores\":%u,\"samples\":[",
+                     std::size(kSubset), iterations, cores);
+        for (size_t i = 0; i < samples.size(); ++i) {
+            const JobsSample &s = samples[i];
+            std::fprintf(
+                f,
+                "%s{\"jobs\":%d,\"wall_us\":%llu,\"speedup\":%.3f,"
+                "\"merged_identical\":%s}",
+                i ? "," : "", s.jobs,
+                static_cast<unsigned long long>(s.wallMicros),
+                static_cast<double>(base) /
+                    static_cast<double>(s.wallMicros ? s.wallMicros : 1),
+                s.identical ? "true" : "false");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("summary written to BENCH_campaign.json\n");
+    }
+    return 0;
+}

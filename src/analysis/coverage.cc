@@ -350,6 +350,35 @@ CoverageState::addEct(const trace::Ect &ect)
     }
 }
 
+void
+CoverageState::mergeFrom(const CoverageState &other)
+{
+    for (const Cu &cu : other.table_.all()) {
+        if (!table_.findKind(cu.loc, cu.kind))
+            table_.add(cu);
+    }
+    required_.insert(other.required_.begin(), other.required_.end());
+    covered_.insert(other.covered_.begin(), other.covered_.end());
+    nbSelects_.insert(other.nbSelects_.begin(), other.nbSelects_.end());
+    for (const auto &[loc, n] : other.selectCases_) {
+        int &mine = selectCases_[loc];
+        mine = std::max(mine, n);
+    }
+}
+
+std::string
+CoverageState::bitmapStr() const
+{
+    std::string out;
+    for (const auto &k : required_) {
+        out += covered_.count(k) ? '1' : '0';
+        out += ' ';
+        out += k;
+        out += '\n';
+    }
+    return out;
+}
+
 double
 CoverageState::percent() const
 {

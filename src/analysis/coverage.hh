@@ -64,6 +64,26 @@ class CoverageState
     /** Fold one execution's trace into the coverage state. */
     void addEct(const trace::Ect &ect);
 
+    /**
+     * Union @p other into this state (the campaign merge step): CUs
+     * absent from this table are added, requirement and covered sets
+     * union, non-blocking-select observations union, and discovered
+     * select-case counts take the maximum. Because every component is
+     * a set union (or max), merging is commutative and associative —
+     * folding per-iteration states in any grouping yields the same
+     * final state, which is what makes merged campaign coverage
+     * independent of the worker count.
+     */
+    void mergeFrom(const CoverageState &other);
+
+    /**
+     * Canonical byte-exact serialization of the coverage bitmap: one
+     * "0|1 <requirement key>" line per known requirement, sorted by
+     * key. Equal strings ⇔ identical requirement universe and covered
+     * set (campaign determinism tests compare these).
+     */
+    std::string bitmapStr() const;
+
     /** Number of requirement instances known so far. */
     size_t totalRequirements() const { return required_.size(); }
 

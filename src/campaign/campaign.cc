@@ -1,0 +1,411 @@
+#include "campaign/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analysis/goroutine_tree.hh"
+#include "analysis/happens_before.hh"
+#include "analysis/report.hh"
+#include "base/fmt.hh"
+#include "base/logging.hh"
+#include "obs/ledger.hh"
+
+namespace goat::campaign {
+
+using analysis::CoverageState;
+using engine::GoatConfig;
+using engine::IterationOutcome;
+using engine::SingleRun;
+using runtime::RunOutcome;
+
+namespace {
+
+/** Lower @p a to @p v if v is smaller (lock-free broadcast). */
+void
+atomicMin(std::atomic<int> &a, int v)
+{
+    int cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Everything one worker records about one executed iteration. The
+ * trace itself is dropped after analysis (except for the worker's
+ * first bug, captured separately) — only the merge-relevant digest is
+ * kept, so memory stays bounded over long campaigns.
+ */
+struct IterRecord
+{
+    int iter = 0;
+    uint64_t seed = 0;
+    runtime::ExecResult exec;
+    analysis::DeadlockReport dl;
+    /** dl.buggy() or watchdog; races are folded in canonically. */
+    bool coreBug = false;
+    uint64_t wallMicros = 0;
+    /** This iteration's standalone coverage contribution (with -cov). */
+    std::unique_ptr<CoverageState> cov;
+    /** Worker-registry delta over this iteration (ledger only). */
+    obs::Snapshot metricsDelta;
+};
+
+/** Full capture of a worker's first buggy run (report material). */
+struct BugCapture
+{
+    int iter = -1;
+    SingleRun sr;
+};
+
+/** A worker's first data race (with -race). */
+struct RaceCapture
+{
+    int iter = -1;
+    analysis::RaceReport races;
+};
+
+/**
+ * One worker: a private metrics registry (installed thread-locally for
+ * the worker's lifetime, so the scheduler and engine bookkeeping of
+ * this thread never touch another worker's instruments), a private
+ * cumulative coverage state (guided-policy food and threshold
+ * heuristic), and the iteration records to merge.
+ */
+struct Worker
+{
+    explicit Worker(const GoatConfig &cfg)
+        : localCov(cfg.staticModel)
+    {
+    }
+
+    int id = 0;
+    obs::Registry registry;
+    CoverageState localCov;
+    std::vector<IterRecord> records;
+    BugCapture firstBug;
+    RaceCapture firstRace;
+};
+
+/** State shared by all workers of one campaign. */
+struct Shared
+{
+    const CampaignConfig &cfg;
+    const std::function<void()> &program;
+    /** Next iteration to claim (work distribution). */
+    std::atomic<int> next{1};
+    /**
+     * Early-stop broadcast: lowest iteration known to satisfy a stop
+     * condition. Claims beyond it are pointless — the merge will
+     * discard them — so workers exit instead. Never below the
+     * canonical stop point (broadcast values are upper bounds on it),
+     * so every iteration the merge needs is guaranteed to execute.
+     */
+    std::atomic<int> stopAt;
+
+    explicit Shared(const CampaignConfig &c,
+                    const std::function<void()> &p)
+        : cfg(c), program(p), stopAt(c.engine.maxIterations)
+    {
+    }
+};
+
+void
+workerLoop(Shared &sh, Worker &w)
+{
+    using std::chrono::steady_clock;
+
+    const GoatConfig &cfg = sh.cfg.engine;
+    const bool measure_cov = cfg.collectCoverage || cfg.coverageGuided;
+    const bool want_ledger = !cfg.ledgerPath.empty();
+
+    // Bind this thread's metrics to the worker's private registry for
+    // the whole loop (covers the scheduler's per-run flush too).
+    obs::ScopedRegistry scope(w.registry);
+    obs::Counter &iterations_total =
+        w.registry.counter("engine.iterations");
+    obs::Counter &bugs_total = w.registry.counter("engine.bugs_found");
+    obs::Histogram &iter_wall = w.registry.histogram(
+        "engine.iter_wall_us",
+        {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000});
+
+    obs::Snapshot prev_snap;
+    if (want_ledger)
+        prev_snap = w.registry.snapshot();
+
+    for (;;) {
+        int iter = sh.next.fetch_add(1, std::memory_order_relaxed);
+        if (iter > cfg.maxIterations)
+            break;
+        if (iter > sh.stopAt.load(std::memory_order_relaxed))
+            break; // early-stop broadcast received
+
+        auto t0 = steady_clock::now();
+        SingleRun sr = engine::runCampaignIteration(cfg, sh.program,
+                                                    iter, &w.localCov);
+
+        IterRecord rec;
+        rec.iter = iter;
+        rec.seed = engine::campaignIterationSeed(cfg.seedBase, iter);
+        rec.exec = sr.exec;
+        rec.dl = sr.dl;
+        rec.coreBug = sr.dl.buggy() ||
+                      sr.exec.outcome == RunOutcome::StepBudget;
+        iterations_total.inc();
+
+        if (measure_cov) {
+            rec.cov = std::make_unique<CoverageState>(cfg.staticModel);
+            rec.cov->addEct(sr.ect);
+            w.localCov.addEct(sr.ect);
+            // The worker's cumulative coverage is a subset of the
+            // merged coverage at this iteration, so reaching the
+            // threshold locally proves the canonical cutoff is <= iter.
+            if (cfg.collectCoverage &&
+                w.localCov.percent() >= cfg.covThreshold)
+                atomicMin(sh.stopAt, iter);
+        }
+
+        if (cfg.raceDetect && w.firstRace.iter < 0) {
+            analysis::RaceReport races = analysis::detectRaces(sr.ect);
+            if (races.any()) {
+                w.firstRace.iter = iter;
+                w.firstRace.races = std::move(races);
+            }
+        }
+
+        bool local_bug =
+            rec.coreBug ||
+            (cfg.raceDetect && w.firstRace.iter == iter);
+        if (local_bug && w.firstBug.iter < 0) {
+            w.firstBug.iter = iter;
+            w.firstBug.sr = sr;
+            bugs_total.inc();
+            // The minimum over all workers' first-bug broadcasts is
+            // exactly the canonical first detection (each worker
+            // claims increasing indices, so its first bug is its
+            // minimum), so the watermark converges to it.
+            if (cfg.stopOnBug)
+                atomicMin(sh.stopAt, iter);
+        }
+
+        rec.wallMicros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                steady_clock::now() - t0)
+                .count());
+        iter_wall.observe(rec.wallMicros);
+
+        if (logEnabled(LogLevel::Debug)) {
+            debugLog(strFormat(
+                "campaign: worker %d iter %d/%d seed=%llu outcome=%s "
+                "verdict=%s wall_us=%llu",
+                w.id, iter, cfg.maxIterations,
+                static_cast<unsigned long long>(rec.seed),
+                runtime::runOutcomeName(rec.exec.outcome),
+                analysis::verdictName(rec.dl.verdict),
+                static_cast<unsigned long long>(rec.wallMicros)));
+        }
+
+        if (want_ledger) {
+            obs::Snapshot snap = w.registry.snapshot();
+            rec.metricsDelta = snap.deltaFrom(prev_snap);
+            prev_snap = std::move(snap);
+        }
+
+        w.records.push_back(std::move(rec));
+    }
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg,
+            const std::function<void()> &program)
+{
+    using std::chrono::steady_clock;
+    auto campaign_t0 = steady_clock::now();
+
+    const GoatConfig &ecfg = cfg.engine;
+    const bool measure_cov = ecfg.collectCoverage || ecfg.coverageGuided;
+    int jobs = cfg.jobs < 1 ? 1 : cfg.jobs;
+    if (jobs > ecfg.maxIterations)
+        jobs = ecfg.maxIterations < 1 ? 1 : ecfg.maxIterations;
+
+    Shared sh(cfg, program);
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(static_cast<size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+        workers.push_back(std::make_unique<Worker>(ecfg));
+        workers.back()->id = i;
+    }
+
+    if (jobs == 1) {
+        workerLoop(sh, *workers[0]);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers.size());
+        for (auto &w : workers)
+            threads.emplace_back(
+                [&sh, &w]() { workerLoop(sh, *w); });
+        for (auto &t : threads)
+            t.join();
+    }
+
+    CampaignResult out;
+    out.jobs = jobs;
+
+    // Index records by global iteration id. Claims come from one
+    // atomic counter, so executed iterations form a contiguous prefix
+    // 1..K possibly followed by abandoned claims past the watermark.
+    std::vector<const IterRecord *> by_iter(
+        static_cast<size_t>(ecfg.maxIterations) + 1, nullptr);
+    std::vector<int> worker_of(by_iter.size(), -1);
+    std::vector<int> wseq_of(by_iter.size(), 0);
+    for (const auto &w : workers) {
+        int seq = 0;
+        for (const IterRecord &rec : w->records) {
+            ++seq;
+            by_iter[static_cast<size_t>(rec.iter)] = &rec;
+            worker_of[static_cast<size_t>(rec.iter)] = w->id;
+            wseq_of[static_cast<size_t>(rec.iter)] = seq;
+            ++out.executedIterations;
+        }
+    }
+
+    // Canonical first race: each worker's capture is the minimum over
+    // its (increasing) claimed indices, so the global minimum over
+    // captures is the first race a sequential campaign would find.
+    int race_iter = -1;
+    const RaceCapture *race_capture = nullptr;
+    for (const auto &w : workers) {
+        if (w->firstRace.iter >= 0 &&
+            (race_iter < 0 || w->firstRace.iter < race_iter)) {
+            race_iter = w->firstRace.iter;
+            race_capture = &w->firstRace;
+        }
+    }
+
+    // Replay the sequential engine's loop over the merged records:
+    // fold coverage in iteration order, apply bug/threshold stop
+    // semantics, and cut off exactly where -jobs=1 would have stopped.
+    engine::GoatResult &result = out.merged;
+    CoverageState merged(ecfg.staticModel);
+    std::vector<obs::LedgerEntry> ledger_rows;
+    int cutoff = 0;
+
+    for (int i = 1; i <= ecfg.maxIterations; ++i) {
+        const IterRecord *rec = by_iter[static_cast<size_t>(i)];
+        if (!rec)
+            break; // past the watermark: nothing more to merge
+        cutoff = i;
+
+        IterationOutcome io;
+        io.exec = rec->exec;
+        io.dl = rec->dl;
+        io.wallMicros = rec->wallMicros;
+
+        if (measure_cov && rec->cov) {
+            merged.mergeFrom(*rec->cov);
+            io.coveragePct = merged.percent();
+            result.finalCoverage = io.coveragePct;
+        }
+
+        if (i == race_iter) {
+            result.firstRaces = race_capture->races;
+            result.raceIteration = i;
+        }
+
+        bool buggy = rec->coreBug || i == race_iter;
+        if (buggy && !result.bugFound) {
+            result.bugFound = true;
+            result.bugIteration = i;
+            // The worker that executed the canonical first detection
+            // necessarily captured it as its own first bug.
+            for (const auto &w : workers) {
+                if (w->firstBug.iter == i) {
+                    const SingleRun &sr = w->firstBug.sr;
+                    result.firstBug = sr.dl;
+                    result.firstBugExec = sr.exec;
+                    result.firstBugEct = sr.ect;
+                    analysis::GoroutineTree tree(sr.ect);
+                    result.report = analysis::deadlockReportStr(
+                        sr.ect, tree, sr.dl);
+                    break;
+                }
+            }
+        }
+
+        if (!ecfg.ledgerPath.empty()) {
+            obs::LedgerEntry e;
+            e.iteration = i;
+            e.seed = rec->seed;
+            e.delayBound = ecfg.delayBound;
+            e.outcome = runtime::runOutcomeName(rec->exec.outcome);
+            e.verdict = analysis::verdictName(rec->dl.verdict);
+            e.bug = buggy;
+            e.steps = rec->exec.steps;
+            e.coveragePct = io.coveragePct;
+            e.wallMicros = rec->wallMicros;
+            e.worker = worker_of[static_cast<size_t>(i)];
+            e.workerSeq = wseq_of[static_cast<size_t>(i)];
+            e.metricsDelta = rec->metricsDelta;
+            ledger_rows.push_back(std::move(e));
+        }
+
+        result.iterations.push_back(std::move(io));
+
+        if (result.bugFound && ecfg.stopOnBug)
+            break;
+        if (ecfg.collectCoverage && merged.percent() >= ecfg.covThreshold)
+            break;
+    }
+
+    out.cutoffIteration = cutoff;
+    out.discardedIterations =
+        out.executedIterations - static_cast<int>(result.iterations.size());
+    out.coverage = std::move(merged);
+
+    // Campaign ledgers are written at merge time, sorted by global
+    // iteration id and truncated at the canonical cutoff, so the row
+    // count and per-row seed/verdict content match any worker count.
+    if (!ecfg.ledgerPath.empty()) {
+        obs::RunLedger ledger(ecfg.ledgerPath);
+        for (const obs::LedgerEntry &e : ledger_rows)
+            ledger.append(e);
+        out.ledgerRows = ledger.linesWritten();
+    }
+
+    // Fold the private worker registries into one snapshot and absorb
+    // them into the campaign-level registry, plus campaign bookkeeping.
+    obs::Registry &parent = obs::Registry::current();
+    for (const auto &w : workers) {
+        obs::Snapshot s = w->registry.snapshot();
+        out.workerMetrics.mergeFrom(s);
+        parent.absorb(s);
+    }
+    parent.counter("engine.campaigns").inc();
+    parent.counter("campaign.runs").inc();
+    parent.counter("campaign.iterations.executed")
+        .inc(static_cast<uint64_t>(out.executedIterations));
+    parent.counter("campaign.iterations.discarded")
+        .inc(static_cast<uint64_t>(out.discardedIterations));
+    parent.gauge("campaign.workers").setMax(jobs);
+
+    out.wallMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            steady_clock::now() - campaign_t0)
+            .count());
+
+    if (result.bugFound) {
+        debugLog(strFormat(
+            "campaign: bug found at iteration %d (%s), %d workers, "
+            "%d executed / %d discarded",
+            result.bugIteration, result.firstBug.shortStr().c_str(),
+            jobs, out.executedIterations, out.discardedIterations));
+    }
+    return out;
+}
+
+} // namespace goat::campaign

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Multi-worker campaign orchestration: fan a testing campaign's
+ * iteration budget out across N worker threads and merge the results
+ * into exactly what a sequential campaign would have produced.
+ *
+ * The paper's workflow is embarrassingly parallel — every perturbation
+ * iteration is an independent execution of the target under a fresh
+ * seed — so the runner scales detection probability per unit wall time
+ * by running iterations concurrently while keeping the runtime itself
+ * single-threaded: each worker owns a private Scheduler/engine stack
+ * and a private obs::Registry (installed thread-locally via
+ * ScopedRegistry), and the only cross-worker coordination is lock-free
+ * (an atomic iteration counter for work distribution and an atomic
+ * stop watermark for the early-stop broadcast).
+ *
+ * Determinism contract: a campaign's merged result is a pure function
+ * of the configuration (notably -seed) and *independent of the worker
+ * count*. Three mechanisms make that hold:
+ *
+ *  1. Seed partitioning. Iteration i always runs with
+ *     campaignIterationSeed(seedBase, i), regardless of which worker
+ *     claims it, so every execution is identical across placements.
+ *  2. Per-iteration coverage contributions. Each iteration's trace is
+ *     folded into a private CoverageState seeded from the static
+ *     model; the merge folds contributions in iteration order, so the
+ *     merged bitmap is the same union for any assignment of
+ *     iterations to workers.
+ *  3. Canonical cutoff. Workers may overshoot a stop condition (an
+ *     iteration already in flight cannot be recalled); the merge
+ *     replays stop semantics sequentially — first bug under
+ *     -stop-on-bug, coverage threshold with -cov — and discards every
+ *     iteration past the canonical stop point, so verdicts,
+ *     first-detection indices, ledger row counts, and merged coverage
+ *     match a -jobs=1 run byte for byte.
+ *
+ * The one documented exception is coverage-*guided* perturbation: the
+ * guided policy feeds on cumulative coverage, which is inherently
+ * order-dependent, so guided campaigns are reproducible only for a
+ * fixed worker count (exactly reproducing the sequential engine at
+ * jobs=1).
+ */
+
+#ifndef GOAT_CAMPAIGN_CAMPAIGN_HH
+#define GOAT_CAMPAIGN_CAMPAIGN_HH
+
+#include <functional>
+
+#include "analysis/coverage.hh"
+#include "goat/engine.hh"
+#include "obs/metrics.hh"
+
+namespace goat::campaign {
+
+/**
+ * Campaign configuration: the shared per-iteration engine config plus
+ * the worker count.
+ */
+struct CampaignConfig
+{
+    /** Per-iteration configuration (seed base, delay bound, budget…). */
+    engine::GoatConfig engine;
+    /** Worker threads; values < 1 are treated as 1. */
+    int jobs = 1;
+};
+
+/**
+ * Result of a multi-worker campaign.
+ *
+ * `merged` holds the canonical, worker-count-independent view (the
+ * same GoatResult a sequential engine produces); the remaining fields
+ * report how the campaign actually executed.
+ */
+struct CampaignResult
+{
+    /** Canonical merged result (identical for any -jobs=N). */
+    engine::GoatResult merged;
+    /** Merged Req1–Req5 coverage (meaningful with collectCoverage). */
+    analysis::CoverageState coverage;
+    /** Worker threads actually used. */
+    int jobs = 1;
+    /** Last iteration contributing to `merged` (the canonical stop). */
+    int cutoffIteration = 0;
+    /** Iterations executed across all workers (incl. overshoot). */
+    int executedIterations = 0;
+    /** Executed iterations past the cutoff, discarded by the merge. */
+    int discardedIterations = 0;
+    /** Campaign wall time, microseconds. */
+    uint64_t wallMicros = 0;
+    /** Per-worker metric registries folded into one snapshot. */
+    obs::Snapshot workerMetrics;
+    /** Ledger lines written (0 when no ledger was requested). */
+    size_t ledgerRows = 0;
+};
+
+/**
+ * Run a campaign on @p program: distribute iterations 1..maxIterations
+ * over cfg.jobs workers, early-stop all workers once any stop
+ * condition is met, then merge per-worker ledgers, coverage, and
+ * metrics into the canonical result.
+ *
+ * Must be called from a thread with no live Scheduler (it joins its
+ * workers before returning). The caller's Registry::current() receives
+ * the folded worker metrics plus campaign-level bookkeeping counters.
+ */
+CampaignResult runCampaign(const CampaignConfig &cfg,
+                           const std::function<void()> &program);
+
+} // namespace goat::campaign
+
+#endif // GOAT_CAMPAIGN_CAMPAIGN_HH

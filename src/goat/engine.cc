@@ -123,6 +123,29 @@ replayMatches(const std::function<void()> &program,
     return true;
 }
 
+uint64_t
+campaignIterationSeed(uint64_t base, int iter)
+{
+    return mixSeed(base, iter);
+}
+
+SingleRun
+runCampaignIteration(const GoatConfig &cfg,
+                     const std::function<void()> &program, int iter,
+                     analysis::CoverageState *guided_cov)
+{
+    uint64_t seed = mixSeed(cfg.seedBase, iter);
+    if (cfg.coverageGuided) {
+        perturb::GuidedPerturber perturber(guided_cov, cfg.delayBound,
+                                           seed);
+        return runOnceHooked(program, seed, perturber.hook(),
+                             cfg.noiseProb, cfg.stepBudget,
+                             cfg.delayBound);
+    }
+    return runOnce(program, seed, cfg.delayBound, cfg.noiseProb,
+                   cfg.stepBudget);
+}
+
 GoatEngine::GoatEngine(GoatConfig cfg)
     : cfg_(std::move(cfg)), cov_(cfg_.staticModel)
 {
@@ -142,7 +165,7 @@ GoatEngine::run(const std::function<void()> &program)
     GoatResult result;
     bool guided = cfg_.coverageGuided;
 
-    auto &reg = obs::Registry::global();
+    auto &reg = obs::Registry::current();
     obs::Counter &iterations_total = reg.counter("engine.iterations");
     obs::Counter &campaigns_total = reg.counter("engine.campaigns");
     obs::Counter &bugs_total = reg.counter("engine.bugs_found");
@@ -159,17 +182,7 @@ GoatEngine::run(const std::function<void()> &program)
     for (int iter = 1; iter <= cfg_.maxIterations; ++iter) {
         uint64_t seed = iterationSeed(iter);
         auto t0 = steady_clock::now();
-        SingleRun sr;
-        if (guided) {
-            perturb::GuidedPerturber perturber(&cov_, cfg_.delayBound,
-                                               seed);
-            sr = runOnceHooked(program, seed, perturber.hook(),
-                               cfg_.noiseProb, cfg_.stepBudget,
-                               cfg_.delayBound);
-        } else {
-            sr = runOnce(program, seed, cfg_.delayBound, cfg_.noiseProb,
-                         cfg_.stepBudget);
-        }
+        SingleRun sr = runCampaignIteration(cfg_, program, iter, &cov_);
 
         IterationOutcome io;
         io.exec = sr.exec;

@@ -157,6 +157,28 @@ SingleRun runOnceHooked(const std::function<void()> &program,
                         uint64_t step_budget = 2'000'000,
                         int delay_bound_meta = -1);
 
+/**
+ * Seed of campaign iteration @p iter (1-based) under @p base: the
+ * splitmix schedule every engine and campaign worker shares, which is
+ * what makes a campaign's results a pure function of (-seed, iteration
+ * index) and therefore independent of how iterations are distributed
+ * over workers.
+ */
+uint64_t campaignIterationSeed(uint64_t base, int iter);
+
+/**
+ * Execute and analyze iteration @p iter exactly as GoatEngine::run
+ * does: derive the iteration seed, install the uniform (or coverage-
+ * guided) perturbation policy, run the program on a fresh scheduler,
+ * and apply Procedure 1 to the trace. @p guided_cov is the cumulative
+ * coverage state feeding the guided policy; required (non-null) when
+ * cfg.coverageGuided, ignored otherwise.
+ */
+SingleRun runCampaignIteration(const GoatConfig &cfg,
+                               const std::function<void()> &program,
+                               int iter,
+                               analysis::CoverageState *guided_cov);
+
 } // namespace goat::engine
 
 #endif // GOAT_GOAT_ENGINE_HH

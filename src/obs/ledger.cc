@@ -19,8 +19,11 @@ ledgerEntryJson(const LedgerEntry &e)
     // Omitted entirely when coverage was not measured (< 0).
     if (e.coveragePct >= 0)
         os << strFormat(",\"coverage_pct\":%.3f", e.coveragePct);
-    os << ",\"wall_us\":" << e.wallMicros << ",\"metrics\":"
-       << e.metricsDelta.jsonStr() << '}';
+    os << ",\"wall_us\":" << e.wallMicros;
+    // Worker tags appear only on multi-worker campaign ledgers.
+    if (e.worker >= 0)
+        os << ",\"worker\":" << e.worker << ",\"wseq\":" << e.workerSeq;
+    os << ",\"metrics\":" << e.metricsDelta.jsonStr() << '}';
     return os.str();
 }
 

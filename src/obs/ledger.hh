@@ -14,6 +14,17 @@
  *   {"iter":1,"seed":123,"delay_bound":2,"outcome":"ok",
  *    "verdict":"pass","bug":false,"steps":412,"coverage_pct":63.1,
  *    "wall_us":184,"metrics":{"counters":{...},...}}
+ *
+ * Multi-worker campaigns (src/campaign, `-jobs=N`) additionally tag
+ * every line with the worker that executed the iteration:
+ *
+ *   ...,"worker":3,"wseq":17,...
+ *
+ * where `worker` is the 0-based worker id and `wseq` the 1-based
+ * sequence number of the iteration within that worker. `iter` stays
+ * the campaign-global iteration id: campaign ledgers are written
+ * sorted by it at merge time, so `iter` is contiguous from 1 while
+ * each worker's `wseq` values appear in increasing order.
  */
 
 #ifndef GOAT_OBS_LEDGER_HH
@@ -46,6 +57,10 @@ struct LedgerEntry
     double coveragePct = -1.0;
     /** Host wall-clock cost of the execution + analysis, microseconds. */
     uint64_t wallMicros = 0;
+    /** Campaign worker that ran the iteration (-1 = single-engine). */
+    int worker = -1;
+    /** 1-based iteration sequence within the worker (with worker). */
+    int workerSeq = 0;
     /** Metrics-registry delta over this iteration. */
     Snapshot metricsDelta;
 };

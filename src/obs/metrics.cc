@@ -1,5 +1,6 @@
 #include "obs/metrics.hh"
 
+#include <atomic>
 #include <sstream>
 
 #include "base/fmt.hh"
@@ -35,12 +36,51 @@ Histogram::bucketCount(size_t i) const
 }
 
 void
+Histogram::absorb(const HistogramSnapshot &h)
+{
+    if (h.bounds == bounds_ && h.buckets.size() == buckets_.size()) {
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += h.buckets[i];
+    }
+    count_ += h.count;
+    sum_ += h.sum;
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets_)
         b = 0;
     count_ = 0;
     sum_ = 0;
+}
+
+void
+Snapshot::mergeFrom(const Snapshot &other)
+{
+    for (const auto &[name, v] : other.counters)
+        counters[name] += v;
+    for (const auto &[name, v] : other.gauges) {
+        auto it = gauges.find(name);
+        if (it == gauges.end())
+            gauges[name] = v;
+        else if (it->second < v)
+            it->second = v;
+    }
+    for (const auto &[name, h] : other.histograms) {
+        auto it = histograms.find(name);
+        if (it == histograms.end()) {
+            histograms[name] = h;
+            continue;
+        }
+        HistogramSnapshot &mine = it->second;
+        if (mine.bounds == h.bounds) {
+            for (size_t i = 0; i < mine.buckets.size(); ++i)
+                mine.buckets[i] += h.buckets[i];
+        }
+        mine.count += h.count;
+        mine.sum += h.sum;
+    }
 }
 
 Snapshot
@@ -146,6 +186,17 @@ Registry::snapshot() const
 }
 
 void
+Registry::absorb(const Snapshot &s)
+{
+    for (const auto &[name, v] : s.counters)
+        counter(name).inc(v);
+    for (const auto &[name, v] : s.gauges)
+        gauge(name).setMax(v);
+    for (const auto &[name, h] : s.histograms)
+        histogram(name, h.bounds).absorb(h);
+}
+
+void
 Registry::resetAll()
 {
     std::lock_guard<std::mutex> guard(mtx_);
@@ -171,12 +222,40 @@ Registry::names() const
     return out;
 }
 
+uint64_t
+Registry::nextId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Registry &
 Registry::global()
 {
     static Registry *r = new Registry(); // never destroyed: instruments
                                          // outlive static teardown
     return *r;
+}
+
+namespace {
+thread_local Registry *tlsRegistry = nullptr;
+} // namespace
+
+Registry &
+Registry::current()
+{
+    return tlsRegistry ? *tlsRegistry : global();
+}
+
+ScopedRegistry::ScopedRegistry(Registry &r)
+    : prev_(tlsRegistry)
+{
+    tlsRegistry = &r;
+}
+
+ScopedRegistry::~ScopedRegistry()
+{
+    tlsRegistry = prev_;
 }
 
 } // namespace goat::obs

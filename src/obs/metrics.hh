@@ -13,6 +13,14 @@
  * per execution. Direct instrument use is reserved for cold paths
  * (engine iteration bookkeeping, run outcomes).
  *
+ * Multi-worker campaigns (src/campaign) keep that single-threaded
+ * story intact by giving every worker thread a private Registry:
+ * `Registry::current()` resolves to the thread's installed registry
+ * (`ScopedRegistry`), defaulting to `global()`. Worker registries are
+ * folded into one snapshot at campaign merge time (`Snapshot::
+ * mergeFrom`, `Registry::absorb`); instruments therefore never see a
+ * concurrent writer.
+ *
  * `snapshot()` returns a value-type `Snapshot` that can be diffed
  * against an earlier one (`deltaFrom`) and rendered as JSON — the
  * substrate of the engine's per-iteration run ledger.
@@ -72,6 +80,8 @@ class Gauge
     int64_t v_ = 0;
 };
 
+struct HistogramSnapshot;
+
 /**
  * Fixed-bucket histogram: counts per upper bound plus an overflow
  * bucket, a running sum, and a total count. Bucket bounds are set at
@@ -92,6 +102,13 @@ class Histogram
 
     uint64_t count() const { return count_; }
     uint64_t sum() const { return sum_; }
+
+    /**
+     * Add a snapshot's buckets/count/sum into this histogram (the
+     * campaign fold). Buckets are added only when the bounds match;
+     * count and sum always add.
+     */
+    void absorb(const HistogramSnapshot &h);
 
     void reset();
 
@@ -127,6 +144,15 @@ struct Snapshot
      */
     Snapshot deltaFrom(const Snapshot &earlier) const;
 
+    /**
+     * Fold @p other into this snapshot (the campaign merge): counters
+     * and histogram buckets/count/sum add; gauges take the maximum
+     * (every registered gauge is a peak or pool size, where max is the
+     * meaningful cross-worker fold). Histograms with mismatched bucket
+     * bounds keep this snapshot's buckets and add only count/sum.
+     */
+    void mergeFrom(const Snapshot &other);
+
     /** Render as one JSON object (counters/gauges/histograms keys). */
     std::string jsonStr() const;
 };
@@ -154,6 +180,16 @@ class Registry
     /** Value snapshot of every registered instrument. */
     Snapshot snapshot() const;
 
+    /**
+     * Fold a snapshot into this registry's instruments (find-or-create
+     * by name): counters inc by the snapshot value, gauges setMax,
+     * histograms add buckets/count/sum (bounds taken from the snapshot
+     * on first registration; mismatched bounds add only count/sum).
+     * Used to absorb per-worker campaign registries into the
+     * campaign-level registry.
+     */
+    void absorb(const Snapshot &s);
+
     /** Zero every instrument (registration survives). */
     void resetAll();
 
@@ -163,11 +199,48 @@ class Registry
     /** The process-wide registry every built-in metric lives in. */
     static Registry &global();
 
+    /**
+     * The calling thread's registry: the one installed by the
+     * innermost live ScopedRegistry on this thread, or global() when
+     * none is. Everything that records metrics resolves instruments
+     * through here so campaign workers write to private registries.
+     */
+    static Registry &current();
+
+    /**
+     * Process-unique id of this registry instance. Ids are never
+     * reused, so caches keyed on them (unlike ones keyed on the
+     * registry's address) cannot alias a destroyed registry with a
+     * later one allocated at the same address.
+     */
+    uint64_t id() const { return id_; }
+
   private:
+    const uint64_t id_ = nextId();
+    static uint64_t nextId();
+
     mutable std::mutex mtx_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * RAII thread-registry override: installs @p r as Registry::current()
+ * for the calling thread, restoring the previous binding on scope
+ * exit. Campaign workers hold one for their whole lifetime.
+ */
+class ScopedRegistry
+{
+  public:
+    explicit ScopedRegistry(Registry &r);
+    ~ScopedRegistry();
+
+    ScopedRegistry(const ScopedRegistry &) = delete;
+    ScopedRegistry &operator=(const ScopedRegistry &) = delete;
+
+  private:
+    Registry *prev_;
 };
 
 } // namespace goat::obs

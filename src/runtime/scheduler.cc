@@ -18,6 +18,12 @@ thread_local Scheduler *tlsSched = nullptr;
  * these — they bump the plain per-run SchedTallies on the Scheduler
  * object, and flush() folds a whole run's tallies into the registry in
  * one pass at the end of Scheduler::run().
+ *
+ * The cache is per thread and bound to the registry that was
+ * Registry::current() when it was built (campaign workers install a
+ * private registry per thread); schedMetrics() rebuilds it when the
+ * thread's current registry changes, so pointers never dangle across
+ * a ScopedRegistry boundary.
  */
 struct SchedMetrics
 {
@@ -152,14 +158,29 @@ struct SchedMetrics
         guidedCold.inc(t.guidedCold);
     }
 
-    static obs::Registry &reg() { return obs::Registry::global(); }
+    static obs::Registry &reg() { return obs::Registry::current(); }
 };
 
+/**
+ * The calling thread's instrument cache, rebuilt whenever the thread's
+ * current registry changes (cheap: one TLS read and pointer compare on
+ * the once-per-run flush path).
+ */
 SchedMetrics &
 schedMetrics()
 {
-    static SchedMetrics m;
-    return m;
+    // Keyed on the registry's process-unique id, not its address: a
+    // campaign worker registry can be destroyed and the next one
+    // allocated at the same address, which an address compare would
+    // mistake for the cached owner (dangling instrument pointers).
+    thread_local uint64_t ownerId = 0;
+    thread_local std::unique_ptr<SchedMetrics> m;
+    uint64_t cur = obs::Registry::current().id();
+    if (!m || ownerId != cur) {
+        m = std::make_unique<SchedMetrics>();
+        ownerId = cur;
+    }
+    return *m;
 }
 
 } // namespace

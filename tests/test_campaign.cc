@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Merge-determinism tests for the parallel campaign runner: the merged
+ * coverage bitmap, bug verdict, ledger row count, and per-iteration
+ * outcome stream must be identical for -jobs=1 and any higher worker
+ * count given the same seed base, and the early-stop broadcast must
+ * never change the canonical detection iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "goker/registry.hh"
+
+using namespace goat;
+using goat::campaign::CampaignConfig;
+using goat::campaign::CampaignResult;
+using goat::campaign::runCampaign;
+
+namespace {
+
+const goker::KernelInfo &
+kernel(const std::string &name)
+{
+    const goker::KernelInfo *k =
+        goker::KernelRegistry::instance().find(name);
+    EXPECT_NE(k, nullptr) << "unknown kernel " << name;
+    return *k;
+}
+
+CampaignConfig
+baseConfig(const goker::KernelInfo &k, int jobs)
+{
+    CampaignConfig cfg;
+    cfg.engine.delayBound = 2;
+    cfg.engine.seedBase = 7;
+    cfg.engine.maxIterations = 40;
+    cfg.engine.collectCoverage = true;
+    cfg.engine.covThreshold = 200.0; // never stop on coverage
+    cfg.engine.staticModel = goker::kernelCuTable(k);
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+size_t
+lineCount(const std::string &path)
+{
+    std::ifstream in(path);
+    size_t n = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++n;
+    return n;
+}
+
+/** The merge-visible digest two campaigns must agree on byte-for-byte. */
+void
+expectIdentical(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.merged.bugFound, b.merged.bugFound);
+    EXPECT_EQ(a.merged.bugIteration, b.merged.bugIteration);
+    EXPECT_EQ(a.merged.firstBug.shortStr(), b.merged.firstBug.shortStr());
+    EXPECT_EQ(a.merged.report, b.merged.report);
+    EXPECT_EQ(a.merged.raceIteration, b.merged.raceIteration);
+    EXPECT_EQ(a.merged.iterations.size(), b.merged.iterations.size());
+    EXPECT_EQ(a.merged.finalCoverage, b.merged.finalCoverage);
+    EXPECT_EQ(a.coverage.bitmapStr(), b.coverage.bitmapStr());
+    EXPECT_EQ(a.cutoffIteration, b.cutoffIteration);
+    for (size_t i = 0; i < a.merged.iterations.size() &&
+                       i < b.merged.iterations.size();
+         ++i) {
+        const auto &ia = a.merged.iterations[i];
+        const auto &ib = b.merged.iterations[i];
+        EXPECT_EQ(ia.exec.outcome, ib.exec.outcome) << "iteration " << i;
+        EXPECT_EQ(ia.exec.steps, ib.exec.steps) << "iteration " << i;
+        EXPECT_EQ(ia.dl.verdict, ib.dl.verdict) << "iteration " << i;
+        EXPECT_EQ(ia.coveragePct, ib.coveragePct) << "iteration " << i;
+    }
+}
+
+} // namespace
+
+// The acceptance contract: same seed -> identical merged coverage
+// bitmap and verdicts for jobs=1 vs jobs=4 vs jobs=8, on two kernels.
+TEST(Campaign, MergeDeterminismAcrossJobCounts)
+{
+    for (const char *name : {"cockroach_1055", "moby_28462"}) {
+        const goker::KernelInfo &k = kernel(name);
+        CampaignResult r1 = runCampaign(baseConfig(k, 1), k.fn);
+        CampaignResult r4 = runCampaign(baseConfig(k, 4), k.fn);
+        CampaignResult r8 = runCampaign(baseConfig(k, 8), k.fn);
+        SCOPED_TRACE(name);
+        EXPECT_TRUE(r1.merged.bugFound);
+        expectIdentical(r1, r4);
+        expectIdentical(r1, r8);
+        EXPECT_EQ(r1.jobs, 1);
+        EXPECT_EQ(r4.jobs, 4);
+        EXPECT_EQ(r8.jobs, 8);
+    }
+}
+
+// Ledger row count (and file line count) is the same for any worker
+// count: campaign ledgers are buffered and written at merge time,
+// truncated at the canonical cutoff.
+TEST(Campaign, LedgerRowCountMatchesAcrossJobCounts)
+{
+    const goker::KernelInfo &k = kernel("cockroach_1055");
+    std::string p1 = testing::TempDir() + "campaign_j1.jsonl";
+    std::string p4 = testing::TempDir() + "campaign_j4.jsonl";
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+
+    CampaignConfig c1 = baseConfig(k, 1);
+    c1.engine.ledgerPath = p1;
+    CampaignConfig c4 = baseConfig(k, 4);
+    c4.engine.ledgerPath = p4;
+
+    CampaignResult r1 = runCampaign(c1, k.fn);
+    CampaignResult r4 = runCampaign(c4, k.fn);
+
+    EXPECT_GT(r1.ledgerRows, 0u);
+    EXPECT_EQ(r1.ledgerRows, r4.ledgerRows);
+    EXPECT_EQ(lineCount(p1), r1.ledgerRows);
+    EXPECT_EQ(lineCount(p4), r4.ledgerRows);
+    EXPECT_EQ(r1.ledgerRows, r1.merged.iterations.size());
+
+    // Worker-tagged rows: every campaign row carries "worker" and
+    // "wseq", and the single-worker ledger is all worker 0.
+    std::ifstream in(p1);
+    std::string line;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"worker\":0"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"wseq\":"), std::string::npos) << line;
+    }
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}
+
+// Early-stop semantics: the merged result stops exactly at the
+// canonical first detection; workers past the broadcast watermark may
+// execute extra iterations, but those are discarded, never merged.
+TEST(Campaign, EarlyStopBroadcastPreservesCanonicalCutoff)
+{
+    const goker::KernelInfo &k = kernel("cockroach_1055");
+    for (int jobs : {1, 4}) {
+        CampaignConfig cfg = baseConfig(k, jobs);
+        CampaignResult r = runCampaign(cfg, k.fn);
+        SCOPED_TRACE(jobs);
+        ASSERT_TRUE(r.merged.bugFound);
+        EXPECT_EQ(static_cast<int>(r.merged.iterations.size()),
+                  r.merged.bugIteration);
+        EXPECT_EQ(r.cutoffIteration, r.merged.bugIteration);
+        EXPECT_GE(r.executedIterations,
+                  static_cast<int>(r.merged.iterations.size()));
+        EXPECT_EQ(r.discardedIterations,
+                  r.executedIterations -
+                      static_cast<int>(r.merged.iterations.size()));
+        EXPECT_LE(r.executedIterations, cfg.engine.maxIterations);
+    }
+}
+
+// With stop-on-bug off the campaign runs the whole budget and every
+// iteration is merged, regardless of worker count.
+TEST(Campaign, FixedBudgetExecutesEveryIteration)
+{
+    const goker::KernelInfo &k = kernel("moby_28462");
+    for (int jobs : {1, 4}) {
+        CampaignConfig cfg = baseConfig(k, jobs);
+        cfg.engine.maxIterations = 12;
+        cfg.engine.stopOnBug = false;
+        CampaignResult r = runCampaign(cfg, k.fn);
+        SCOPED_TRACE(jobs);
+        EXPECT_EQ(r.executedIterations, 12);
+        EXPECT_EQ(r.discardedIterations, 0);
+        EXPECT_EQ(r.merged.iterations.size(), 12u);
+        EXPECT_EQ(r.cutoffIteration, 12);
+    }
+}
+
+// The folded worker metrics account for every executed iteration, and
+// the worker count is clamped to the iteration budget.
+TEST(Campaign, WorkerMetricsFoldAndJobClamp)
+{
+    const goker::KernelInfo &k = kernel("cockroach_1055");
+    CampaignConfig cfg = baseConfig(k, 64);
+    cfg.engine.maxIterations = 6;
+    cfg.engine.stopOnBug = false;
+    CampaignResult r = runCampaign(cfg, k.fn);
+    EXPECT_EQ(r.jobs, 6); // clamped to maxIterations
+    auto it = r.workerMetrics.counters.find("engine.iterations");
+    ASSERT_NE(it, r.workerMetrics.counters.end());
+    EXPECT_EQ(it->second,
+              static_cast<uint64_t>(r.executedIterations));
+}
+
+// A coverage threshold stops the merged campaign at the same canonical
+// iteration for any worker count.
+TEST(Campaign, CoverageThresholdStopIsDeterministic)
+{
+    const goker::KernelInfo &k = kernel("moby_28462");
+    std::vector<int> cutoffs;
+    for (int jobs : {1, 4}) {
+        CampaignConfig cfg = baseConfig(k, jobs);
+        cfg.engine.maxIterations = 30;
+        cfg.engine.stopOnBug = false;
+        cfg.engine.covThreshold = 50.0;
+        CampaignResult r = runCampaign(cfg, k.fn);
+        cutoffs.push_back(r.cutoffIteration);
+        SCOPED_TRACE(jobs);
+        EXPECT_GE(r.merged.finalCoverage, 50.0);
+    }
+    EXPECT_EQ(cutoffs[0], cutoffs[1]);
+}

@@ -33,6 +33,7 @@ TEST(Cli, Defaults)
     EXPECT_EQ(opt.kernel, "");
     EXPECT_EQ(opt.delay, 0);
     EXPECT_EQ(opt.freq, 1);
+    EXPECT_EQ(opt.jobs, 1);
     EXPECT_FALSE(opt.cov);
     EXPECT_FALSE(opt.race);
     EXPECT_EQ(opt.seed, 1u);
@@ -42,8 +43,8 @@ TEST(Cli, AllFlagsTogether)
 {
     Options opt;
     std::string err;
-    EXPECT_TRUE(parse({"-kernel=moby_28462", "-d=3", "-freq=500", "-cov",
-                       "-race", "-stats", "-report",
+    EXPECT_TRUE(parse({"-kernel=moby_28462", "-d=3", "-freq=500",
+                       "-jobs=4", "-cov", "-race", "-stats", "-report",
                        "-trace=/tmp/t.ect", "-html=/tmp/r.html",
                        "-ledger=/tmp/run.jsonl",
                        "-chrome-trace=/tmp/ct.json", "-metrics",
@@ -52,6 +53,7 @@ TEST(Cli, AllFlagsTogether)
     EXPECT_EQ(opt.kernel, "moby_28462");
     EXPECT_EQ(opt.delay, 3);
     EXPECT_EQ(opt.freq, 500);
+    EXPECT_EQ(opt.jobs, 4);
     EXPECT_TRUE(opt.cov);
     EXPECT_TRUE(opt.race);
     EXPECT_TRUE(opt.stats);

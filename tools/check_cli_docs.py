@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Drift check between the goat CLI parser and docs/CLI.md.
+
+Extracts the flag set from the parser source (tools/cli_options.hh):
+
+  * boolean flags match       arg == "-flag"
+  * valued flags match        val("-flag=")
+
+and the documented flag set from docs/CLI.md (backticked `-flag` or
+`-flag=VALUE` table entries). Fails when a parsed flag is undocumented
+or a documented flag no longer exists in the parser.
+
+Usage: check_cli_docs.py [repo_root]
+
+Registered as the `check_cli_docs` ctest; exits non-zero with a
+diagnostic listing the drifted flags.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_cli_docs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parser_flags(source):
+    """Flag names accepted by parseOptions, e.g. {'-list', '-kernel='}."""
+    flags = set(re.findall(r'arg == "(-[a-z-]+)"', source))
+    flags |= set(re.findall(r'val\("(-[a-z-]+=)"\)', source))
+    return flags
+
+
+def documented_flags(markdown):
+    """Backticked flags in CLI.md, normalized to the parser's form."""
+    flags = set()
+    for m in re.findall(r"`(-[a-z-]+)(=[A-Za-z0-9_]*)?`", markdown):
+        flags.add(m[0] + ("=" if m[1] else ""))
+    return flags
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    parser_src = root / "tools" / "cli_options.hh"
+    doc = root / "docs" / "CLI.md"
+    if not parser_src.exists():
+        fail(f"parser source not found: {parser_src}")
+    if not doc.exists():
+        fail(f"flag reference not found: {doc}")
+
+    parsed = parser_flags(parser_src.read_text())
+    documented = documented_flags(doc.read_text())
+    if not parsed:
+        fail(f"no flags extracted from {parser_src} — pattern drift?")
+
+    undocumented = sorted(parsed - documented)
+    stale = sorted(documented - parsed)
+    if undocumented:
+        fail(f"flags missing from docs/CLI.md: {', '.join(undocumented)}")
+    if stale:
+        fail(f"docs/CLI.md documents unknown flags: {', '.join(stale)}")
+    print(f"check_cli_docs: OK — {len(parsed)} flags documented")
+
+
+if __name__ == "__main__":
+    main()

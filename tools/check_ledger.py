@@ -8,7 +8,10 @@ Runs a tiny campaign through the goat CLI with -ledger and
     stable key set documented in src/obs/ledger.hh and sane types;
   * the Chrome trace is one JSON document in trace_event format, with
     a named track per goroutine, duration events for blocking
-    episodes, and s/f flow pairs that share an id.
+    episodes, and s/f flow pairs that share an id;
+  * a second campaign at -jobs=4 yields worker-tagged rows (paired
+    worker/wseq, monotone per-worker wseq, no duplicate global ids)
+    whose canonical content matches the -jobs=1 ledger exactly.
 
 Usage: check_ledger.py /path/to/goat [kernel]
 
@@ -46,6 +49,8 @@ def check_ledger(path, expect_min_lines):
     if len(lines) < expect_min_lines:
         fail(f"ledger has {len(lines)} lines, expected >= {expect_min_lines}")
     prev_iter = 0
+    seen_iters = set()
+    wseq_of_worker = {}
     for i, line in enumerate(lines, 1):
         try:
             obj = json.loads(line)
@@ -69,7 +74,25 @@ def check_ledger(path, expect_min_lines):
         if obj["iter"] != prev_iter + 1:
             fail(f"ledger line {i}: iter {obj['iter']} does not follow "
                  f"{prev_iter}")
+        if obj["iter"] in seen_iters:
+            fail(f"ledger line {i}: duplicate global iter {obj['iter']}")
+        seen_iters.add(obj["iter"])
         prev_iter = obj["iter"]
+        # Worker-tagged campaign rows: "worker" and "wseq" come as a
+        # pair, the worker id is a 0-based int, and each worker's wseq
+        # is its own strictly monotone 1-based sequence.
+        if ("worker" in obj) != ("wseq" in obj):
+            fail(f"ledger line {i}: worker/wseq must appear together")
+        if "worker" in obj:
+            w, s = obj["worker"], obj["wseq"]
+            if not isinstance(w, int) or isinstance(w, bool) or w < 0:
+                fail(f"ledger line {i}: bad worker id {w!r}")
+            if not isinstance(s, int) or isinstance(s, bool) or s < 1:
+                fail(f"ledger line {i}: bad wseq {s!r}")
+            if s <= wseq_of_worker.get(w, 0):
+                fail(f"ledger line {i}: worker {w} wseq {s} not "
+                     f"greater than {wseq_of_worker[w]}")
+            wseq_of_worker[w] = s
         metrics = obj["metrics"]
         for section in ("counters", "gauges", "histograms"):
             if section not in metrics:
@@ -117,6 +140,35 @@ def check_chrome_trace(path):
     return events, starts
 
 
+def canonical_rows(lines):
+    """Ledger rows minus the host-dependent fields (timing, metrics)
+    and the worker assignment, which legitimately differ between runs
+    of the same campaign at different -jobs values."""
+    rows = []
+    for line in lines:
+        obj = json.loads(line)
+        for key in ("wall_us", "metrics", "worker", "wseq"):
+            obj.pop(key, None)
+        rows.append(obj)
+    return rows
+
+
+def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None):
+    cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
+           "-cov", f"-ledger={ledger}"]
+    if trace is not None:
+        cmd.append(f"-chrome-trace={trace}")
+    if jobs is not None:
+        cmd.append(f"-jobs={jobs}")
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          timeout=90)
+    if proc.returncode != 0:
+        fail(f"goat exited {proc.returncode}: {proc.stdout}"
+             f"{proc.stderr}")
+    if not ledger.exists():
+        fail(f"ledger file not written (cmd: {' '.join(cmd)})")
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: check_ledger.py /path/to/goat [kernel]")
@@ -127,28 +179,30 @@ def main():
     with tempfile.TemporaryDirectory(prefix="goat_ledger_") as tmp:
         ledger = Path(tmp) / "run.jsonl"
         trace = Path(tmp) / "trace.json"
-        cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
-               "-cov", f"-ledger={ledger}", f"-chrome-trace={trace}"]
-        proc = subprocess.run(cmd, capture_output=True, text=True,
-                              timeout=90)
-        if proc.returncode != 0:
-            fail(f"goat exited {proc.returncode}: {proc.stdout}"
-                 f"{proc.stderr}")
-        if not ledger.exists():
-            fail(f"ledger file not written (cmd: {' '.join(cmd)})")
+        run_goat(goat, kernel, iterations, ledger, trace=trace)
 
         lines = check_ledger(ledger, expect_min_lines=1)
+
+        # The same campaign fanned over 4 workers must produce a
+        # ledger with identical canonical content (same rows, same
+        # seeds/outcomes/verdicts/coverage) and valid worker tags.
+        ledger4 = Path(tmp) / "run_j4.jsonl"
+        run_goat(goat, kernel, iterations, ledger4, jobs=4)
+        lines4 = check_ledger(ledger4, expect_min_lines=1)
+        if canonical_rows(lines) != canonical_rows(lines4):
+            fail("-jobs=4 ledger content differs from -jobs=1")
         bug_found = any(json.loads(l)["bug"] for l in lines)
         if bug_found:
             if not trace.exists():
                 fail("bug found but no chrome trace written")
             events, flows = check_chrome_trace(trace)
-            print(f"check_ledger: OK — {len(lines)} ledger line(s), "
-                  f"{len(events)} trace event(s), "
-                  f"{len(flows)} flow pair(s)")
+            print(f"check_ledger: OK — {len(lines)} ledger line(s) "
+                  f"(identical at -jobs=4), {len(events)} trace "
+                  f"event(s), {len(flows)} flow pair(s)")
         else:
-            print(f"check_ledger: OK — {len(lines)} ledger line(s), "
-                  f"no bug surfaced so no trace expected")
+            print(f"check_ledger: OK — {len(lines)} ledger line(s) "
+                  f"(identical at -jobs=4), no bug surfaced so no "
+                  f"trace expected")
 
 
 if __name__ == "__main__":

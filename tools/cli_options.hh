@@ -23,6 +23,7 @@ struct Options
     std::string kernel;
     int delay = 0;
     int freq = 1;
+    int jobs = 1;
     bool cov = false;
     bool race = false;
     bool report = false;
@@ -67,6 +68,8 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.delay = std::atoi(v);
         } else if (const char *v = val("-freq=")) {
             opt.freq = std::atoi(v);
+        } else if (const char *v = val("-jobs=")) {
+            opt.jobs = std::atoi(v);
         } else if (const char *v = val("-trace=")) {
             opt.trace_out = v;
         } else if (const char *v = val("-html=")) {

@@ -21,6 +21,7 @@
 #include "analysis/goroutine_tree.hh"
 #include "analysis/html_report.hh"
 #include "analysis/stats.hh"
+#include "campaign/campaign.hh"
 #include "goat/engine.hh"
 #include "goker/registry.hh"
 #include "obs/chrome_trace.hh"
@@ -45,6 +46,8 @@ usage()
         "  -kernel=NAME    target kernel name, or 'all'\n"
         "  -d=N            number of delays (yield bound D, default 0)\n"
         "  -freq=N         frequency of executions (default 1)\n"
+        "  -jobs=N         parallel campaign workers (default 1);\n"
+        "                  merged results are identical for any N\n"
         "  -cov            include coverage report in evaluation\n"
         "  -race           enable happens-before race detection\n"
         "  -stats          print the buggy trace's blocking profile\n"
@@ -73,7 +76,8 @@ parseArgs(int argc, char **argv, Options &opt)
 int
 runKernel(const goker::KernelInfo &kernel, const Options &opt)
 {
-    GoatConfig cfg;
+    campaign::CampaignConfig ccfg;
+    GoatConfig &cfg = ccfg.engine;
     cfg.delayBound = opt.delay;
     cfg.maxIterations = opt.freq;
     cfg.collectCoverage = opt.cov;
@@ -82,8 +86,10 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
     cfg.seedBase = opt.seed;
     cfg.ledgerPath = opt.ledger_out;
     cfg.staticModel = goker::kernelCuTable(kernel);
-    GoatEngine engine(cfg);
-    GoatResult result = engine.run(kernel.fn);
+    ccfg.jobs = opt.jobs;
+    campaign::CampaignResult cres =
+        campaign::runCampaign(ccfg, kernel.fn);
+    GoatResult &result = cres.merged;
 
     std::printf("%-22s ", kernel.name.c_str());
     if (result.bugFound) {
@@ -117,7 +123,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
         analysis::GoroutineTree tree(result.firstBugEct);
         std::string html = analysis::htmlReportStr(
             kernel.name, result.firstBugEct, tree, result.firstBug,
-            opt.cov ? &engine.coverage() : nullptr);
+            opt.cov ? &cres.coverage : nullptr);
         std::FILE *f = std::fopen(opt.html_out.c_str(), "w");
         if (f) {
             std::fwrite(html.data(), 1, html.size(), f);
@@ -145,7 +151,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
     }
     if (opt.cov && opt.report) {
         std::printf("\n-- coverage requirements --\n%s",
-                    engine.coverage().tableStr().c_str());
+                    cres.coverage.tableStr().c_str());
     }
     return result.bugFound ? 1 : 0;
 }

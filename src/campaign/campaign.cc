@@ -325,10 +325,13 @@ runCampaign(const CampaignConfig &cfg,
             // necessarily captured it as its own first bug.
             for (const auto &w : workers) {
                 if (w->firstBug.iter == i) {
-                    const SingleRun &sr = w->firstBug.sr;
+                    SingleRun &sr = w->firstBug.sr;
                     result.firstBug = sr.dl;
                     result.firstBugExec = sr.exec;
                     result.firstBugEct = sr.ect;
+                    engine::finalizeRecipe(sr);
+                    sr.recipe.kernel = cfg.programName;
+                    result.firstBugRecipe = sr.recipe;
                     analysis::GoroutineTree tree(sr.ect);
                     result.report = analysis::deadlockReportStr(
                         sr.ect, tree, sr.dl);
@@ -367,11 +370,51 @@ runCampaign(const CampaignConfig &cfg,
         out.executedIterations - static_cast<int>(result.iterations.size());
     out.coverage = std::move(merged);
 
+    // Repro-recipe capture: the canonical first bug's decision stream
+    // is a pure function of its iteration index, so the recipe bytes
+    // are identical for any -jobs value. Minimization replays on this
+    // (scheduler-free) thread, after the workers have joined.
+    if (result.bugFound && !cfg.recordPath.empty()) {
+        out.recordOk =
+            trace::writeRecipeFile(result.firstBugRecipe, cfg.recordPath);
+        if (out.recordOk)
+            out.recipePath = cfg.recordPath;
+        else
+            warn("cannot write recipe file " + cfg.recordPath);
+    }
+    if (result.bugFound && cfg.minimize) {
+        out.minimize = engine::minimizeRecipe(program,
+                                              result.firstBugRecipe);
+        if (!cfg.recordPath.empty() && out.minimize.reproduced) {
+            std::string min_path = cfg.recordPath + ".min";
+            if (trace::writeRecipeFile(out.minimize.minimized, min_path)) {
+                out.minimizedRecipePath = min_path;
+            } else {
+                out.recordOk = false;
+                warn("cannot write recipe file " + min_path);
+            }
+        }
+    }
+    if (result.bugFound &&
+        (!out.recipePath.empty() || cfg.minimize)) {
+        // Stamp the repro fields onto the bug's ledger row.
+        for (obs::LedgerEntry &e : ledger_rows) {
+            if (e.iteration == result.bugIteration) {
+                e.recipePath = out.recipePath;
+                if (cfg.minimize && out.minimize.reproduced)
+                    e.minimizedYields = static_cast<int>(
+                        out.minimize.minimized.yields.size());
+                break;
+            }
+        }
+    }
+
     // Campaign ledgers are written at merge time, sorted by global
     // iteration id and truncated at the canonical cutoff, so the row
     // count and per-row seed/verdict content match any worker count.
     if (!ecfg.ledgerPath.empty()) {
         obs::RunLedger ledger(ecfg.ledgerPath);
+        out.ledgerOk = ledger.ok();
         for (const obs::LedgerEntry &e : ledger_rows)
             ledger.append(e);
         out.ledgerRows = ledger.linesWritten();

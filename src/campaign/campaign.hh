@@ -62,6 +62,20 @@ struct CampaignConfig
     engine::GoatConfig engine;
     /** Worker threads; values < 1 are treated as 1. */
     int jobs = 1;
+    /** Program/kernel label stamped into recorded recipes. */
+    std::string programName;
+    /**
+     * Write the first bug's repro recipe here ("" disables). Capture
+     * happens at merge time on the canonical first detection, so the
+     * recipe bytes are identical for any worker count.
+     */
+    std::string recordPath;
+    /**
+     * Minimize the captured recipe's yield set (engine::minimizeRecipe)
+     * after the campaign; the minimized recipe is written to
+     * recordPath + ".min" when recording.
+     */
+    bool minimize = false;
 };
 
 /**
@@ -91,6 +105,16 @@ struct CampaignResult
     obs::Snapshot workerMetrics;
     /** Ledger lines written (0 when no ledger was requested). */
     size_t ledgerRows = 0;
+    /** False when a requested ledger file could not be written. */
+    bool ledgerOk = true;
+    /** False when a requested recipe file could not be written. */
+    bool recordOk = true;
+    /** Recipe file written for the first bug ("" = none). */
+    std::string recipePath;
+    /** Yield-set minimization outcome (with CampaignConfig::minimize). */
+    engine::MinimizeResult minimize;
+    /** Path of the minimized recipe ("" = none written). */
+    std::string minimizedRecipePath;
 };
 
 /**

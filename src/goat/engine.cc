@@ -10,6 +10,7 @@
 #include "obs/metrics.hh"
 #include "perturb/guided.hh"
 #include "perturb/perturb.hh"
+#include "perturb/replay.hh"
 
 namespace goat::engine {
 
@@ -135,15 +136,173 @@ runCampaignIteration(const GoatConfig &cfg,
                      analysis::CoverageState *guided_cov)
 {
     uint64_t seed = mixSeed(cfg.seedBase, iter);
-    if (cfg.coverageGuided) {
-        perturb::GuidedPerturber perturber(guided_cov, cfg.delayBound,
-                                           seed);
-        return runOnceHooked(program, seed, perturber.hook(),
-                             cfg.noiseProb, cfg.stepBudget,
-                             cfg.delayBound);
+
+    // Every campaign iteration records its schedule-decision stream —
+    // at most D yields plus a call counter — so any run can be handed
+    // out as a repro recipe without re-finding it. The recorder wraps
+    // the policy hook; a null inner hook (D = 0) still counts calls
+    // but never perturbs, leaving the schedule untouched.
+    perturb::ScheduleRecorder recorder;
+    perturb::YieldPerturber uniform(cfg.delayBound, seed);
+    perturb::GuidedPerturber guided(guided_cov, cfg.delayBound, seed);
+    runtime::PerturbHook inner;
+    if (cfg.coverageGuided)
+        inner = guided.hook();
+    else if (cfg.delayBound > 0)
+        inner = uniform.hook();
+
+    SingleRun sr =
+        runOnceHooked(program, seed, recorder.wrap(std::move(inner)),
+                      cfg.noiseProb, cfg.stepBudget, cfg.delayBound);
+
+    trace::Recipe &r = sr.recipe;
+    r.seed = seed;
+    r.delayBound = cfg.delayBound;
+    r.noiseProb = cfg.noiseProb;
+    r.stepBudget = cfg.stepBudget;
+    r.iteration = iter;
+    r.hookCalls = recorder.calls();
+    r.yields = recorder.yields();
+    r.outcome = runtime::runOutcomeName(sr.exec.outcome);
+    r.verdict = analysis::verdictName(sr.dl.verdict);
+    return sr;
+}
+
+void
+finalizeRecipe(SingleRun &sr)
+{
+    sr.recipe.ectEvents = sr.ect.size();
+    sr.recipe.ectHash = trace::ectFingerprint(sr.ect);
+}
+
+ReplayResult
+replayRecipe(const std::function<void()> &program,
+             const trace::Recipe &recipe)
+{
+    ReplayResult out;
+    perturb::ReplayPerturber rp(
+        perturb::ReplayPerturber::callsOf(recipe));
+    out.sr = runOnceHooked(program, recipe.seed, rp.hook(),
+                           recipe.noiseProb, recipe.stepBudget,
+                           recipe.delayBound);
+
+    trace::Recipe &r = out.sr.recipe;
+    r.kernel = recipe.kernel;
+    r.seed = recipe.seed;
+    r.delayBound = recipe.delayBound;
+    r.noiseProb = recipe.noiseProb;
+    r.stepBudget = recipe.stepBudget;
+    r.iteration = recipe.iteration;
+    r.hookCalls = rp.calls();
+    r.yields = rp.injected();
+    r.outcome = runtime::runOutcomeName(out.sr.exec.outcome);
+    r.verdict = analysis::verdictName(out.sr.dl.verdict);
+    finalizeRecipe(out.sr);
+
+    out.buggy = out.sr.dl.buggy() ||
+                out.sr.exec.outcome == RunOutcome::StepBudget;
+
+    if (r.verdict != recipe.verdict) {
+        out.mismatch = "verdict " + r.verdict + " vs recorded " +
+                       recipe.verdict;
+    } else if (r.outcome != recipe.outcome) {
+        out.mismatch = "outcome " + r.outcome + " vs recorded " +
+                       recipe.outcome;
+    } else if (recipe.ectEvents != 0 &&
+               r.ectEvents != recipe.ectEvents) {
+        out.mismatch = strFormat(
+            "trace has %llu events, recorded %llu",
+            static_cast<unsigned long long>(r.ectEvents),
+            static_cast<unsigned long long>(recipe.ectEvents));
+    } else if (recipe.ectHash != 0 && r.ectHash != recipe.ectHash) {
+        out.mismatch = strFormat(
+            "ECT fingerprint %016llx vs recorded %016llx",
+            static_cast<unsigned long long>(r.ectHash),
+            static_cast<unsigned long long>(recipe.ectHash));
+    } else {
+        out.matched = true;
     }
-    return runOnce(program, seed, cfg.delayBound, cfg.noiseProb,
-                   cfg.stepBudget);
+    return out;
+}
+
+MinimizeResult
+minimizeRecipe(const std::function<void()> &program,
+               const trace::Recipe &recipe)
+{
+    MinimizeResult out;
+    out.originalYields = static_cast<int>(recipe.yields.size());
+    out.minimized = recipe;
+    if (recipe.verdict.empty() ||
+        recipe.verdict == analysis::verdictName(Verdict::Pass))
+        return out; // nothing buggy to preserve
+
+    struct Cand
+    {
+        bool ok = false;
+        SingleRun sr;
+        std::vector<trace::RecipeYield> injected;
+        uint64_t calls = 0;
+    };
+    // A candidate reproduces when its deterministic replay is still
+    // buggy with the *recorded* verdict — dropping to a different bug
+    // class does not count as the same repro.
+    auto tryCalls = [&](const std::vector<uint64_t> &calls) {
+        perturb::ReplayPerturber rp(calls);
+        Cand c;
+        c.sr = runOnceHooked(program, recipe.seed, rp.hook(),
+                             recipe.noiseProb, recipe.stepBudget,
+                             recipe.delayBound);
+        ++out.replays;
+        bool buggy = c.sr.dl.buggy() ||
+                     c.sr.exec.outcome == RunOutcome::StepBudget;
+        c.ok = buggy &&
+               analysis::verdictName(c.sr.dl.verdict) == recipe.verdict;
+        c.injected = rp.injected();
+        c.calls = rp.calls();
+        return c;
+    };
+
+    std::vector<uint64_t> cur =
+        perturb::ReplayPerturber::callsOf(recipe);
+    Cand best = tryCalls({});
+    if (best.ok) {
+        // The seed's native noise alone reproduces the bug.
+        cur.clear();
+    } else {
+        best = tryCalls(cur);
+        if (!best.ok)
+            return out; // recipe itself does not reproduce — bail
+        // Greedy single-yield elimination until locally minimal.
+        bool improved = true;
+        while (improved && !cur.empty()) {
+            improved = false;
+            for (size_t i = 0; i < cur.size(); ++i) {
+                std::vector<uint64_t> cand = cur;
+                cand.erase(cand.begin() +
+                           static_cast<ptrdiff_t>(i));
+                Cand c = tryCalls(cand);
+                if (c.ok) {
+                    cur = std::move(cand);
+                    best = std::move(c);
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    out.reproduced = true;
+    // Re-finalize from the minimal run: the surviving call indices are
+    // original-stream positions, but the sites they hit (and the trace
+    // they produce) belong to the minimal schedule.
+    trace::Recipe &m = out.minimized;
+    m.yields = best.injected;
+    m.hookCalls = best.calls;
+    m.outcome = runtime::runOutcomeName(best.sr.exec.outcome);
+    m.verdict = analysis::verdictName(best.sr.dl.verdict);
+    m.ectEvents = best.sr.ect.size();
+    m.ectHash = trace::ectFingerprint(best.sr.ect);
+    return out;
 }
 
 GoatEngine::GoatEngine(GoatConfig cfg)
@@ -212,6 +371,8 @@ GoatEngine::run(const std::function<void()> &program)
             result.firstBug = sr.dl;
             result.firstBugExec = sr.exec;
             result.firstBugEct = sr.ect;
+            finalizeRecipe(sr);
+            result.firstBugRecipe = sr.recipe;
             GoroutineTree tree(sr.ect);
             result.report =
                 analysis::deadlockReportStr(sr.ect, tree, sr.dl);

@@ -23,6 +23,7 @@
 #include "runtime/scheduler.hh"
 #include "staticmodel/cutable.hh"
 #include "trace/ect.hh"
+#include "trace/recipe.hh"
 
 namespace goat::engine {
 
@@ -90,6 +91,11 @@ struct GoatResult
     trace::Ect firstBugEct;
     /** Rendered deadlock report for the first bug ("" = none). */
     std::string report;
+    /**
+     * Repro recipe of the first bug (trace/recipe.hh), ready to
+     * serialize; meaningful only when bugFound.
+     */
+    trace::Recipe firstBugRecipe;
     /** First data-race report (with -race; empty when none found). */
     analysis::RaceReport firstRaces;
     /** 1-based iteration of the first race (-1 = none). */
@@ -132,6 +138,13 @@ struct SingleRun
     runtime::ExecResult exec;
     trace::Ect ect;
     analysis::DeadlockReport dl;
+    /**
+     * Schedule-decision record of the run (campaign iterations record
+     * it unconditionally — the stream is at most D yields plus a call
+     * counter). The ECT fingerprint fields are left zero on the hot
+     * path; stamp them with finalizeRecipe() before serializing.
+     */
+    trace::Recipe recipe;
 };
 
 SingleRun runOnce(const std::function<void()> &program, uint64_t seed,
@@ -178,6 +191,71 @@ SingleRun runCampaignIteration(const GoatConfig &cfg,
                                const std::function<void()> &program,
                                int iter,
                                analysis::CoverageState *guided_cov);
+
+/**
+ * Stamp the deferred ECT fingerprint fields (ect_hash, ect_events)
+ * onto @p sr's recipe, which are skipped on the campaign hot path
+ * (hashing serializes the whole trace). Idempotent.
+ */
+void finalizeRecipe(SingleRun &sr);
+
+/**
+ * Result of replaying a recipe (replayRecipe).
+ */
+struct ReplayResult
+{
+    /** ECT fingerprint, event count, outcome, and verdict all match. */
+    bool matched = false;
+    /** The replayed run was buggy (Procedure 1 or watchdog). */
+    bool buggy = false;
+    /** The replayed run, with its own finalized recipe. */
+    SingleRun sr;
+    /** Human-readable first divergence ("" when matched). */
+    std::string mismatch;
+};
+
+/**
+ * Re-execute @p recipe exactly: same seed, noise probability, and step
+ * budget, with the recorded yield set replayed by hook-call index
+ * (perturb::ReplayPerturber). Asserts the reproduction by comparing
+ * the replayed ECT fingerprint, event count, runtime outcome, and
+ * offline verdict against the recipe's recorded values.
+ */
+ReplayResult replayRecipe(const std::function<void()> &program,
+                          const trace::Recipe &recipe);
+
+/**
+ * Result of yield-set minimization (minimizeRecipe).
+ */
+struct MinimizeResult
+{
+    /**
+     * Locally minimal recipe: greedily dropping any single remaining
+     * yield no longer reproduces the recorded verdict. Re-finalized
+     * from its own replay (sites, hook calls, ECT fingerprint), so it
+     * replays exactly like any recorded recipe.
+     */
+    trace::Recipe minimized;
+    /** Yield count of the input recipe. */
+    int originalYields = 0;
+    /** Candidate executions performed by the search. */
+    int replays = 0;
+    /** The minimized recipe still triggers the recorded verdict. */
+    bool reproduced = false;
+};
+
+/**
+ * ddmin-style greedy minimization of a buggy recipe's yield set: try
+ * the empty set first, then repeatedly drop single yields, keeping
+ * any candidate whose deterministic replay still produces the
+ * recorded verdict, until locally minimal. The surviving 1–3 sites
+ * are the schedule's culprit CUs — the debugging headline.
+ *
+ * Recipes whose verdict is "pass" are returned unchanged with
+ * reproduced = false.
+ */
+MinimizeResult minimizeRecipe(const std::function<void()> &program,
+                              const trace::Recipe &recipe);
 
 } // namespace goat::engine
 

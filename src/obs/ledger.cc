@@ -23,6 +23,11 @@ ledgerEntryJson(const LedgerEntry &e)
     // Worker tags appear only on multi-worker campaign ledgers.
     if (e.worker >= 0)
         os << ",\"worker\":" << e.worker << ",\"wseq\":" << e.workerSeq;
+    // Repro fields appear only on recorded/minimized bug rows.
+    if (!e.recipePath.empty())
+        os << ",\"recipe\":\"" << jsonEscape(e.recipePath) << '"';
+    if (e.minimizedYields >= 0)
+        os << ",\"min_yields\":" << e.minimizedYields;
     os << ",\"metrics\":" << e.metricsDelta.jsonStr() << '}';
     return os.str();
 }

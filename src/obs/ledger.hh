@@ -61,6 +61,16 @@ struct LedgerEntry
     int worker = -1;
     /** 1-based iteration sequence within the worker (with worker). */
     int workerSeq = 0;
+    /**
+     * Repro recipe written for this (bug) iteration ("" = none).
+     * Emitted as "recipe"; only ever set on bug rows.
+     */
+    std::string recipePath;
+    /**
+     * Yield count of the minimized recipe (-1 = not minimized).
+     * Emitted as "min_yields"; only ever set on bug rows.
+     */
+    int minimizedYields = -1;
     /** Metrics-registry delta over this iteration. */
     Snapshot metricsDelta;
 };

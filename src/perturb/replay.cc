@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Anchor translation unit for the header-only record/replay policies.
+ */
+
+#include "perturb/replay.hh"

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Schedule recording and exact replay.
+ *
+ * The scheduler's nondeterminism has exactly two sources: its own
+ * seeded PRNG (noise preemptions, select choices, wake order) and the
+ * perturbation hook's yes/no answers. The PRNG is replayed by reusing
+ * the seed; the hook's answers are replayed by position — the
+ * ScheduleRecorder numbers every hook invocation of a run and records
+ * the indices at which a yield fired, and the ReplayPerturber answers
+ * "yes" at exactly those indices. Together with the recorded execution
+ * parameters (trace/recipe.hh) this re-executes the identical
+ * interleaving, byte for byte.
+ *
+ * Replaying a *subset* of the recorded indices is also well-defined
+ * (the run diverges after the first dropped yield, but remains a
+ * deterministic function of the subset) — which is what makes
+ * ddmin-style yield-set minimization possible (engine::minimizeRecipe).
+ */
+
+#ifndef GOAT_PERTURB_REPLAY_HH
+#define GOAT_PERTURB_REPLAY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "perturb/perturb.hh"
+#include "runtime/scheduler.hh"
+#include "staticmodel/cu.hh"
+#include "trace/recipe.hh"
+
+namespace goat::perturb {
+
+/**
+ * Wraps any perturbation hook, numbering its invocations and recording
+ * every injected yield (index + CU site). Wrapping a null hook yields
+ * a pure call counter that never perturbs — installing it does not
+ * change the schedule, because hook decisions never touch the
+ * scheduler's own PRNG stream.
+ */
+class ScheduleRecorder
+{
+  public:
+    /** Wrap @p inner; the recorder must outlive the returned hook. */
+    runtime::PerturbHook
+    wrap(runtime::PerturbHook inner)
+    {
+        return [this, inner = std::move(inner)](staticmodel::CuKind k,
+                                                const SourceLoc &l) {
+            ++calls_;
+            bool yield = inner && inner(k, l);
+            if (yield)
+                yields_.push_back({calls_, staticmodel::cuKindName(k),
+                                   l.basename(), l.line});
+            return yield;
+        };
+    }
+
+    /** Hook invocations observed so far. */
+    uint64_t calls() const { return calls_; }
+
+    /** Injected yields, in call order. */
+    const std::vector<trace::RecipeYield> &yields() const
+    {
+        return yields_;
+    }
+
+  private:
+    uint64_t calls_ = 0;
+    std::vector<trace::RecipeYield> yields_;
+};
+
+/**
+ * Replays a recorded yield set: answers "yield" at exactly the given
+ * 1-based hook call indices. Records the CU site actually observed at
+ * each injection so a minimized recipe can be re-finalized with
+ * accurate culprit sites.
+ */
+class ReplayPerturber
+{
+  public:
+    explicit ReplayPerturber(std::vector<uint64_t> yield_calls)
+        : calls_at_(std::move(yield_calls))
+    {
+        std::sort(calls_at_.begin(), calls_at_.end());
+    }
+
+    /** Convenience: the yield indices of a recipe. */
+    static std::vector<uint64_t>
+    callsOf(const trace::Recipe &r)
+    {
+        std::vector<uint64_t> calls;
+        calls.reserve(r.yields.size());
+        for (const trace::RecipeYield &y : r.yields)
+            calls.push_back(y.call);
+        return calls;
+    }
+
+    bool
+    shouldYield(staticmodel::CuKind kind, const SourceLoc &loc)
+    {
+        ++calls_;
+        if (next_ < calls_at_.size() && calls_ == calls_at_[next_]) {
+            ++next_;
+            injected_.push_back({calls_, staticmodel::cuKindName(kind),
+                                 loc.basename(), loc.line});
+            detail::tally(&runtime::SchedTallies::perturbInjected);
+            return true;
+        }
+        detail::tally(&runtime::SchedTallies::perturbSkipped);
+        return false;
+    }
+
+    /** Install this policy on a scheduler configuration. */
+    runtime::PerturbHook
+    hook()
+    {
+        return [this](staticmodel::CuKind k, const SourceLoc &l) {
+            return shouldYield(k, l);
+        };
+    }
+
+    /** Hook invocations observed so far. */
+    uint64_t calls() const { return calls_; }
+
+    /** Yields that actually fired, with the sites observed this run. */
+    const std::vector<trace::RecipeYield> &injected() const
+    {
+        return injected_;
+    }
+
+  private:
+    std::vector<uint64_t> calls_at_;
+    size_t next_ = 0;
+    uint64_t calls_ = 0;
+    std::vector<trace::RecipeYield> injected_;
+};
+
+} // namespace goat::perturb
+
+#endif // GOAT_PERTURB_REPLAY_HH

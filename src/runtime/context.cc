@@ -4,6 +4,97 @@
 
 #include "base/logging.hh"
 
+#ifdef GOAT_ASAN_FIBERS
+#include <pthread.h>
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace goat::runtime {
+
+namespace {
+
+#ifdef GOAT_ASAN_FIBERS
+
+/** The calling thread's stack bounds (for the scheduler's context). */
+void
+currentThreadStack(const void **bottom, size_t *size)
+{
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) != 0)
+        panic("pthread_getattr_np failed");
+    void *base = nullptr;
+    size_t sz = 0;
+    if (pthread_attr_getstack(&attr, &base, &sz) != 0)
+        panic("pthread_attr_getstack failed");
+    pthread_attr_destroy(&attr);
+    *bottom = base;
+    *size = sz;
+}
+
+#endif // GOAT_ASAN_FIBERS
+
+/**
+ * Tell ASan a fresh fiber stack is about to be (re)used: record its
+ * bounds for switch-time adoption and clear any poison left by the
+ * previous tenant of a recycled stack.
+ */
+void
+asanPrepareStack([[maybe_unused]] FiberContext *ctx,
+                 [[maybe_unused]] void *stack_base,
+                 [[maybe_unused]] size_t stack_size)
+{
+#ifdef GOAT_ASAN_FIBERS
+    ctx->asanSetStack(stack_base, stack_size);
+    __asan_unpoison_memory_region(stack_base, stack_size);
+#endif
+}
+
+} // namespace
+
+#ifdef GOAT_ASAN_FIBERS
+
+void
+FiberContext::asanSetStack(const void *bottom, size_t size)
+{
+    asanBottom_ = bottom;
+    asanSize_ = size;
+}
+
+void
+FiberContext::asanBeginSwitch(FiberContext &from, FiberContext &to)
+{
+    // The scheduler's own context never passes through prepare(): it
+    // lives on the OS thread stack, whose bounds are self-detected the
+    // first time the scheduler suspends itself.
+    if (from.asanBottom_ == nullptr)
+        currentThreadStack(&from.asanBottom_, &from.asanSize_);
+    // &from.asanFake_ (rather than nullptr) keeps from's fake-stack
+    // frames alive across the suspension; dying fibers leak their fake
+    // stack, which only matters under detect_stack_use_after_return.
+    __sanitizer_start_switch_fiber(&from.asanFake_, to.asanBottom_,
+                                   to.asanSize_);
+}
+
+void
+FiberContext::asanEndSwitch(FiberContext &from)
+{
+    // Runs on arrival back in `from`, completing the switch its
+    // suspension started.
+    __sanitizer_finish_switch_fiber(from.asanFake_, nullptr, nullptr);
+}
+
+/** First-entry half of the protocol for a brand-new fiber. */
+extern "C" void
+goat_asan_fiber_entered()
+{
+    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+}
+
+#endif // GOAT_ASAN_FIBERS
+
+} // namespace goat::runtime
+
 #ifdef GOAT_USE_UCONTEXT
 
 namespace goat::runtime {
@@ -15,6 +106,9 @@ void
 ucontextTrampoline(unsigned hi_entry, unsigned lo_entry, unsigned hi_arg,
                    unsigned lo_arg)
 {
+#ifdef GOAT_ASAN_FIBERS
+    goat_asan_fiber_entered();
+#endif
     auto join = [](unsigned hi, unsigned lo) {
         return (static_cast<uintptr_t>(hi) << 32) | lo;
     };
@@ -29,6 +123,10 @@ void
 FiberContext::prepare(void *stack_base, size_t stack_size, FiberEntry entry,
                       void *arg)
 {
+    // Unpoison first: a recycled stack still carries the previous
+    // fiber's frame redzones, and both makecontext and the priming
+    // writes below land inside them.
+    asanPrepareStack(this, stack_base, stack_size);
     if (getcontext(&uctx_) != 0)
         panic("getcontext failed");
     uctx_.uc_stack.ss_sp = stack_base;
@@ -46,8 +144,14 @@ FiberContext::prepare(void *stack_base, size_t stack_size, FiberEntry entry,
 void
 FiberContext::swap(FiberContext &from, FiberContext &to)
 {
+#ifdef GOAT_ASAN_FIBERS
+    asanBeginSwitch(from, to);
+#endif
     if (swapcontext(&from.uctx_, &to.uctx_) != 0)
         panic("swapcontext failed");
+#ifdef GOAT_ASAN_FIBERS
+    asanEndSwitch(from);
+#endif
 }
 
 } // namespace goat::runtime
@@ -75,6 +179,11 @@ FiberContext::prepare(void *stack_base, size_t stack_size, FiberEntry entry,
         FiberEntry entry;
         void *arg;
     };
+
+    // Unpoison first: a recycled stack still carries the previous
+    // fiber's frame redzones, and the priming writes below land
+    // inside them.
+    asanPrepareStack(this, stack_base, stack_size);
 
     auto top =
         reinterpret_cast<uintptr_t>(stack_base) + stack_size;
@@ -111,7 +220,13 @@ FiberContext::prepare(void *stack_base, size_t stack_size, FiberEntry entry,
 void
 FiberContext::swap(FiberContext &from, FiberContext &to)
 {
+#ifdef GOAT_ASAN_FIBERS
+    asanBeginSwitch(from, to);
+#endif
     goat_ctx_swap(&from.sp_, to.sp_);
+#ifdef GOAT_ASAN_FIBERS
+    asanEndSwitch(from);
+#endif
 }
 
 } // namespace goat::runtime
@@ -123,6 +238,9 @@ FiberContext::swap(FiberContext &from, FiberContext &to)
 extern "C" void
 goat_fiber_entry(void *boxed)
 {
+#ifdef GOAT_ASAN_FIBERS
+    goat::runtime::goat_asan_fiber_entered();
+#endif
     struct EntryBox
     {
         goat::runtime::FiberEntry entry;

@@ -20,6 +20,25 @@
 #include <ucontext.h>
 #endif
 
+/**
+ * AddressSanitizer cannot follow a user-level stack switch on its own:
+ * it tracks one stack region per thread and poisons/unpoisons frames
+ * against it. Without help, the first fiber switch makes every stack
+ * access look wild and panic unwinding (__asan_handle_no_return) stops
+ * working. When ASan is enabled the context layer therefore brackets
+ * every switch with __sanitizer_start_switch_fiber /
+ * __sanitizer_finish_switch_fiber and unpoisons recycled stacks, which
+ * makes both the assembly switch and the ucontext fallback clean under
+ * -fsanitize=address.
+ */
+#if defined(__SANITIZE_ADDRESS__)
+#define GOAT_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GOAT_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace goat::runtime {
 
 /** Entry function type for a fresh fiber. Must never return. */
@@ -53,11 +72,29 @@ class FiberContext
      */
     static void swap(FiberContext &from, FiberContext &to);
 
+#ifdef GOAT_ASAN_FIBERS
+    /** Record the stack ASan should adopt when entering this context. */
+    void asanSetStack(const void *bottom, size_t size);
+    /** First half of the ASan switch protocol (before the real swap). */
+    static void asanBeginSwitch(FiberContext &from, FiberContext &to);
+    /** Second half, on arrival back in @p from. */
+    static void asanEndSwitch(FiberContext &from);
+#endif
+
   private:
 #ifdef GOAT_USE_UCONTEXT
     ucontext_t uctx_;
 #else
     void *sp_ = nullptr;
+#endif
+#ifdef GOAT_ASAN_FIBERS
+    /** ASan fake-stack handle saved while this context is suspended. */
+    void *asanFake_ = nullptr;
+    /** Stack bounds ASan should adopt when switching into this context
+        (filled by prepare(); lazily self-detected for the scheduler's
+        own thread-stack context). */
+    const void *asanBottom_ = nullptr;
+    size_t asanSize_ = 0;
 #endif
 };
 

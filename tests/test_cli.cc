@@ -1,10 +1,17 @@
 /**
  * @file
- * Unit tests for the goat CLI flag grammar (tools/cli_options.hh).
+ * Tests for the goat CLI: the flag grammar (tools/cli_options.hh) and,
+ * via subprocess runs of the real binary, the exit-code contract —
+ * 0 completed run, 1 artifact-write failure or replay mismatch,
+ * 2 usage error.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
 #include <vector>
 
 #include "../tools/cli_options.hh"
@@ -20,6 +27,25 @@ parse(std::vector<const char *> args, Options &opt, std::string *err)
     args.insert(args.begin(), "goat");
     return parseOptions(static_cast<int>(args.size()),
                         const_cast<char **>(args.data()), opt, err);
+}
+
+/** Run the real goat binary; return its exit status (-1 on spawn fail). */
+int
+runGoat(const std::string &args)
+{
+    std::string cmd = std::string(GOAT_CLI_BIN) + " " + args +
+                      " >/dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    return rc < 0 ? -1 : (WIFEXITED(rc) ? WEXITSTATUS(rc) : -1);
+}
+
+/** A kernel + flags that find a bug within a couple of iterations. */
+const char *const kBugRun = "-kernel=cockroach_1055 -d=2 -freq=50";
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "goat_cli_" + name;
 }
 
 } // namespace
@@ -115,4 +141,77 @@ TEST(Cli, DecimalSeed)
     std::string err;
     EXPECT_TRUE(parse({"-seed=12345"}, opt, &err));
     EXPECT_EQ(opt.seed, 12345u);
+}
+
+TEST(Cli, RecordReplayMinimizeFlags)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-record=/tmp/bug.recipe",
+                       "-replay=/tmp/old.recipe", "-minimize"},
+                      opt, &err));
+    EXPECT_EQ(opt.record_out, "/tmp/bug.recipe");
+    EXPECT_EQ(opt.replay_in, "/tmp/old.recipe");
+    EXPECT_TRUE(opt.minimize);
+}
+
+// ---------------------------------------------------------------------
+// Exit-code contract, pinned against the real binary.
+// ---------------------------------------------------------------------
+
+TEST(CliExit, CompletedRunIsZero)
+{
+    EXPECT_EQ(runGoat(std::string(kBugRun)), 0);
+}
+
+TEST(CliExit, UsageErrorsAreTwo)
+{
+    EXPECT_EQ(runGoat("-bogus"), 2);
+    EXPECT_EQ(runGoat("-kernel=no_such_kernel"), 2);
+    // Replay needs a single kernel to re-execute.
+    EXPECT_EQ(runGoat("-kernel=all -replay=/tmp/whatever.recipe"), 2);
+}
+
+TEST(CliExit, ArtifactWriteFailureIsOne)
+{
+    // Every artifact flag pointing at an unwritable path must fail the
+    // run even though the campaign itself completed.
+    const char *dir = "/nonexistent-goat-dir";
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -ledger=" + dir + "/l.jsonl"),
+              1);
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -trace=" + dir + "/t.ect"),
+              1);
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -html=" + dir + "/r.html"),
+              1);
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -chrome-trace=" + dir +
+                      "/ct.json"),
+              1);
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -record=" + dir +
+                      "/b.recipe"),
+              1);
+}
+
+TEST(CliExit, ReplayOfMissingRecipeIsOne)
+{
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 "
+                      "-replay=/nonexistent-goat-dir/x.recipe"),
+              1);
+}
+
+TEST(CliExit, RecordThenReplayRoundTrips)
+{
+    std::string recipe = tmpPath("roundtrip.recipe");
+    std::remove(recipe.c_str());
+    ASSERT_EQ(runGoat(std::string(kBugRun) + " -record=" + recipe), 0);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -replay=" + recipe), 0);
+
+    // Minimize during replay writes a recipe that replays cleanly too.
+    std::string minimized = tmpPath("roundtrip.min.recipe");
+    std::remove(minimized.c_str());
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -replay=" + recipe +
+                      " -minimize -record=" + minimized),
+              0);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -replay=" + minimized), 0);
+    std::remove(recipe.c_str());
+    std::remove(minimized.c_str());
 }

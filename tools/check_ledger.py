@@ -11,7 +11,11 @@ Runs a tiny campaign through the goat CLI with -ledger and
     episodes, and s/f flow pairs that share an id;
   * a second campaign at -jobs=4 yields worker-tagged rows (paired
     worker/wseq, monotone per-worker wseq, no duplicate global ids)
-    whose canonical content matches the -jobs=1 ledger exactly.
+    whose canonical content matches the -jobs=1 ledger exactly;
+  * with -record, the bug row carries the recipe path, the recipe file
+    is byte-identical between -jobs=1 and -jobs=4, and replaying it
+    through `goat -replay=` exits 0 (exact reproduction asserted by
+    the binary itself).
 
 Usage: check_ledger.py /path/to/goat [kernel]
 
@@ -100,6 +104,18 @@ def check_ledger(path, expect_min_lines):
         if obj["bug"] and obj["verdict"] == "pass" \
                 and obj["outcome"] == "ok":
             fail(f"ledger line {i}: bug=true but outcome/verdict clean")
+        # Repro fields are optional and only legal on bug rows.
+        if "recipe" in obj:
+            if not obj["bug"]:
+                fail(f"ledger line {i}: recipe on a non-bug row")
+            if not isinstance(obj["recipe"], str) or not obj["recipe"]:
+                fail(f"ledger line {i}: bad recipe path {obj['recipe']!r}")
+        if "min_yields" in obj:
+            if not obj["bug"]:
+                fail(f"ledger line {i}: min_yields on a non-bug row")
+            v = obj["min_yields"]
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"ledger line {i}: bad min_yields {v!r}")
     return lines
 
 
@@ -147,19 +163,24 @@ def canonical_rows(lines):
     rows = []
     for line in lines:
         obj = json.loads(line)
-        for key in ("wall_us", "metrics", "worker", "wseq"):
+        # "recipe" holds the caller-chosen -record path, which differs
+        # between the two campaigns by construction.
+        for key in ("wall_us", "metrics", "worker", "wseq", "recipe"):
             obj.pop(key, None)
         rows.append(obj)
     return rows
 
 
-def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None):
+def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None,
+             record=None):
     cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
            "-cov", f"-ledger={ledger}"]
     if trace is not None:
         cmd.append(f"-chrome-trace={trace}")
     if jobs is not None:
         cmd.append(f"-jobs={jobs}")
+    if record is not None:
+        cmd.append(f"-record={record}")
     proc = subprocess.run(cmd, capture_output=True, text=True,
                           timeout=90)
     if proc.returncode != 0:
@@ -167,6 +188,22 @@ def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None):
              f"{proc.stderr}")
     if not ledger.exists():
         fail(f"ledger file not written (cmd: {' '.join(cmd)})")
+
+
+def check_recipe_roundtrip(goat, kernel, recipe1, recipe4):
+    """Recipe capture must be jobs-independent and replayable."""
+    if not recipe1.exists() or not recipe4.exists():
+        fail("bug found but recipe file(s) not written")
+    if recipe1.read_bytes() != recipe4.read_bytes():
+        fail("-jobs=4 recipe differs from -jobs=1 recipe")
+    if not recipe1.read_text().startswith("# goat-recipe v1"):
+        fail("recipe file lacks the v1 magic header")
+    proc = subprocess.run(
+        [goat, f"-kernel={kernel}", f"-replay={recipe1}"],
+        capture_output=True, text=True, timeout=90)
+    if proc.returncode != 0:
+        fail(f"replay of recorded recipe exited {proc.returncode}: "
+             f"{proc.stdout}{proc.stderr}")
 
 
 def main():
@@ -179,7 +216,9 @@ def main():
     with tempfile.TemporaryDirectory(prefix="goat_ledger_") as tmp:
         ledger = Path(tmp) / "run.jsonl"
         trace = Path(tmp) / "trace.json"
-        run_goat(goat, kernel, iterations, ledger, trace=trace)
+        recipe1 = Path(tmp) / "bug.recipe"
+        run_goat(goat, kernel, iterations, ledger, trace=trace,
+                 record=recipe1)
 
         lines = check_ledger(ledger, expect_min_lines=1)
 
@@ -187,7 +226,9 @@ def main():
         # ledger with identical canonical content (same rows, same
         # seeds/outcomes/verdicts/coverage) and valid worker tags.
         ledger4 = Path(tmp) / "run_j4.jsonl"
-        run_goat(goat, kernel, iterations, ledger4, jobs=4)
+        recipe4 = Path(tmp) / "bug_j4.recipe"
+        run_goat(goat, kernel, iterations, ledger4, jobs=4,
+                 record=recipe4)
         lines4 = check_ledger(ledger4, expect_min_lines=1)
         if canonical_rows(lines) != canonical_rows(lines4):
             fail("-jobs=4 ledger content differs from -jobs=1")
@@ -196,9 +237,15 @@ def main():
             if not trace.exists():
                 fail("bug found but no chrome trace written")
             events, flows = check_chrome_trace(trace)
+            bug_rows = [json.loads(l) for l in lines
+                        if json.loads(l)["bug"]]
+            if not any("recipe" in r for r in bug_rows):
+                fail("bug row does not reference the recorded recipe")
+            check_recipe_roundtrip(goat, kernel, recipe1, recipe4)
             print(f"check_ledger: OK — {len(lines)} ledger line(s) "
                   f"(identical at -jobs=4), {len(events)} trace "
-                  f"event(s), {len(flows)} flow pair(s)")
+                  f"event(s), {len(flows)} flow pair(s), recipe "
+                  f"round-trip replayed")
         else:
             print(f"check_ledger: OK — {len(lines)} ledger line(s) "
                   f"(identical at -jobs=4), no bug surfaced so no "

@@ -32,6 +32,12 @@ struct Options
     std::string html_out;
     std::string ledger_out;
     std::string chrome_out;
+    /** Write the first bug's repro recipe to this path. */
+    std::string record_out;
+    /** Replay a previously recorded recipe instead of campaigning. */
+    std::string replay_in;
+    /** Minimize the recorded/replayed recipe's yield set. */
+    bool minimize = false;
     bool metrics = false;
     uint64_t seed = 1;
 };
@@ -78,6 +84,12 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.ledger_out = v;
         } else if (const char *v = val("-chrome-trace=")) {
             opt.chrome_out = v;
+        } else if (const char *v = val("-record=")) {
+            opt.record_out = v;
+        } else if (const char *v = val("-replay=")) {
+            opt.replay_in = v;
+        } else if (arg == "-minimize") {
+            opt.minimize = true;
         } else if (arg == "-metrics") {
             opt.metrics = true;
         } else if (const char *v = val("-seed=")) {

@@ -20,12 +20,14 @@
 #include "base/logging.hh"
 #include "analysis/goroutine_tree.hh"
 #include "analysis/html_report.hh"
+#include "analysis/report.hh"
 #include "analysis/stats.hh"
 #include "campaign/campaign.hh"
 #include "goat/engine.hh"
 #include "goker/registry.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
+#include "trace/recipe.hh"
 #include "trace/serialize.hh"
 
 #include "cli_options.hh"
@@ -58,6 +60,12 @@ usage()
         "  -chrome-trace=PATH\n"
         "                  write the buggy ECT as a Chrome/Perfetto\n"
         "                  trace-event file to PATH\n"
+        "  -record=PATH    write the first bug's repro recipe to PATH\n"
+        "                  (with -replay -minimize: the minimized recipe)\n"
+        "  -replay=PATH    re-execute a recorded recipe exactly and\n"
+        "                  assert the identical trace and verdict\n"
+        "  -minimize       ddmin the recorded/replayed recipe down to a\n"
+        "                  locally minimal yield set\n"
         "  -metrics        print the final metrics snapshot as JSON\n"
         "  -seed=N         seed base (default 1)\n");
 }
@@ -73,8 +81,24 @@ parseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
+/** Print a minimized recipe's culprit sites (the debugging headline). */
+void
+printCulprits(const trace::Recipe &r)
+{
+    if (r.yields.empty()) {
+        std::printf("  no injected yields needed: the seed's native "
+                    "schedule noise reproduces the bug\n");
+        return;
+    }
+    for (const trace::RecipeYield &y : r.yields)
+        std::printf("  culprit yield #%llu at %s %s:%u\n",
+                    static_cast<unsigned long long>(y.call),
+                    y.kind.c_str(), y.file.c_str(), y.line);
+}
+
 int
-runKernel(const goker::KernelInfo &kernel, const Options &opt)
+runKernel(const goker::KernelInfo &kernel, const Options &opt,
+          bool &artifact_fail)
 {
     campaign::CampaignConfig ccfg;
     GoatConfig &cfg = ccfg.engine;
@@ -87,6 +111,9 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
     cfg.ledgerPath = opt.ledger_out;
     cfg.staticModel = goker::kernelCuTable(kernel);
     ccfg.jobs = opt.jobs;
+    ccfg.programName = kernel.name;
+    ccfg.recordPath = opt.record_out;
+    ccfg.minimize = opt.minimize;
     campaign::CampaignResult cres =
         campaign::runCampaign(ccfg, kernel.fn);
     GoatResult &result = cres.merged;
@@ -131,29 +158,136 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt)
             std::printf("HTML report written to %s\n",
                         opt.html_out.c_str());
         } else {
-            std::printf("cannot write %s\n", opt.html_out.c_str());
+            std::fprintf(stderr, "goat: cannot write %s\n",
+                         opt.html_out.c_str());
+            artifact_fail = true;
         }
     }
     if (result.bugFound && !opt.trace_out.empty()) {
-        if (trace::writeEctFile(result.firstBugEct, opt.trace_out))
+        if (trace::writeEctFile(result.firstBugEct, opt.trace_out)) {
             std::printf("buggy ECT written to %s\n",
                         opt.trace_out.c_str());
-        else
-            std::printf("cannot write %s\n", opt.trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "goat: cannot write %s\n",
+                         opt.trace_out.c_str());
+            artifact_fail = true;
+        }
     }
     if (result.bugFound && !opt.chrome_out.empty()) {
         if (obs::writeChromeTraceFile(result.firstBugEct,
-                                      opt.chrome_out))
+                                      opt.chrome_out)) {
             std::printf("chrome trace written to %s\n",
                         opt.chrome_out.c_str());
-        else
-            std::printf("cannot write %s\n", opt.chrome_out.c_str());
+        } else {
+            std::fprintf(stderr, "goat: cannot write %s\n",
+                         opt.chrome_out.c_str());
+            artifact_fail = true;
+        }
+    }
+    if (result.bugFound && !opt.record_out.empty()) {
+        if (cres.recordOk) {
+            std::printf("repro recipe written to %s (%zu yields)\n",
+                        cres.recipePath.c_str(),
+                        result.firstBugRecipe.yields.size());
+        } else {
+            std::fprintf(stderr, "goat: cannot write %s\n",
+                         opt.record_out.c_str());
+            artifact_fail = true;
+        }
+    }
+    if (result.bugFound && opt.minimize) {
+        const engine::MinimizeResult &mr = cres.minimize;
+        if (mr.reproduced) {
+            std::printf(
+                "minimized schedule: %d -> %zu yield(s) in %d "
+                "replay(s)\n",
+                mr.originalYields, mr.minimized.yields.size(),
+                mr.replays);
+            printCulprits(mr.minimized);
+            if (!cres.minimizedRecipePath.empty())
+                std::printf("minimized recipe written to %s\n",
+                            cres.minimizedRecipePath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "goat: minimize: recorded recipe did not "
+                         "reproduce deterministically\n");
+            artifact_fail = true;
+        }
+    }
+    if (!opt.ledger_out.empty() && !cres.ledgerOk) {
+        std::fprintf(stderr, "goat: cannot write %s\n",
+                     opt.ledger_out.c_str());
+        artifact_fail = true;
     }
     if (opt.cov && opt.report) {
         std::printf("\n-- coverage requirements --\n%s",
                     cres.coverage.tableStr().c_str());
     }
     return result.bugFound ? 1 : 0;
+}
+
+/**
+ * Replay (and optionally minimize) a recorded recipe on one kernel.
+ * @return the process exit code.
+ */
+int
+runReplay(const goker::KernelInfo &kernel, const Options &opt)
+{
+    trace::Recipe recipe;
+    if (!trace::readRecipeFile(opt.replay_in, recipe)) {
+        std::fprintf(stderr, "goat: cannot read recipe %s\n",
+                     opt.replay_in.c_str());
+        return 1;
+    }
+    engine::ReplayResult rr = replayRecipe(kernel.fn, recipe);
+    std::printf("%-22s replay %s: outcome=%s verdict=%s events=%llu "
+                "yields=%zu\n",
+                kernel.name.c_str(),
+                rr.matched ? "OK" : "MISMATCH",
+                rr.sr.recipe.outcome.c_str(),
+                rr.sr.recipe.verdict.c_str(),
+                static_cast<unsigned long long>(rr.sr.recipe.ectEvents),
+                rr.sr.recipe.yields.size());
+    if (!rr.matched)
+        std::fprintf(stderr, "goat: replay mismatch: %s\n",
+                     rr.mismatch.c_str());
+    if (opt.report && rr.buggy) {
+        analysis::GoroutineTree tree(rr.sr.ect);
+        std::printf("\n%s\n",
+                    analysis::deadlockReportStr(rr.sr.ect, tree,
+                                                rr.sr.dl)
+                        .c_str());
+    }
+    int rc = rr.matched ? 0 : 1;
+
+    if (opt.minimize) {
+        engine::MinimizeResult mr = minimizeRecipe(kernel.fn, recipe);
+        if (!mr.reproduced) {
+            std::fprintf(stderr,
+                         "goat: minimize: recipe is not buggy or does "
+                         "not reproduce\n");
+            rc = 1;
+        } else {
+            std::printf(
+                "minimized schedule: %d -> %zu yield(s) in %d "
+                "replay(s)\n",
+                mr.originalYields, mr.minimized.yields.size(),
+                mr.replays);
+            printCulprits(mr.minimized);
+            if (!opt.record_out.empty()) {
+                if (trace::writeRecipeFile(mr.minimized,
+                                           opt.record_out)) {
+                    std::printf("minimized recipe written to %s\n",
+                                opt.record_out.c_str());
+                } else {
+                    std::fprintf(stderr, "goat: cannot write %s\n",
+                                 opt.record_out.c_str());
+                    rc = 1;
+                }
+            }
+        }
+    }
+    return rc;
 }
 
 } // namespace
@@ -183,16 +317,32 @@ main(int argc, char **argv)
     }
     setQuiet(true);
 
+    if (!opt.replay_in.empty()) {
+        // Replay mode: re-execute one recorded recipe on one kernel.
+        if (opt.kernel == "all") {
+            std::printf("-replay needs a single kernel, not 'all'\n");
+            return 2;
+        }
+        const goker::KernelInfo *k = registry.find(opt.kernel);
+        if (!k) {
+            std::printf("unknown kernel '%s' (try -list)\n",
+                        opt.kernel.c_str());
+            return 2;
+        }
+        return runReplay(*k, opt);
+    }
+
+    bool artifact_fail = false;
     if (opt.kernel == "all") {
         int bugs = 0;
         for (const auto *k : registry.all())
-            bugs += runKernel(*k, opt);
+            bugs += runKernel(*k, opt, artifact_fail);
         std::printf("\n%d of %zu kernels exposed their bug\n", bugs,
                     registry.size());
         if (opt.metrics)
             std::printf("%s\n",
                         obs::Registry::global().snapshot().jsonStr().c_str());
-        return 0;
+        return artifact_fail ? 1 : 0;
     }
     const goker::KernelInfo *k = registry.find(opt.kernel);
     if (!k) {
@@ -200,9 +350,9 @@ main(int argc, char **argv)
                     opt.kernel.c_str());
         return 2;
     }
-    runKernel(*k, opt);
+    runKernel(*k, opt, artifact_fail);
     if (opt.metrics)
         std::printf("%s\n",
                     obs::Registry::global().snapshot().jsonStr().c_str());
-    return 0;
+    return artifact_fail ? 1 : 0;
 }

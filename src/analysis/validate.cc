@@ -1,5 +1,6 @@
 #include "analysis/validate.hh"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -181,6 +182,102 @@ validateEct(const trace::Ect &ect)
     }
 
     return res;
+}
+
+namespace {
+
+using staticmodel::CuKind;
+
+/**
+ * CU kinds a dynamic event may legitimately land on. Channel ops also
+ * accept Select CUs because a select's committed case emits at the
+ * select's location; blocked-park events accept the kinds of the op
+ * they parked on.
+ */
+std::vector<CuKind>
+compatibleKinds(EventType type)
+{
+    switch (type) {
+      case EventType::ChSend:
+      case EventType::GoBlockSend:
+        return {CuKind::Send, CuKind::Select};
+      case EventType::ChRecv:
+      case EventType::GoBlockRecv:
+        return {CuKind::Recv, CuKind::Range, CuKind::Select};
+      case EventType::ChClose:
+        return {CuKind::Close};
+      case EventType::SelectBegin:
+      case EventType::SelectCase:
+      case EventType::SelectEnd:
+      case EventType::GoBlockSelect:
+        return {CuKind::Select};
+      case EventType::MuLockReq:
+      case EventType::MuLock:
+      case EventType::RWLockReq:
+      case EventType::RWLock:
+      case EventType::RWRLockReq:
+      case EventType::RWRLock:
+        return {CuKind::Lock};
+      case EventType::MuUnlock:
+      case EventType::RWUnlock:
+      case EventType::RWRUnlock:
+        return {CuKind::Unlock};
+      case EventType::WgAdd:
+        // done() is add(-1) at the done() call site.
+        return {CuKind::Add, CuKind::Done};
+      case EventType::WgWait:
+      case EventType::CvWait:
+      case EventType::GoBlockCond:
+        return {CuKind::Wait};
+      case EventType::GoBlockSync:
+        return {CuKind::Lock, CuKind::Wait, CuKind::Add, CuKind::Done};
+      case EventType::CvSignal:
+        return {CuKind::Signal};
+      case EventType::CvBroadcast:
+        return {CuKind::Broadcast};
+      case EventType::GoCreate:
+        return {CuKind::Go};
+      default:
+        return {}; // scheduling noise; not part of the model
+    }
+}
+
+} // namespace
+
+ModelMatch
+matchEctToModel(const trace::Ect &ect, const staticmodel::CuTable &model)
+{
+    ModelMatch match;
+
+    std::set<std::string> modelFiles;
+    for (const auto &cu : model.all())
+        modelFiles.insert(cu.loc.basename());
+
+    std::set<const staticmodel::Cu *> exercised;
+    for (const Event &ev : ect.events()) {
+        std::vector<CuKind> kinds = compatibleKinds(ev.type);
+        if (kinds.empty())
+            continue;
+        if (!modelFiles.count(ev.loc.basename()))
+            continue; // uninstrumented file (runtime internals, ...)
+        bool hit = false;
+        for (const staticmodel::Cu *cu : model.findAll(ev.loc)) {
+            if (std::find(kinds.begin(), kinds.end(), cu->kind) !=
+                kinds.end()) {
+                exercised.insert(cu);
+                hit = true;
+            }
+        }
+        if (hit)
+            ++match.matchedEvents;
+        else
+            match.unmatched.push_back(strFormat(
+                "%s@%s", eventTypeName(ev.type), ev.loc.str().c_str()));
+    }
+    for (const auto &cu : model.all())
+        if (!exercised.count(&cu))
+            match.unexercised.push_back(cu);
+    return match;
 }
 
 } // namespace goat::analysis

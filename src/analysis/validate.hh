@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "staticmodel/cutable.hh"
 #include "trace/ect.hh"
 
 namespace goat::analysis {
@@ -49,6 +50,33 @@ struct ValidationResult
  * Check the trace invariants I1–I8.
  */
 ValidationResult validateEct(const trace::Ect &ect);
+
+/**
+ * Result of matching a dynamic trace against the static CU model.
+ */
+struct ModelMatch
+{
+    /** Dynamic concurrency events with no compatible CU on their line
+     *  (scanner misses — each entry is `event@file:line`). */
+    std::vector<std::string> unmatched;
+    /** Static CUs never exercised by the trace (dead or uncovered). */
+    std::vector<staticmodel::Cu> unexercised;
+    /** Events that found a compatible CU. */
+    size_t matchedEvents = 0;
+
+    /** True when every relevant dynamic event is in the model. */
+    bool ok() const { return unmatched.empty(); }
+};
+
+/**
+ * Dynamic↔static cross-validation (the paper's soundness check on M):
+ * every concurrency event of the trace that falls in a file the model
+ * covers must land on a line carrying a CU of a compatible kind.
+ * Lines may carry several CUs (`go([&]{ c.send(1); })`), so matching
+ * uses CuTable::findAll.
+ */
+ModelMatch matchEctToModel(const trace::Ect &ect,
+                           const staticmodel::CuTable &model);
 
 } // namespace goat::analysis
 

@@ -353,6 +353,8 @@ runCampaign(const CampaignConfig &cfg,
             e.wallMicros = rec->wallMicros;
             e.worker = worker_of[static_cast<size_t>(i)];
             e.workerSeq = wseq_of[static_cast<size_t>(i)];
+            if (cfg.lintBridge)
+                e.staticWarnings = static_cast<int>(cfg.lint.size());
             e.metricsDelta = rec->metricsDelta;
             ledger_rows.push_back(std::move(e));
         }
@@ -395,6 +397,22 @@ runCampaign(const CampaignConfig &cfg,
             }
         }
     }
+    // Dynamic cross-check of the lint bridge: mark findings whose site
+    // a goroutine of the canonical first bug trace actually reached
+    // while parked or panicking. Input (the canonical trace) and the
+    // lint report are both worker-count-independent.
+    if (cfg.lintBridge) {
+        out.lint = cfg.lint;
+        if (result.bugFound) {
+            out.confirmedWarnings = static_cast<int>(
+                staticmodel::confirmFindings(out.lint,
+                                             result.firstBugEct));
+            for (obs::LedgerEntry &e : ledger_rows)
+                if (e.iteration == result.bugIteration)
+                    e.confirmedWarnings = out.confirmedWarnings;
+        }
+    }
+
     if (result.bugFound &&
         (!out.recipePath.empty() || cfg.minimize)) {
         // Stamp the repro fields onto the bug's ledger row.

@@ -49,6 +49,7 @@
 #include "analysis/coverage.hh"
 #include "goat/engine.hh"
 #include "obs/metrics.hh"
+#include "staticmodel/lint.hh"
 
 namespace goat::campaign {
 
@@ -76,6 +77,18 @@ struct CampaignConfig
      * recordPath + ".min" when recording.
      */
     bool minimize = false;
+    /**
+     * Lint→campaign bridge (the -lint-guided mode): the static lint
+     * report whose sites seed engine.prioritySites. When enabled the
+     * merge stamps "static_warnings" on every ledger row and runs the
+     * dynamic cross-check (staticmodel::confirmFindings) on the
+     * canonical first bug trace, stamping "confirmed_warnings" on the
+     * bug row. Both inputs are worker-count-independent, so the
+     * ledger byte-identity guarantee holds.
+     */
+    bool lintBridge = false;
+    /** The findings driving the bridge (with lintBridge). */
+    staticmodel::LintReport lint;
 };
 
 /**
@@ -115,6 +128,13 @@ struct CampaignResult
     engine::MinimizeResult minimize;
     /** Path of the minimized recipe ("" = none written). */
     std::string minimizedRecipePath;
+    /**
+     * The bridge's lint report with per-finding confirmed flags set
+     * against the canonical first bug (with lintBridge).
+     */
+    staticmodel::LintReport lint;
+    /** Confirmed finding count (-1 = no lint bridge or no bug). */
+    int confirmedWarnings = -1;
 };
 
 /**

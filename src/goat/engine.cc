@@ -145,8 +145,10 @@ runCampaignIteration(const GoatConfig &cfg,
     perturb::ScheduleRecorder recorder;
     perturb::YieldPerturber uniform(cfg.delayBound, seed);
     perturb::GuidedPerturber guided(guided_cov, cfg.delayBound, seed);
+    if (!cfg.prioritySites.empty())
+        guided.setPrioritySites(cfg.prioritySites);
     runtime::PerturbHook inner;
-    if (cfg.coverageGuided)
+    if (cfg.coverageGuided || !cfg.prioritySites.empty())
         inner = guided.hook();
     else if (cfg.delayBound > 0)
         inner = uniform.hook();

@@ -63,6 +63,13 @@ struct GoatConfig
     std::string ledgerPath;
     /** Static CU model (coverage denominators; may be empty). */
     staticmodel::CuTable staticModel;
+    /**
+     * Statically flagged CU sites (lint findings) the perturbation
+     * policy should prioritize. Non-empty installs the guided policy
+     * even without coverageGuided; unlike coverage feedback the site
+     * set is fixed, so iterations stay pure functions of the seed.
+     */
+    std::vector<SourceLoc> prioritySites;
 };
 
 /**

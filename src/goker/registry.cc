@@ -90,8 +90,8 @@ KernelAutoReg::KernelAutoReg(const char *name, const char *project,
     KernelRegistry::instance().add(std::move(info));
 }
 
-staticmodel::CuTable
-kernelCuTable(const KernelInfo &kernel)
+std::pair<uint32_t, uint32_t>
+kernelSpan(const KernelInfo &kernel)
 {
     // The kernel's span runs from its registration line to the next
     // registration in the same file (or EOF).
@@ -101,14 +101,28 @@ kernelCuTable(const KernelInfo &kernel)
         if (k->sourceFile == kernel.sourceFile && k->line > begin)
             end = std::min(end, k->line);
     }
+    return {static_cast<uint32_t>(begin), static_cast<uint32_t>(end)};
+}
+
+staticmodel::CuTable
+kernelCuTable(const KernelInfo &kernel)
+{
+    auto [begin, end] = kernelSpan(kernel);
     staticmodel::CuTable full = staticmodel::scanFile(kernel.sourceFile);
     staticmodel::CuTable out;
     for (const auto &cu : full.all()) {
-        if (cu.loc.line >= static_cast<uint32_t>(begin) &&
-            cu.loc.line < static_cast<uint32_t>(end))
+        if (cu.loc.line >= begin && cu.loc.line < end)
             out.add(cu);
     }
     return out;
+}
+
+staticmodel::LintReport
+kernelLintReport(const KernelInfo &kernel)
+{
+    auto [begin, end] = kernelSpan(kernel);
+    return staticmodel::lintScan(
+        staticmodel::scanRegionsFile(kernel.sourceFile), begin, end);
 }
 
 } // namespace goat::goker

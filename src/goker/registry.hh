@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "staticmodel/cutable.hh"
+#include "staticmodel/lint.hh"
 
 namespace goat::goker {
 
@@ -91,6 +92,20 @@ struct KernelAutoReg
  * next kernel registration in the same file).
  */
 staticmodel::CuTable kernelCuTable(const KernelInfo &kernel);
+
+/**
+ * Line span [begin, end) of @p kernel in its source file: from its
+ * registration line to the next registration in the same file.
+ */
+std::pair<uint32_t, uint32_t> kernelSpan(const KernelInfo &kernel);
+
+/**
+ * Run the static lint pass (staticmodel/lint.hh) over one kernel's
+ * line span. The seeded GoKer bugs are designed to be reachable by
+ * schedule perturbation, and most carry a static signature the pass
+ * recognizes (double-lock, lock-order cycle, send-under-lock, ...).
+ */
+staticmodel::LintReport kernelLintReport(const KernelInfo &kernel);
 
 /**
  * Define and register a bug kernel:

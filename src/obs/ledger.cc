@@ -28,6 +28,12 @@ ledgerEntryJson(const LedgerEntry &e)
         os << ",\"recipe\":\"" << jsonEscape(e.recipePath) << '"';
     if (e.minimizedYields >= 0)
         os << ",\"min_yields\":" << e.minimizedYields;
+    // Lint-bridge fields appear only on lint-guided campaign ledgers;
+    // the confirmed count additionally only on the bug row.
+    if (e.staticWarnings >= 0)
+        os << ",\"static_warnings\":" << e.staticWarnings;
+    if (e.confirmedWarnings >= 0)
+        os << ",\"confirmed_warnings\":" << e.confirmedWarnings;
     os << ",\"metrics\":" << e.metricsDelta.jsonStr() << '}';
     return os.str();
 }

@@ -25,6 +25,13 @@
  * the campaign-global iteration id: campaign ledgers are written
  * sorted by it at merge time, so `iter` is contiguous from 1 while
  * each worker's `wseq` values appear in increasing order.
+ *
+ * Lint-guided campaigns (`-lint-guided`, src/staticmodel/lint.hh)
+ * stamp `static_warnings` (the finding count seeding the priority
+ * sites) on every row and `confirmed_warnings` (findings the dynamic
+ * cross-check confirmed) on the bug row. Both are computed from
+ * campaign-deterministic inputs, so they survive the jobs=1 vs jobs=N
+ * byte-identity guarantee.
  */
 
 #ifndef GOAT_OBS_LEDGER_HH
@@ -71,6 +78,18 @@ struct LedgerEntry
      * Emitted as "min_yields"; only ever set on bug rows.
      */
     int minimizedYields = -1;
+    /**
+     * Static lint findings feeding the campaign (-1 = lint bridge
+     * off). Emitted as "static_warnings" on every row of a
+     * lint-guided campaign.
+     */
+    int staticWarnings = -1;
+    /**
+     * Findings confirmed by the dynamic cross-check (-1 = not
+     * computed). Emitted as "confirmed_warnings"; only ever set on
+     * bug rows.
+     */
+    int confirmedWarnings = -1;
     /** Metrics-registry delta over this iteration. */
     Snapshot metricsDelta;
 };

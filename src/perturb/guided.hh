@@ -16,6 +16,10 @@
 #ifndef GOAT_PERTURB_GUIDED_HH
 #define GOAT_PERTURB_GUIDED_HH
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "analysis/coverage.hh"
 #include "base/rng.hh"
 #include "perturb/perturb.hh"
@@ -33,7 +37,8 @@ class GuidedPerturber
   public:
     /**
      * @param cov Cumulative coverage state (not owned; must outlive
-     *            the perturber).
+     *            the perturber). May be null when the policy runs on
+     *            priority sites alone (see setPrioritySites()).
      * @param bound Maximum injected yields per execution.
      * @param seed Seed for the yield decisions.
      * @param hot_prob Yield probability at CUs with uncovered
@@ -47,6 +52,22 @@ class GuidedPerturber
           coldProb_(cold_prob), rng_(seed ^ 0x67756964ull)
     {}
 
+    /**
+     * Seed statically flagged CU sites (from the lint pass) that the
+     * policy should treat as maximally interesting: yields there fire
+     * with @p priority_prob regardless of coverage state. Unlike the
+     * coverage feedback this input is fixed across iterations, so a
+     * priority-only policy stays a pure function of the seed.
+     */
+    void
+    setPrioritySites(const std::vector<SourceLoc> &sites,
+                     double priority_prob = 0.9)
+    {
+        priorityProb_ = priority_prob;
+        for (const auto &loc : sites)
+            priority_.insert(loc.str());
+    }
+
     /** The goat.handler() decision. */
     bool
     shouldYield(staticmodel::CuKind kind, const SourceLoc &loc)
@@ -55,10 +76,17 @@ class GuidedPerturber
             detail::tally(&runtime::SchedTallies::perturbSkipped);
             return false;
         }
-        bool hot = cov_->uncoveredAtLoc(loc) > 0;
-        detail::tally(hot ? &runtime::SchedTallies::guidedHot
-                          : &runtime::SchedTallies::guidedCold);
-        if (!rng_.chance(hot ? hotProb_ : coldProb_)) {
+        double prob;
+        if (!priority_.empty() && priority_.count(loc.str())) {
+            detail::tally(&runtime::SchedTallies::guidedHot);
+            prob = priorityProb_;
+        } else {
+            bool hot = cov_ && cov_->uncoveredAtLoc(loc) > 0;
+            detail::tally(hot ? &runtime::SchedTallies::guidedHot
+                              : &runtime::SchedTallies::guidedCold);
+            prob = hot ? hotProb_ : coldProb_;
+        }
+        if (!rng_.chance(prob)) {
             detail::tally(&runtime::SchedTallies::perturbSkipped);
             return false;
         }
@@ -79,10 +107,12 @@ class GuidedPerturber
     int used() const { return used_; }
 
   private:
-    const analysis::CoverageState *cov_;
+    const analysis::CoverageState *cov_; ///< May be null: priority-only.
     int bound_;
     double hotProb_;
     double coldProb_;
+    double priorityProb_ = 0.9;
+    std::set<std::string> priority_; ///< "file:line" lint sites.
     int used_ = 0;
     Rng rng_;
 };

@@ -38,6 +38,16 @@ CuTable::findKind(const SourceLoc &loc, CuKind kind) const
     return nullptr;
 }
 
+std::vector<const Cu *>
+CuTable::findAll(const SourceLoc &loc) const
+{
+    std::vector<const Cu *> out;
+    for (const auto &cu : cus_)
+        if (cu.loc == loc)
+            out.push_back(&cu);
+    return out;
+}
+
 std::string
 CuTable::str() const
 {

@@ -38,6 +38,12 @@ class CuTable
     /** Find the CU of a specific kind at a source location. */
     const Cu *findKind(const SourceLoc &loc, CuKind kind) const;
 
+    /**
+     * Every CU at a source location, in kind order — the multi-CU
+     * companion to find() for lines like `go([&]{ c.send(1); })`.
+     */
+    std::vector<const Cu *> findAll(const SourceLoc &loc) const;
+
     /** All CUs, sorted by (file, line, kind). */
     const std::vector<Cu> &all() const { return cus_; }
 

@@ -1,0 +1,628 @@
+#include "staticmodel/lint.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "base/fmt.hh"
+#include "staticmodel/lockgraph.hh"
+#include "trace/ect.hh"
+#include "trace/event.hh"
+
+namespace goat::staticmodel {
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    switch (severity) {
+      case LintSeverity::Error: return "error";
+      case LintSeverity::Warning: return "warning";
+      case LintSeverity::Note: return "note";
+    }
+    return "?";
+}
+
+const std::vector<LintRule> &
+lintRules()
+{
+    static const std::vector<LintRule> rules = {
+        {"GL001", "double-lock",
+         "Lock acquired again while already held on the same path",
+         LintSeverity::Error},
+        {"GL002", "lock-order-inversion",
+         "Locks are acquired in opposite orders on different paths",
+         LintSeverity::Error},
+        {"GL003", "chan-under-lock",
+         "Blocking channel operation while holding a lock",
+         LintSeverity::Warning},
+        {"GL004", "chan-self-block",
+         "Send past channel capacity before the receive that would "
+         "drain it",
+         LintSeverity::Error},
+        {"GL005", "missing-unlock",
+         "Lock not released on every path; prefer LockGuard",
+         LintSeverity::Warning},
+        {"GL006", "wg-done-skipped",
+         "Conditional return skips a WaitGroup done()",
+         LintSeverity::Error},
+        {"GL007", "wg-unbalanced",
+         "WaitGroup add() total differs from done() count",
+         LintSeverity::Warning},
+    };
+    return rules;
+}
+
+namespace {
+
+const LintRule &
+ruleById(const char *id)
+{
+    for (const auto &r : lintRules())
+        if (std::string(r.id) == id)
+            return r;
+    return lintRules().front();
+}
+
+LintFinding
+makeFinding(const char *id, SourceLoc loc, std::string message,
+            std::vector<SourceLoc> related = {})
+{
+    const LintRule &r = ruleById(id);
+    LintFinding f;
+    f.ruleId = r.id;
+    f.rule = r.name;
+    f.severity = r.severity;
+    f.loc = loc;
+    f.message = std::move(message);
+    f.related = std::move(related);
+    return f;
+}
+
+/** Trailing component of a receiver expression ("st->mu" → "mu"). */
+std::string
+objBasename(const std::string &object)
+{
+    size_t best = 0;
+    for (size_t i = 0; i + 1 < object.size(); ++i) {
+        if (object[i] == '.' || (object[i] == ':' && object[i + 1] == ':'))
+            best = i + 1;
+        if (object[i] == '-' && object[i + 1] == '>')
+            best = i + 2;
+        if (object[i] == ':' && object[i + 1] == ':')
+            best = i + 2;
+    }
+    return object.substr(best);
+}
+
+const char *
+chanOpName(CuKind kind)
+{
+    switch (kind) {
+      case CuKind::Send: return "send";
+      case CuKind::Recv: return "recv";
+      case CuKind::Range: return "range";
+      case CuKind::Select: return "select";
+      default: return "op";
+    }
+}
+
+/** Lock-held bookkeeping for one object within one analysis unit. */
+struct HeldLock
+{
+    SourceLoc at;
+    int count = 0;
+    bool guard = false; ///< LockGuard: released at scope exit.
+    int guardScope = -1;
+};
+
+/** True when @p scope (or an ancestor up to @p unit) is conditional
+ *  or a loop — i.e. the path to it is not unconditional. */
+bool
+onConditionalPath(const SrcScan &scan, int scope, int unit)
+{
+    while (scope >= 0 && scope != unit) {
+        if (scan.scopes[scope].conditional || scan.scopes[scope].loop)
+            return true;
+        scope = scan.scopes[scope].parent;
+    }
+    return false;
+}
+
+/**
+ * Walk one analysis unit (task root) in textual order, tracking held
+ * locks, emitting GL001/GL003/GL004/GL005/GL006 findings, and feeding
+ * nested acquisitions into the lock graph for GL002.
+ */
+void
+analyzeUnit(const SrcScan &scan, int unit,
+            const std::vector<const SrcOp *> &ops,
+            const std::vector<const SrcReturn *> &returns,
+            LockGraph &graph, LintReport &rep)
+{
+    std::map<std::string, HeldLock> held;
+    std::map<std::string, std::vector<SourceLoc>> pendingSends;
+
+    auto releaseDeadGuards = [&](int scope) {
+        for (auto &[obj, h] : held)
+            if (h.guard && h.count > 0 &&
+                !scan.scopeWithin(scope, h.guardScope))
+                h.count = 0;
+    };
+    auto anyHeld = [&]() -> const std::pair<const std::string, HeldLock> * {
+        for (const auto &kv : held)
+            if (kv.second.count > 0)
+                return &kv;
+        return nullptr;
+    };
+    auto laterUnlock = [&](size_t from, const std::string &obj)
+        -> const SrcOp * {
+        for (size_t j = from; j < ops.size(); ++j)
+            if (ops[j]->kind == CuKind::Unlock && ops[j]->object == obj)
+                return ops[j];
+        return nullptr;
+    };
+
+    size_t nextReturn = 0;
+    auto processReturnsBefore = [&](uint32_t line, size_t opIndex) {
+        for (; nextReturn < returns.size() &&
+               returns[nextReturn]->line < line;
+             ++nextReturn) {
+            const SrcReturn *r = *(&returns[nextReturn]);
+            // GL005: returning with a lock held that a later op would
+            // have released.
+            for (const auto &[obj, h] : held) {
+                if (h.count <= 0 || h.guard)
+                    continue;
+                if (const SrcOp *u = laterUnlock(opIndex, obj))
+                    rep.findings.push_back(makeFinding(
+                        "GL005", SourceLoc(scan.file, r->line),
+                        strFormat("return leaves lock '%s' held "
+                                  "(acquired at %s, released only at "
+                                  "%s); prefer LockGuard",
+                                  obj.c_str(), h.at.str().c_str(),
+                                  u->loc.str().c_str()),
+                        {h.at, u->loc}));
+            }
+        }
+    };
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const SrcOp &op = *ops[i];
+        processReturnsBefore(op.loc.line, i);
+        releaseDeadGuards(op.scope);
+        switch (op.kind) {
+          case CuKind::Lock: {
+            if (op.method == "tryLock")
+                break; // non-blocking; cannot deadlock
+            HeldLock &h = held[op.object];
+            if (h.count > 0) {
+                const char *how =
+                    op.method == "rlock"
+                        ? "read-locked again while already read-locked "
+                          "(rlock() is not reentrant under a pending "
+                          "writer)"
+                        : "acquired again while already held";
+                rep.findings.push_back(makeFinding(
+                    "GL001", op.loc,
+                    strFormat("lock '%s' %s; first acquired at %s",
+                              op.object.c_str(), how,
+                              h.at.str().c_str()),
+                    {h.at}));
+            }
+            for (const auto &[other, oh] : held)
+                if (oh.count > 0 && other != op.object)
+                    graph.addEdge({other, op.object, oh.at, op.loc});
+            if (h.count == 0) {
+                h.at = op.loc;
+                h.guard = op.method == "LockGuard";
+                h.guardScope = op.scope;
+            }
+            ++h.count;
+            break;
+          }
+          case CuKind::Unlock: {
+            auto it = held.find(op.object);
+            if (it != held.end() && it->second.count > 0)
+                --it->second.count;
+            break;
+          }
+          case CuKind::Send:
+          case CuKind::Recv:
+          case CuKind::Range:
+          case CuKind::Select: {
+            if (op.kind == CuKind::Select && op.selectDefault)
+                break; // select with a default arm never blocks
+            if (const auto *lock = anyHeld()) {
+                std::string what =
+                    op.kind == CuKind::Select
+                        ? "select with no default arm"
+                        : strFormat("%s on '%s'", chanOpName(op.kind),
+                                    op.object.c_str());
+                rep.findings.push_back(makeFinding(
+                    "GL003", op.loc,
+                    strFormat("blocking %s while holding lock '%s' "
+                              "(acquired at %s)",
+                              what.c_str(), lock->first.c_str(),
+                              lock->second.at.str().c_str()),
+                    {lock->second.at}));
+            }
+            if (op.kind == CuKind::Send) {
+                pendingSends[op.object].push_back(op.loc);
+            } else if (op.kind == CuKind::Recv) {
+                auto sent = pendingSends.find(op.object);
+                auto cap = scan.chanCap.find(objBasename(op.object));
+                if (sent != pendingSends.end() &&
+                    cap != scan.chanCap.end() &&
+                    sent->second.size() >
+                        static_cast<size_t>(cap->second)) {
+                    SourceLoc blocked = sent->second[cap->second];
+                    rep.findings.push_back(makeFinding(
+                        "GL004", blocked,
+                        strFormat("send on channel '%s' (capacity %d) "
+                                  "cannot complete: this goroutine "
+                                  "only reaches the matching recv at "
+                                  "%s",
+                                  op.object.c_str(), cap->second,
+                                  op.loc.str().c_str()),
+                        {op.loc}));
+                }
+                if (sent != pendingSends.end())
+                    sent->second.clear();
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    processReturnsBefore(UINT32_MAX, ops.size());
+
+    // GL005 (end of unit): locks still held when the unit runs out.
+    releaseDeadGuards(unit);
+    for (const auto &[obj, h] : held) {
+        if (h.count <= 0 || h.guard)
+            continue;
+        rep.findings.push_back(makeFinding(
+            "GL005", h.at,
+            strFormat("lock '%s' acquired here is never released in "
+                      "this function; prefer LockGuard",
+                      obj.c_str())));
+    }
+
+    // GL006: a conditional return path that skips a later done().
+    for (const SrcOp *op : ops) {
+        if (op->kind != CuKind::Done)
+            continue;
+        for (const SrcReturn *r : returns) {
+            if (r->line >= op->loc.line)
+                continue;
+            if (!r->conditional &&
+                !onConditionalPath(scan, r->scope, unit))
+                continue;
+            // Related sites: the skipped done() and the wait() that
+            // would block, so the dynamic cross-check can match the
+            // parked waiter.
+            std::vector<SourceLoc> related{op->loc};
+            std::string base = objBasename(op->object);
+            for (const auto &w : scan.ops)
+                if (w.kind == CuKind::Wait &&
+                    objBasename(w.object) == base)
+                    related.push_back(w.loc);
+            rep.findings.push_back(makeFinding(
+                "GL006", SourceLoc(scan.file, r->line),
+                strFormat("conditional return skips '%s.done()' at "
+                          "%s; the matching wait() blocks forever on "
+                          "this path",
+                          op->object.c_str(),
+                          op->loc.str().c_str()),
+                std::move(related)));
+        }
+    }
+}
+
+} // namespace
+
+LintReport
+lintScan(const SrcScan &scan, uint32_t beginLine, uint32_t endLine)
+{
+    LintReport rep;
+    if (scan.scopes.empty())
+        return rep;
+
+    std::map<int, std::vector<const SrcOp *>> unitOps;
+    for (const auto &op : scan.ops)
+        if (op.loc.line >= beginLine && op.loc.line < endLine)
+            unitOps[scan.taskRootOf(op.scope)].push_back(&op);
+    std::map<int, std::vector<const SrcReturn *>> unitReturns;
+    for (const auto &r : scan.returns)
+        if (r.line >= beginLine && r.line < endLine)
+            unitReturns[scan.taskRootOf(r.scope)].push_back(&r);
+
+    LockGraph graph;
+    for (const auto &[unit, ops] : unitOps)
+        analyzeUnit(scan, unit, ops, unitReturns[unit], graph, rep);
+
+    // GL002: cycles in the cross-unit lock-order graph.
+    for (const auto &cyc : graph.cycles()) {
+        std::vector<std::string> order;
+        std::vector<SourceLoc> related;
+        for (const auto &e : cyc) {
+            order.push_back(strFormat("%s->%s at %s", e.held.c_str(),
+                                      e.acquired.c_str(),
+                                      e.acquiredAt.str().c_str()));
+            related.push_back(e.heldAt);
+            related.push_back(e.acquiredAt);
+        }
+        rep.findings.push_back(makeFinding(
+            "GL002", cyc.front().acquiredAt,
+            strFormat("lock-order inversion: %s",
+                      strJoin(order, "; ").c_str()),
+            std::move(related)));
+    }
+
+    // GL007: static WaitGroup balance, per object basename, only when
+    // every add() has a literal delta and no add/done sits in a loop
+    // (otherwise the multiplicity is dynamic and the count is
+    // meaningless).
+    struct WgTally
+    {
+        int added = 0;
+        int dones = 0;
+        bool literal = true;
+        bool looped = false;
+        SourceLoc firstAdd;
+        std::vector<SourceLoc> doneLocs;
+        std::vector<SourceLoc> waitLocs;
+    };
+    std::map<std::string, WgTally> wg;
+    for (const auto &[unit, ops] : unitOps) {
+        (void)unit;
+        for (const SrcOp *op : ops) {
+            if (op->kind != CuKind::Add && op->kind != CuKind::Done &&
+                op->kind != CuKind::Wait)
+                continue;
+            WgTally &t = wg[objBasename(op->object)];
+            bool loop = scan.inLoop(op->scope, 0) ||
+                        onConditionalPath(scan, op->scope, 0);
+            if (op->kind == CuKind::Add) {
+                if (t.added == 0 && t.firstAdd.line == 0)
+                    t.firstAdd = op->loc;
+                if (op->addArg < 0)
+                    t.literal = false;
+                else
+                    t.added += op->addArg;
+                t.looped = t.looped || loop;
+            } else if (op->kind == CuKind::Done) {
+                ++t.dones;
+                t.doneLocs.push_back(op->loc);
+                t.looped = t.looped || loop;
+            } else {
+                t.waitLocs.push_back(op->loc);
+            }
+        }
+    }
+    for (const auto &[name, t] : wg) {
+        if (!t.literal || t.looped || t.firstAdd.line == 0 ||
+            t.dones == 0 || t.added == t.dones)
+            continue;
+        std::vector<SourceLoc> related = t.doneLocs;
+        related.insert(related.end(), t.waitLocs.begin(),
+                       t.waitLocs.end());
+        rep.findings.push_back(makeFinding(
+            "GL007", t.firstAdd,
+            strFormat("WaitGroup '%s': add() total is %d but only %d "
+                      "done() call(s) are in scope",
+                      name.c_str(), t.added, t.dones),
+            std::move(related)));
+    }
+
+    rep.rank();
+    return rep;
+}
+
+LintReport
+lintSource(const std::string &text, const std::string &filename)
+{
+    return lintScan(scanRegions(text, filename));
+}
+
+LintReport
+lintFile(const std::string &path)
+{
+    return lintScan(scanRegionsFile(path));
+}
+
+LintReport
+lintFiles(const std::vector<std::string> &paths)
+{
+    LintReport rep;
+    for (const auto &p : paths)
+        rep.merge(lintFile(p));
+    rep.rank();
+    return rep;
+}
+
+// ---------------------------------------------------------------------
+// Report assembly and renderers
+// ---------------------------------------------------------------------
+
+std::string
+LintFinding::str() const
+{
+    std::string out = strFormat("%s: %s: [%s %s] %s", loc.str().c_str(),
+                                lintSeverityName(severity), ruleId,
+                                rule, message.c_str());
+    if (confirmed)
+        out += " [confirmed]";
+    return out;
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    findings.insert(findings.end(), other.findings.begin(),
+                    other.findings.end());
+}
+
+void
+LintReport::rank()
+{
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const LintFinding &a, const LintFinding &b) {
+                         return std::make_tuple(
+                                    static_cast<int>(a.severity),
+                                    a.loc.basename(), a.loc.line,
+                                    std::string(a.ruleId)) <
+                                std::make_tuple(
+                                    static_cast<int>(b.severity),
+                                    b.loc.basename(), b.loc.line,
+                                    std::string(b.ruleId));
+                     });
+}
+
+std::vector<SourceLoc>
+LintReport::sites() const
+{
+    std::vector<SourceLoc> out;
+    std::set<std::string> seen;
+    auto push = [&](const SourceLoc &loc) {
+        if (seen.insert(loc.str()).second)
+            out.push_back(loc);
+    };
+    for (const auto &f : findings) {
+        push(f.loc);
+        for (const auto &r : f.related)
+            push(r);
+    }
+    return out;
+}
+
+size_t
+LintReport::confirmedCount() const
+{
+    size_t n = 0;
+    for (const auto &f : findings)
+        n += f.confirmed;
+    return n;
+}
+
+std::string
+LintReport::textStr() const
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += f.str();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+LintReport::jsonStr() const
+{
+    std::string out = "{\"tool\":\"goat-lint\",\"findings\":[";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const LintFinding &f = findings[i];
+        if (i)
+            out += ',';
+        out += strFormat(
+            "{\"rule\":\"%s\",\"name\":\"%s\",\"severity\":\"%s\","
+            "\"file\":\"%s\",\"line\":%u,\"message\":\"%s\"",
+            f.ruleId, f.rule, lintSeverityName(f.severity),
+            jsonEscape(f.loc.basename()).c_str(), f.loc.line,
+            jsonEscape(f.message).c_str());
+        out += ",\"related\":[";
+        for (size_t j = 0; j < f.related.size(); ++j) {
+            if (j)
+                out += ',';
+            out += '"' + jsonEscape(f.related[j].str()) + '"';
+        }
+        out += strFormat("],\"confirmed\":%s}",
+                         f.confirmed ? "true" : "false");
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+LintReport::sarifStr() const
+{
+    const auto &rules = lintRules();
+    auto ruleIndex = [&](const char *id) -> size_t {
+        for (size_t i = 0; i < rules.size(); ++i)
+            if (std::string(rules[i].id) == id)
+                return i;
+        return 0;
+    };
+    std::string out =
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"goat-lint\",\"informationUri\":"
+        "\"https://github.com/goat-cpp/goat\",\"rules\":[";
+    for (size_t i = 0; i < rules.size(); ++i) {
+        if (i)
+            out += ',';
+        out += strFormat(
+            "{\"id\":\"%s\",\"name\":\"%s\",\"shortDescription\":"
+            "{\"text\":\"%s\"},\"defaultConfiguration\":{\"level\":"
+            "\"%s\"}}",
+            rules[i].id, rules[i].name,
+            jsonEscape(rules[i].shortDesc).c_str(),
+            lintSeverityName(rules[i].severity));
+    }
+    out += "]}},\"results\":[";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const LintFinding &f = findings[i];
+        if (i)
+            out += ',';
+        out += strFormat(
+            "{\"ruleId\":\"%s\",\"ruleIndex\":%zu,\"level\":\"%s\","
+            "\"message\":{\"text\":\"%s\"},\"locations\":[{"
+            "\"physicalLocation\":{\"artifactLocation\":{\"uri\":"
+            "\"%s\"},\"region\":{\"startLine\":%u}}}]",
+            f.ruleId, ruleIndex(f.ruleId), lintSeverityName(f.severity),
+            jsonEscape(f.message).c_str(),
+            jsonEscape(f.loc.basename()).c_str(), f.loc.line);
+        if (!f.related.empty()) {
+            out += ",\"relatedLocations\":[";
+            for (size_t j = 0; j < f.related.size(); ++j) {
+                if (j)
+                    out += ',';
+                out += strFormat(
+                    "{\"physicalLocation\":{\"artifactLocation\":"
+                    "{\"uri\":\"%s\"},\"region\":{\"startLine\":%u}}}",
+                    jsonEscape(f.related[j].basename()).c_str(),
+                    f.related[j].line);
+            }
+            out += ']';
+        }
+        out += '}';
+    }
+    out += "]}]}";
+    return out;
+}
+
+size_t
+confirmFindings(LintReport &report, const trace::Ect &ect)
+{
+    std::set<std::string> parked;
+    for (uint32_t gid : ect.goroutineIds()) {
+        const trace::Event *last = ect.lastEventOf(gid);
+        if (!last || last->type == trace::EventType::GoEnd)
+            continue;
+        parked.insert(last->loc.str());
+    }
+    size_t n = 0;
+    for (auto &f : report.findings) {
+        f.confirmed = parked.count(f.loc.str()) > 0;
+        for (const auto &r : f.related)
+            if (!f.confirmed && parked.count(r.str()))
+                f.confirmed = true;
+        n += f.confirmed;
+    }
+    return n;
+}
+
+} // namespace goat::staticmodel

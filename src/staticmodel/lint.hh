@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Static concurrency lint over the CU model (DESIGN.md; ROADMAP
+ * "static side"). Runs flow-free structural checks on the region scan
+ * (scanner.hh SrcScan) and emits ranked findings:
+ *
+ *   GL001 double-lock          same lock acquired twice on one path
+ *   GL002 lock-order-inversion cycle in the static lock graph
+ *   GL003 chan-under-lock      blocking channel op while a lock is held
+ *   GL004 chan-self-block      send past capacity before the recv that
+ *                              would drain it, in one goroutine
+ *   GL005 missing-unlock       lock not released on an early return or
+ *                              by function end (prefer LockGuard)
+ *   GL006 wg-done-skipped      return path that skips a wg.done()
+ *   GL007 wg-unbalanced        literal add() total != done() count
+ *
+ * Findings are advisory (the scanner is lexical, not a compiler), so
+ * every finding can be cross-checked against a dynamic campaign:
+ * confirmFindings() marks findings whose site a real blocked/panicked
+ * goroutine reached, and the campaign bridge (tools/goat_main.cc
+ * -lint-guided) feeds finding sites to perturb::GuidedPerturber as
+ * priority yield points.
+ */
+
+#ifndef GOAT_STATICMODEL_LINT_HH
+#define GOAT_STATICMODEL_LINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "staticmodel/scanner.hh"
+
+namespace goat::trace {
+class Ect;
+}
+
+namespace goat::staticmodel {
+
+enum class LintSeverity : uint8_t { Error, Warning, Note };
+
+/** "error" / "warning" / "note" (also the SARIF level). */
+const char *lintSeverityName(LintSeverity severity);
+
+/** Static rule descriptor (one per GLxxx check). */
+struct LintRule
+{
+    const char *id;        ///< "GL001"
+    const char *name;      ///< "double-lock"
+    const char *shortDesc; ///< One-line description.
+    LintSeverity severity;
+};
+
+/** All shipped rules, in id order. */
+const std::vector<LintRule> &lintRules();
+
+/**
+ * One diagnostic produced by the lint pass.
+ */
+struct LintFinding
+{
+    const char *ruleId = "";
+    const char *rule = "";
+    LintSeverity severity = LintSeverity::Warning;
+    /** Primary site (where the defect manifests). */
+    SourceLoc loc;
+    std::string message;
+    /** Secondary sites (acquisition points, the paired op, ...). */
+    std::vector<SourceLoc> related;
+    /** Set by confirmFindings() when a campaign reached the site. */
+    bool confirmed = false;
+
+    /** `file:line: severity: [GLxxx rule] message` */
+    std::string str() const;
+};
+
+/**
+ * Ranked set of findings with the three renderers the CLI exposes.
+ */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+
+    size_t size() const { return findings.size(); }
+    bool empty() const { return findings.empty(); }
+
+    void merge(const LintReport &other);
+
+    /** Sort by (severity, file, line, rule id). */
+    void rank();
+
+    /** Unique primary+related sites — the campaign priority seeds. */
+    std::vector<SourceLoc> sites() const;
+
+    /** Count of findings marked confirmed. */
+    size_t confirmedCount() const;
+
+    /** One finding per line, ranked. */
+    std::string textStr() const;
+
+    /** Single JSON document (tool + findings array). */
+    std::string jsonStr() const;
+
+    /** SARIF 2.1.0 document (validated by tools/check_sarif.py). */
+    std::string sarifStr() const;
+};
+
+/**
+ * Run every check over a region scan.
+ *
+ * @param beginLine,endLine Restrict analysis to ops/scopes beginning
+ *        in [beginLine, endLine) — used to lint one GoKer kernel out
+ *        of a multi-kernel file. Default: whole scan.
+ */
+LintReport lintScan(const SrcScan &scan, uint32_t beginLine = 0,
+                    uint32_t endLine = UINT32_MAX);
+
+/** Lint source text. */
+LintReport lintSource(const std::string &text,
+                      const std::string &filename);
+
+/** Lint one file on disk (empty report when missing). */
+LintReport lintFile(const std::string &path);
+
+/** Lint several files; findings are merged and re-ranked. */
+LintReport lintFiles(const std::vector<std::string> &paths);
+
+/**
+ * Dynamic cross-check: mark findings confirmed when a goroutine of
+ * the (buggy) trace ended parked or panicked at the finding's primary
+ * or related site.
+ *
+ * @return Number of confirmed findings.
+ */
+size_t confirmFindings(LintReport &report, const trace::Ect &ect);
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_LINT_HH

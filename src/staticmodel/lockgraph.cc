@@ -1,0 +1,101 @@
+#include "staticmodel/lockgraph.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace goat::staticmodel {
+
+void
+LockGraph::addEdge(const LockEdge &edge)
+{
+    if (edge.held == edge.acquired)
+        return; // self-edges are double-locks, reported separately
+    for (const auto &e : edges_)
+        if (e.held == edge.held && e.acquired == edge.acquired)
+            return;
+    edges_.push_back(edge);
+    std::sort(edges_.begin(), edges_.end(),
+              [](const LockEdge &a, const LockEdge &b) {
+                  return std::tie(a.held, a.acquired) <
+                         std::tie(b.held, b.acquired);
+              });
+}
+
+std::vector<std::string>
+LockGraph::nodes() const
+{
+    std::set<std::string> set;
+    for (const auto &e : edges_) {
+        set.insert(e.held);
+        set.insert(e.acquired);
+    }
+    return {set.begin(), set.end()};
+}
+
+std::vector<std::vector<LockEdge>>
+LockGraph::cycles() const
+{
+    // Adjacency by node name; edges_ is already sorted, so the DFS
+    // visits successors in lexicographic order.
+    std::map<std::string, std::vector<const LockEdge *>> adj;
+    for (const auto &e : edges_)
+        adj[e.held].push_back(&e);
+
+    std::vector<std::vector<LockEdge>> out;
+    std::set<std::vector<std::string>> seen; // canonical node sequences
+
+    std::vector<const LockEdge *> path;
+    std::vector<std::string> onPath;
+
+    // Depth-first search that reports a cycle whenever it returns to a
+    // node already on the current path. Lock graphs here are tiny (a
+    // handful of mutex objects), so the exponential worst case of
+    // naive cycle enumeration is irrelevant.
+    std::function<void(const std::string &)> dfs =
+        [&](const std::string &node) {
+            auto it = adj.find(node);
+            if (it == adj.end())
+                return;
+            for (const LockEdge *e : it->second) {
+                auto pos = std::find(onPath.begin(), onPath.end(),
+                                     e->acquired);
+                if (pos != onPath.end()) {
+                    // Close the cycle from e->acquired back to node.
+                    std::vector<LockEdge> cyc;
+                    for (size_t i = pos - onPath.begin();
+                         i < path.size(); ++i)
+                        cyc.push_back(*path[i]);
+                    cyc.push_back(*e);
+                    // Canonicalize: rotate so the smallest node leads.
+                    size_t best = 0;
+                    for (size_t i = 1; i < cyc.size(); ++i)
+                        if (cyc[i].held < cyc[best].held)
+                            best = i;
+                    std::rotate(cyc.begin(), cyc.begin() + best,
+                                cyc.end());
+                    std::vector<std::string> key;
+                    for (const auto &ce : cyc)
+                        key.push_back(ce.held);
+                    if (seen.insert(key).second)
+                        out.push_back(std::move(cyc));
+                    continue;
+                }
+                onPath.push_back(e->acquired);
+                path.push_back(e);
+                dfs(e->acquired);
+                path.pop_back();
+                onPath.pop_back();
+            }
+        };
+    for (const auto &node : nodes()) {
+        onPath.push_back(node);
+        dfs(node);
+        onPath.pop_back();
+    }
+    return out;
+}
+
+} // namespace goat::staticmodel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static lock-order graph: nodes are lock objects (by receiver
+ * expression), edges record "acquired B while holding A" sites found
+ * by the region scanner. A cycle in the graph is a static lock-order
+ * inversion (the classic AB-BA deadlock shape reported by GL002).
+ */
+
+#ifndef GOAT_STATICMODEL_LOCKGRAPH_HH
+#define GOAT_STATICMODEL_LOCKGRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "base/source_loc.hh"
+
+namespace goat::staticmodel {
+
+/**
+ * One nested-acquisition edge: @c acquired was locked at
+ * @c acquiredAt while @c held (locked at @c heldAt) was still held.
+ */
+struct LockEdge
+{
+    std::string held;
+    std::string acquired;
+    SourceLoc heldAt;
+    SourceLoc acquiredAt;
+};
+
+/**
+ * Directed graph of lock-acquisition order, with elementary-cycle
+ * enumeration. Deterministic: nodes and cycles come out in
+ * lexicographic order regardless of insertion order.
+ */
+class LockGraph
+{
+  public:
+    /** Record an edge (duplicates by (held, acquired) are merged). */
+    void addEdge(const LockEdge &edge);
+
+    const std::vector<LockEdge> &edges() const { return edges_; }
+
+    /** Distinct lock objects, sorted. */
+    std::vector<std::string> nodes() const;
+
+    /**
+     * Elementary cycles, each as the edge sequence that closes it.
+     * Cycles are canonicalized (rotated to start at their smallest
+     * node) and de-duplicated.
+     */
+    std::vector<std::vector<LockEdge>> cycles() const;
+
+    bool empty() const { return edges_.empty(); }
+
+  private:
+    std::vector<LockEdge> edges_;
+};
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_LOCKGRAPH_HH

@@ -24,6 +24,7 @@
 #ifndef GOAT_STATICMODEL_SCANNER_HH
 #define GOAT_STATICMODEL_SCANNER_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,8 +49,111 @@ CuTable scanFiles(const std::vector<std::string> &paths);
 /**
  * Remove // and block comments plus string/char literal contents from
  * source text, preserving line structure (exposed for testing).
+ * Handles C++ raw string literals (`R"(...)"` and the delimited
+ * `R"delim(...)delim"` forms, with u8/u/U/L prefixes) so CU-like text
+ * inside raw strings cannot pollute the model.
  */
 std::string stripCommentsAndStrings(const std::string &text);
+
+// ---------------------------------------------------------------------
+// Block/region layer: the structural scan the static lint pass runs on.
+// Where scanSource() flattens a file into (file, line, kind) tuples,
+// scanRegions() additionally keeps the lexical block structure, the
+// receiver expression of every `.method(` call, early-exit `return`
+// statements, and channel-capacity hints — everything the flow-free
+// lint checks (staticmodel/lint.hh) need.
+// ---------------------------------------------------------------------
+
+/**
+ * One recognized operation with its lexical context.
+ */
+struct SrcOp
+{
+    SourceLoc loc;
+    CuKind kind = CuKind::NumCuKinds;
+    /** Receiver expression of a `.method(` call ("st->mu"); else "". */
+    std::string object;
+    /** Raw callee name ("lock", "rlock", "Select", "go", ...). */
+    std::string method;
+    /** Innermost enclosing scope id (index into SrcScan::scopes). */
+    int scope = 0;
+    /** Select ops: the chain declares an `.onDefault()` arm. */
+    bool selectDefault = false;
+    /** Add ops: integer-literal delta, or -1 when not a literal. */
+    int addArg = -1;
+};
+
+/**
+ * One lexical `{...}` region.
+ */
+struct SrcScope
+{
+    /** Parent scope id (-1 for the file scope). */
+    int parent = -1;
+    /** Brace-nesting depth (0 for the file scope). */
+    int depth = 0;
+    uint32_t beginLine = 0;
+    uint32_t endLine = 0;
+    /**
+     * The scope is an analysis unit root: a function body, a lambda
+     * body (including goroutine bodies passed to go()/goNamed()), or
+     * the file scope. Lock-held state never crosses a task root.
+     */
+    bool taskRoot = false;
+    /** Body of a `for`/`while`/`do` statement. */
+    bool loop = false;
+    /** Body of an `if`/`else` statement (conditional path). */
+    bool conditional = false;
+};
+
+/** One `return` statement (an early-exit path). */
+struct SrcReturn
+{
+    uint32_t line = 0;
+    int scope = 0;
+    /**
+     * The return is the braceless body of an `if`/`else` (e.g.
+     * `if (err) return;`) — conditional even though no scope wraps it.
+     */
+    bool conditional = false;
+};
+
+/**
+ * Structural scan of one source text: operations in textual order,
+ * the scope tree, return statements, and channel-capacity hints.
+ */
+struct SrcScan
+{
+    /** Interned basename of the scanned file. */
+    const char *file = "?";
+    /** Recognized operations, in textual order. */
+    std::vector<SrcOp> ops;
+    /** Scope tree; index 0 is the file scope. */
+    std::vector<SrcScope> scopes;
+    /** Return statements, in textual order. */
+    std::vector<SrcReturn> returns;
+    /**
+     * Channel-capacity hints: trailing identifier of a declaration or
+     * constructor-initializer `name(<int literal>)` → the literal.
+     * Consulted only for objects that carry channel operations.
+     */
+    std::map<std::string, int> chanCap;
+
+    /** True when @p ancestor is @p scope or one of its ancestors. */
+    bool scopeWithin(int scope, int ancestor) const;
+
+    /** Innermost task root enclosing @p scope (the scope itself ok). */
+    int taskRootOf(int scope) const;
+
+    /** True when any scope on the path scope→root (exclusive) loops. */
+    bool inLoop(int scope, int root) const;
+};
+
+/** Structural scan of one source text (see SrcScan). */
+SrcScan scanRegions(const std::string &text, const std::string &filename);
+
+/** Structural scan of one file on disk (empty scan when missing). */
+SrcScan scanRegionsFile(const std::string &path);
 
 } // namespace goat::staticmodel
 

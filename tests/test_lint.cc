@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Tests for the static concurrency lint pass (staticmodel/lint.hh):
+ * per-rule unit checks on synthetic sources, renderer smoke tests,
+ * the GoKer corpus (seeded bugs flagged, golden-file output, clean
+ * examples clean), the dynamic cross-check, and the lint→campaign
+ * bridge's detection speedup over the unguided baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "goker/registry.hh"
+#include "staticmodel/lint.hh"
+#include "trace/ect.hh"
+
+using namespace goat;
+using namespace goat::staticmodel;
+
+namespace {
+
+LintReport
+lint(const std::string &src)
+{
+    return lintSource(src, "t.cc");
+}
+
+/** Ids of all findings, in rank order. */
+std::vector<std::string>
+ids(const LintReport &r)
+{
+    std::vector<std::string> out;
+    for (const auto &f : r.findings)
+        out.push_back(f.ruleId);
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// GL001 double-lock
+// ---------------------------------------------------------------------
+
+TEST(Lint, DoubleLockFlagged)
+{
+    LintReport r =
+        lint("m.lock();\nm.lock();\nm.unlock();\nm.unlock();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL001");
+    EXPECT_EQ(r.findings[0].loc.line, 2u);
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Error);
+    ASSERT_EQ(r.findings[0].related.size(), 1u);
+    EXPECT_EQ(r.findings[0].related[0].line, 1u);
+}
+
+TEST(Lint, BalancedLockPairsClean)
+{
+    EXPECT_TRUE(lint("m.lock();\nm.unlock();\nm.lock();\n"
+                     "m.unlock();\n")
+                    .empty());
+}
+
+TEST(Lint, DistinctLocksDoNotDoubleLock)
+{
+    EXPECT_TRUE(
+        lint("a.lock();\nb.lock();\nb.unlock();\na.unlock();\n")
+            .empty());
+}
+
+TEST(Lint, TryLockDoesNotCountAsHeld)
+{
+    EXPECT_TRUE(
+        lint("if (m.tryLock()) {\n  c.send(1);\n}\n").empty());
+}
+
+TEST(Lint, LockStateDoesNotCrossTaskRoots)
+{
+    // One lock() in main, one in a spawned body: two units, no
+    // double-lock.
+    EXPECT_TRUE(lint("m.lock();\n"
+                     "go([&] {\n  m.lock();\n  m.unlock();\n});\n"
+                     "m.unlock();\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// GL002 lock-order inversion
+// ---------------------------------------------------------------------
+
+TEST(Lint, LockOrderInversionFlagged)
+{
+    LintReport r = lint(
+        "go([&] {\n"
+        "  a.lock();\n  b.lock();\n  b.unlock();\n  a.unlock();\n"
+        "});\n"
+        "go([&] {\n"
+        "  b.lock();\n  a.lock();\n  a.unlock();\n  b.unlock();\n"
+        "});\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL002");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Error);
+}
+
+TEST(Lint, ConsistentLockOrderClean)
+{
+    EXPECT_TRUE(lint("go([&] {\n"
+                     "  a.lock();\n  b.lock();\n  b.unlock();\n"
+                     "  a.unlock();\n"
+                     "});\n"
+                     "go([&] {\n"
+                     "  a.lock();\n  b.lock();\n  b.unlock();\n"
+                     "  a.unlock();\n"
+                     "});\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// GL003 blocking channel op under lock
+// ---------------------------------------------------------------------
+
+TEST(Lint, SendUnderLockFlagged)
+{
+    LintReport r = lint("m.lock();\nc.send(1);\nm.unlock();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL003");
+    EXPECT_EQ(r.findings[0].loc.line, 2u);
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Warning);
+}
+
+TEST(Lint, RecvAfterUnlockClean)
+{
+    EXPECT_TRUE(lint("m.lock();\nm.unlock();\nc.recv();\n").empty());
+}
+
+TEST(Lint, SelectWithDefaultUnderLockClean)
+{
+    // A select with a default case cannot block.
+    EXPECT_TRUE(lint("m.lock();\n"
+                     "Select().onRecv<int>(c, {}).onDefault().run();\n"
+                     "m.unlock();\n")
+                    .empty());
+}
+
+TEST(Lint, CondWaitUnderLockClean)
+{
+    // cv.wait(m) releases the mutex while parked — legitimate.
+    EXPECT_TRUE(lint("m.lock();\ncv.wait(m);\nm.unlock();\n").empty());
+}
+
+// ---------------------------------------------------------------------
+// GL004 sequential send-then-recv self-block
+// ---------------------------------------------------------------------
+
+TEST(Lint, SendPastCapacityFlagged)
+{
+    LintReport r = lint(
+        "Chan<int> c(1);\nc.send(1);\nc.send(2);\nc.recv();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL004");
+    // The first send past capacity is the one that parks.
+    EXPECT_EQ(r.findings[0].loc.line, 3u);
+}
+
+TEST(Lint, UnbufferedSequentialSendFlagged)
+{
+    LintReport r = lint("Chan<int> c;\nc.send(1);\nc.recv();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL004");
+    EXPECT_EQ(r.findings[0].loc.line, 2u);
+}
+
+TEST(Lint, SendsWithinCapacityClean)
+{
+    EXPECT_TRUE(
+        lint("Chan<int> c(2);\nc.send(1);\nc.send(2);\nc.recv();\n")
+            .empty());
+}
+
+TEST(Lint, CrossGoroutineSendNotSelfBlock)
+{
+    // The recv happens in another goroutine: not a self-block.
+    EXPECT_TRUE(
+        lint("Chan<int> c;\ngo([c]() mutable {\n  c.recv();\n});\n"
+             "c.send(1);\n")
+            .empty());
+}
+
+TEST(Lint, UnknownCapacityNotFlagged)
+{
+    // No declaration in scope -> capacity unknown -> stay quiet.
+    EXPECT_TRUE(lint("c.send(1);\nc.recv();\n").empty());
+}
+
+// ---------------------------------------------------------------------
+// GL005 missing unlock
+// ---------------------------------------------------------------------
+
+TEST(Lint, ReturnWithLockHeldFlagged)
+{
+    LintReport r = lint(
+        "void f() {\n"
+        "  m.lock();\n"
+        "  if (bad) {\n    return;\n  }\n"
+        "  m.unlock();\n"
+        "}\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL005");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Warning);
+}
+
+TEST(Lint, LockNeverReleasedFlagged)
+{
+    LintReport r = lint("void f() {\n  m.lock();\n}\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL005");
+}
+
+TEST(Lint, LockGuardReleasesOnEveryPath)
+{
+    EXPECT_TRUE(lint("void f() {\n"
+                     "  gosync::LockGuard g(m);\n"
+                     "  if (bad) {\n    return;\n  }\n"
+                     "  work();\n"
+                     "}\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// GL006 conditional return skips done()
+// ---------------------------------------------------------------------
+
+TEST(Lint, ConditionalReturnBeforeDoneFlagged)
+{
+    LintReport r = lint(
+        "wg.add(1);\n"
+        "go([&] {\n"
+        "  if (cond)\n"
+        "    return;\n"
+        "  wg.done();\n"
+        "});\n"
+        "wg.wait();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL006");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Error);
+}
+
+TEST(Lint, UnconditionalDoneClean)
+{
+    EXPECT_TRUE(lint("wg.add(1);\n"
+                     "go([&] {\n  work();\n  wg.done();\n});\n"
+                     "wg.wait();\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// GL007 unbalanced add/done
+// ---------------------------------------------------------------------
+
+TEST(Lint, UnbalancedAddDoneFlagged)
+{
+    LintReport r = lint("wg.add(2);\n"
+                        "go([&] {\n  wg.done();\n});\n"
+                        "wg.wait();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL007");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Warning);
+}
+
+TEST(Lint, BalancedAddDoneClean)
+{
+    EXPECT_TRUE(lint("wg.add(1);\n"
+                     "go([&] {\n  wg.done();\n});\n"
+                     "wg.wait();\n")
+                    .empty());
+}
+
+TEST(Lint, LoopedAddSkipsTheTally)
+{
+    // add() in a loop: the literal total is unknowable — stay quiet.
+    EXPECT_TRUE(lint("for (int i = 0; i < n; ++i) {\n"
+                     "  wg.add(1);\n"
+                     "  go([&] {\n    wg.done();\n  });\n"
+                     "}\n"
+                     "wg.wait();\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------
+// Report mechanics: ranking, sites, renderers.
+// ---------------------------------------------------------------------
+
+TEST(Lint, RankPutsErrorsBeforeWarnings)
+{
+    // A GL003 warning (line 2) and a GL001 error (line 4).
+    LintReport r = lint("m.lock();\nc.send(1);\nm.unlock();\n"
+                        "m.lock();\nm.lock();\nm.unlock();\n"
+                        "m.unlock();\n");
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(ids(r), (std::vector<std::string>{"GL001", "GL003"}));
+}
+
+TEST(Lint, SitesDeduplicatePrimaryAndRelated)
+{
+    LintReport r =
+        lint("m.lock();\nm.lock();\nm.unlock();\nm.unlock();\n");
+    ASSERT_EQ(r.size(), 1u);
+    auto sites = r.sites();
+    // Primary (line 2) + related (line 1), no duplicates.
+    EXPECT_EQ(sites.size(), 2u);
+}
+
+TEST(Lint, TextRendererOneLinePerFinding)
+{
+    LintReport r = lint("m.lock();\nm.lock();\n");
+    std::string text = r.textStr();
+    EXPECT_NE(text.find("t.cc:2: error: [GL001 double-lock]"),
+              std::string::npos);
+}
+
+TEST(Lint, JsonRendererCarriesToolAndFindings)
+{
+    LintReport r = lint("m.lock();\nm.lock();\n");
+    std::string json = r.jsonStr();
+    EXPECT_NE(json.find("\"tool\":\"goat-lint\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\":\"GL001\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\":2"), std::string::npos);
+}
+
+TEST(Lint, SarifRendererIsVersioned)
+{
+    LintReport r = lint("m.lock();\nm.lock();\n");
+    std::string sarif = r.sarifStr();
+    EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\":\"GL001\""), std::string::npos);
+    // Every shipped rule is declared in the driver, findings or not.
+    for (const LintRule &rule : lintRules())
+        EXPECT_NE(sarif.find(rule.id), std::string::npos) << rule.id;
+}
+
+TEST(Lint, RuleTableIsWellFormed)
+{
+    std::vector<std::string> seen;
+    for (const LintRule &rule : lintRules()) {
+        EXPECT_TRUE(std::find(seen.begin(), seen.end(), rule.id) ==
+                    seen.end())
+            << rule.id;
+        seen.push_back(rule.id);
+        EXPECT_NE(std::string(rule.name), "");
+        EXPECT_NE(std::string(rule.shortDesc), "");
+    }
+    EXPECT_GE(seen.size(), 5u);
+}
+
+// ---------------------------------------------------------------------
+// The GoKer corpus: seeded bugs are flagged at their sites; the clean
+// examples stay clean; the moby file matches its golden output.
+// ---------------------------------------------------------------------
+
+TEST(LintCorpus, SeededKernelBugsAreFlagged)
+{
+    using goat::goker::KernelRegistry;
+    // Kernels whose seeded bug carries a static signature, with the
+    // rule expected to fire inside the kernel's span.
+    const std::vector<std::pair<std::string, std::string>> expect = {
+        {"moby_28462", "GL003"},     {"moby_4951", "GL002"},
+        {"moby_25384", "GL006"},     {"moby_36114", "GL001"},
+        {"hugo_3251", "GL001"},      {"syncthing_4829", "GL003"},
+        {"istio_16224", "GL003"},
+    };
+    for (const auto &[name, rule] : expect) {
+        const auto *k = KernelRegistry::instance().find(name);
+        ASSERT_NE(k, nullptr) << name;
+        LintReport r = goker::kernelLintReport(*k);
+        ASSERT_FALSE(r.empty()) << name;
+        bool hit = false;
+        for (const auto &f : r.findings)
+            hit = hit || rule == f.ruleId;
+        EXPECT_TRUE(hit) << name << " lacks a " << rule << " finding";
+    }
+}
+
+TEST(LintCorpus, AtLeastFiveKernelsFlagged)
+{
+    size_t flagged = 0;
+    for (const auto *k : goker::KernelRegistry::instance().all())
+        if (!goker::kernelLintReport(*k).empty())
+            ++flagged;
+    EXPECT_GE(flagged, 5u);
+}
+
+TEST(LintCorpus, CleanExamplesLintClean)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto &entry :
+         fs::directory_iterator(GOAT_SOURCE_DIR "/examples")) {
+        std::string ext = entry.path().extension().string();
+        if (ext == ".cc" || ext == ".cpp")
+            files.push_back(entry.path().string());
+    }
+    ASSERT_FALSE(files.empty());
+    LintReport r = lintFiles(files);
+    EXPECT_TRUE(r.empty()) << r.textStr();
+}
+
+TEST(LintCorpus, MobyFileMatchesGolden)
+{
+    LintReport r =
+        lintFile(GOAT_SOURCE_DIR "/src/goker/kernels/goker_moby.cc");
+    std::FILE *f = std::fopen(
+        GOAT_SOURCE_DIR "/tests/golden/lint_goker_moby.txt", "rb");
+    ASSERT_NE(f, nullptr);
+    std::string golden;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        golden.append(buf, n);
+    std::fclose(f);
+    EXPECT_EQ(r.textStr(), golden);
+}
+
+TEST(LintCorpus, MissingFileYieldsEmptyReport)
+{
+    EXPECT_TRUE(lintFile("/nonexistent/zz.cc").empty());
+}
+
+// ---------------------------------------------------------------------
+// Dynamic cross-check and the lint→campaign bridge.
+// ---------------------------------------------------------------------
+
+TEST(LintConfirm, ParkedGoroutineAtSiteConfirms)
+{
+    using namespace goat::trace;
+    LintReport r;
+    LintFinding f;
+    f.ruleId = "GL003";
+    f.rule = "chan-under-lock";
+    f.loc = SourceLoc("s.cc", 2);
+    f.message = "synthetic";
+    r.findings.push_back(f);
+
+    Ect ect;
+    ect.append(Event(1, 0, EventType::TraceStart,
+                     SourceLoc("s.cc", 1)));
+    ect.append(Event(2, 0, EventType::GoCreate,
+                     SourceLoc("s.cc", 1), 1));
+    ect.append(Event(3, 1, EventType::GoStart, SourceLoc("s.cc", 1)));
+    // g1 parks forever at the finding's site (no GoEnd).
+    ect.append(Event(4, 1, EventType::GoBlockSend,
+                     SourceLoc("s.cc", 2)));
+    ect.append(Event(5, 0, EventType::TraceStop, SourceLoc("s.cc", 1)));
+    EXPECT_EQ(confirmFindings(r, ect), 1u);
+    EXPECT_TRUE(r.findings[0].confirmed);
+    EXPECT_EQ(r.confirmedCount(), 1u);
+}
+
+TEST(LintConfirm, ExitedGoroutinesDoNotConfirm)
+{
+    using namespace goat::trace;
+    LintReport r;
+    LintFinding f;
+    f.loc = SourceLoc("s.cc", 2);
+    r.findings.push_back(f);
+
+    Ect ect;
+    ect.append(Event(1, 0, EventType::TraceStart,
+                     SourceLoc("s.cc", 1)));
+    ect.append(Event(2, 0, EventType::GoCreate,
+                     SourceLoc("s.cc", 1), 1));
+    ect.append(Event(3, 1, EventType::GoStart, SourceLoc("s.cc", 1)));
+    ect.append(Event(4, 1, EventType::ChSend, SourceLoc("s.cc", 2)));
+    ect.append(Event(5, 1, EventType::GoEnd, SourceLoc("s.cc", 2)));
+    ect.append(Event(6, 0, EventType::TraceStop, SourceLoc("s.cc", 1)));
+    EXPECT_EQ(confirmFindings(r, ect), 0u);
+    EXPECT_FALSE(r.findings[0].confirmed);
+}
+
+namespace {
+
+/** First-detection iteration of a campaign (0 = no bug). */
+int
+detectionIteration(const goat::goker::KernelInfo &kernel, uint64_t seed,
+                   bool lint_guided)
+{
+    campaign::CampaignConfig ccfg;
+    ccfg.engine.delayBound = 2;
+    ccfg.engine.maxIterations = 100;
+    ccfg.engine.seedBase = seed;
+    ccfg.engine.staticModel = goker::kernelCuTable(kernel);
+    if (lint_guided) {
+        ccfg.lint = goker::kernelLintReport(kernel);
+        ccfg.lintBridge = true;
+        ccfg.engine.prioritySites = ccfg.lint.sites();
+    }
+    auto cres = campaign::runCampaign(ccfg, kernel.fn);
+    return cres.merged.bugFound ? cres.merged.bugIteration : 0;
+}
+
+} // namespace
+
+TEST(LintBridge, CampaignConfirmsTheStaticFinding)
+{
+    const auto *k =
+        goker::KernelRegistry::instance().find("moby_28462");
+    ASSERT_NE(k, nullptr);
+    campaign::CampaignConfig ccfg;
+    ccfg.engine.delayBound = 2;
+    ccfg.engine.maxIterations = 100;
+    ccfg.engine.seedBase = 1;
+    ccfg.engine.staticModel = goker::kernelCuTable(*k);
+    ccfg.lint = goker::kernelLintReport(*k);
+    ccfg.lintBridge = true;
+    ccfg.engine.prioritySites = ccfg.lint.sites();
+    ASSERT_FALSE(ccfg.lint.empty());
+    auto cres = campaign::runCampaign(ccfg, k->fn);
+    ASSERT_TRUE(cres.merged.bugFound);
+    // The GL003 send-under-lock site is where the monitor parks: the
+    // dynamic cross-check must confirm it.
+    EXPECT_GE(cres.confirmedWarnings, 1);
+    EXPECT_EQ(static_cast<size_t>(cres.confirmedWarnings),
+              cres.lint.confirmedCount());
+}
+
+TEST(LintBridge, GuidedBeatsUnguidedOnFlaggedKernel)
+{
+    // The acceptance experiment: over a fixed seed set, seeding the
+    // perturber with the lint sites must reduce the total iterations
+    // to first detection, with at least one strict per-seed win (and
+    // possibly individual losses — guidance is probabilistic).
+    const auto *k =
+        goker::KernelRegistry::instance().find("moby_28462");
+    ASSERT_NE(k, nullptr);
+    int guided_total = 0, unguided_total = 0, strict_wins = 0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        int g = detectionIteration(*k, seed, true);
+        int u = detectionIteration(*k, seed, false);
+        ASSERT_GT(g, 0) << "guided missed the bug at seed " << seed;
+        ASSERT_GT(u, 0) << "unguided missed the bug at seed " << seed;
+        guided_total += g;
+        unguided_total += u;
+        if (g < u)
+            ++strict_wins;
+    }
+    EXPECT_LT(guided_total, unguided_total);
+    EXPECT_GE(strict_wins, 1);
+}

@@ -191,3 +191,142 @@ TEST(Scanner, MissingFileYieldsEmptyTable)
 {
     EXPECT_TRUE(scanFile("/nonexistent/zz.cc").empty());
 }
+
+// ---------------------------------------------------------------------
+// Raw string literals (the R"(...)" family) must be stripped like any
+// other string: CU-looking text inside them is data, not code.
+// ---------------------------------------------------------------------
+
+TEST(Scanner, RawStringContentIsStripped)
+{
+    std::string src =
+        "auto s = R\"(c.send(1); m.lock();)\";\n"
+        "c.recv();\n";
+    CuTable t = scanSource(src, "raw.cc");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].kind, CuKind::Recv);
+    EXPECT_EQ(t.all()[0].loc.line, 2u);
+}
+
+TEST(Scanner, RawStringWithDelimiterAndQuotes)
+{
+    // A )" inside the literal must not close it when a delimiter is
+    // in play; only )seq" does.
+    std::string src =
+        "auto s = R\"seq(text )\" more c.send(9); )seq\";\n"
+        "m.lock();\n";
+    CuTable t = scanSource(src, "raw.cc");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].kind, CuKind::Lock);
+}
+
+TEST(Scanner, RawStringPreservesLineNumbers)
+{
+    std::string src =
+        "auto s = R\"(line one\n"
+        "line two c.recv();\n"
+        "line three)\";\n"
+        "c.send(1);\n";
+    CuTable t = scanSource(src, "raw.cc");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].kind, CuKind::Send);
+    EXPECT_EQ(t.all()[0].loc.line, 4u);
+}
+
+TEST(Scanner, EncodedRawStringPrefixes)
+{
+    CuTable t = scanSource(
+        "auto a = u8R\"(c.send(1);)\"; auto b = LR\"(m.lock();)\";\n",
+        "raw.cc");
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Scanner, IdentifierEndingInRIsNotARawString)
+{
+    // `VAR"..."` is a (weird) adjacent literal, not a raw string; the
+    // quote must still open a normal string so the recv stays code.
+    CuTable t = scanSource("f(VAR\"x\"); c.recv();\n", "raw.cc");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.all()[0].kind, CuKind::Recv);
+}
+
+// ---------------------------------------------------------------------
+// CuTable::findAll — every CU at a location, for the dynamic matcher.
+// ---------------------------------------------------------------------
+
+TEST(CuTable, FindAllReturnsEveryKindAtALocation)
+{
+    // LockGuard registers both a Lock and an Unlock CU on one line.
+    CuTable t = scanSource("gosync::LockGuard g(m);\n", "fa.cc");
+    auto all = t.findAll(SourceLoc("fa.cc", 1));
+    EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(CuTable, FindAllOnUnknownLocationIsEmpty)
+{
+    CuTable t = scanSource("c.send(1);\n", "fa.cc");
+    EXPECT_TRUE(t.findAll(SourceLoc("fa.cc", 99)).empty());
+    EXPECT_TRUE(t.findAll(SourceLoc("zz.cc", 1)).empty());
+}
+
+// ---------------------------------------------------------------------
+// Region scan: the block/scope layer feeding the lint pass.
+// ---------------------------------------------------------------------
+
+TEST(RegionScan, CapturesOpsWithReceiverAndScope)
+{
+    SrcScan s = scanRegions("m.lock();\nc.send(1);\nm.unlock();\n",
+                            "rs.cc");
+    ASSERT_EQ(s.ops.size(), 3u);
+    EXPECT_EQ(s.ops[0].object, "m");
+    EXPECT_EQ(s.ops[0].method, "lock");
+    EXPECT_EQ(s.ops[1].object, "c");
+    EXPECT_EQ(s.ops[1].loc.line, 2u);
+}
+
+TEST(RegionScan, GoBodyIsATaskRoot)
+{
+    SrcScan s = scanRegions(
+        "go([&] {\n  m.lock();\n});\nm.unlock();\n", "rs.cc");
+    const SrcOp *lock = nullptr, *unlock = nullptr;
+    for (const auto &op : s.ops) {
+        if (op.method == "lock")
+            lock = &op;
+        if (op.method == "unlock")
+            unlock = &op;
+    }
+    ASSERT_NE(lock, nullptr);
+    ASSERT_NE(unlock, nullptr);
+    // The lock inside the go body and the unlock outside it must live
+    // under different task roots (lock state never crosses them).
+    EXPECT_NE(s.taskRootOf(lock->scope), s.taskRootOf(unlock->scope));
+}
+
+TEST(RegionScan, LoopAndConditionalScopesClassified)
+{
+    SrcScan s = scanRegions(
+        "for (int i = 0; i < 3; ++i) {\n  c.send(i);\n}\n"
+        "if (x) {\n  c.recv();\n}\n",
+        "rs.cc");
+    ASSERT_EQ(s.ops.size(), 2u);
+    EXPECT_TRUE(s.inLoop(s.ops[0].scope, 0));
+    EXPECT_FALSE(s.inLoop(s.ops[1].scope, 0));
+    EXPECT_TRUE(s.scopes[s.ops[1].scope].conditional);
+}
+
+TEST(RegionScan, ChannelCapacityHints)
+{
+    SrcScan s = scanRegions(
+        "Chan<int> unbuf;\nChan<int> buf(3);\n", "rs.cc");
+    ASSERT_TRUE(s.chanCap.count("unbuf"));
+    EXPECT_EQ(s.chanCap.at("unbuf"), 0);
+    ASSERT_TRUE(s.chanCap.count("buf"));
+    EXPECT_EQ(s.chanCap.at("buf"), 3);
+}
+
+TEST(RegionScan, SubscriptReceiverKeepsChain)
+{
+    SrcScan s = scanRegions("st->subs[i].send(ev);\n", "rs.cc");
+    ASSERT_EQ(s.ops.size(), 1u);
+    EXPECT_EQ(s.ops[0].object, "st->subs[]");
+}

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/validate.hh"
+#include "staticmodel/scanner.hh"
 #include "chan/chan.hh"
 #include "chan/select.hh"
 #include "sync/sync.hh"
@@ -191,4 +192,119 @@ TEST(Validate, RealCrashExecutionIsWellFormed)
     });
     auto r = validateEct(rr.ect);
     EXPECT_TRUE(r.ok()) << r.str();
+}
+
+// ---------------------------------------------------------------------
+// Dynamic↔static matcher: every traced event maps onto a CU of the
+// static model with a compatible kind.
+// ---------------------------------------------------------------------
+
+namespace {
+
+Event
+evAt(uint64_t ts, uint32_t gid, EventType t, uint32_t line,
+     int64_t a0 = 0, int64_t a1 = 0)
+{
+    // A file distinct from the skeleton's "v.cc" so the skeleton's
+    // bookkeeping events (GoCreate, ...) stay outside the model.
+    return Event(ts, gid, t, SourceLoc("mm.cc", line), a0, a1);
+}
+
+} // namespace
+
+TEST(ModelMatch, ExactKindsMatchAndExerciseTheModel)
+{
+    auto model = staticmodel::scanSource(
+        "c.send(1);\n"  // line 1: Send
+        "c.recv();\n"   // line 2: Recv
+        "m.lock();\n"   // line 3: Lock
+        "m.unlock();\n", // line 4: Unlock
+        "mm.cc");
+    Ect ect = skeleton();
+    ect.append(evAt(4, 1, EventType::ChSend, 1));
+    ect.append(evAt(5, 1, EventType::ChRecv, 2));
+    ect.append(evAt(6, 1, EventType::MuLock, 3));
+    ect.append(evAt(7, 1, EventType::MuUnlock, 4));
+    finish(ect, 8);
+    auto m = matchEctToModel(ect, model);
+    EXPECT_TRUE(m.ok()) << m.matchedEvents;
+    EXPECT_EQ(m.matchedEvents, 4u);
+    EXPECT_TRUE(m.unmatched.empty());
+    EXPECT_TRUE(m.unexercised.empty());
+}
+
+TEST(ModelMatch, KindMismatchIsReportedUnmatched)
+{
+    auto model = staticmodel::scanSource("c.send(1);\n", "mm.cc");
+    Ect ect = skeleton();
+    // A recv where the model only has a send: incompatible.
+    ect.append(evAt(4, 1, EventType::ChRecv, 1));
+    finish(ect, 5);
+    auto m = matchEctToModel(ect, model);
+    EXPECT_FALSE(m.ok());
+    ASSERT_EQ(m.unmatched.size(), 1u);
+    EXPECT_NE(m.unmatched[0].find("mm.cc:1"), std::string::npos);
+}
+
+TEST(ModelMatch, UnexercisedCusAreListed)
+{
+    auto model = staticmodel::scanSource(
+        "c.send(1);\nc.recv();\n", "mm.cc");
+    Ect ect = skeleton();
+    ect.append(evAt(4, 1, EventType::ChSend, 1));
+    finish(ect, 5);
+    auto m = matchEctToModel(ect, model);
+    ASSERT_EQ(m.unexercised.size(), 1u);
+    EXPECT_EQ(m.unexercised[0].loc.line, 2u);
+}
+
+TEST(ModelMatch, EventsOutsideModelFilesAreSkipped)
+{
+    // Runtime-internal locations (files absent from the model) are
+    // neither matched nor reported as unmatched.
+    auto model = staticmodel::scanSource("c.send(1);\n", "mm.cc");
+    Ect ect = skeleton();
+    Event e(4, 1, EventType::ChSend, SourceLoc("runtime.cc", 7), 0, 0);
+    ect.append(e);
+    finish(ect, 5);
+    auto m = matchEctToModel(ect, model);
+    EXPECT_TRUE(m.ok());
+    EXPECT_EQ(m.matchedEvents, 0u);
+}
+
+TEST(ModelMatch, BlockedAndWaitGroupKindsAreCompatible)
+{
+    auto model = staticmodel::scanSource(
+        "c.send(1);\n"   // line 1
+        "wg.done();\n"   // line 2: Done CU
+        "wg.wait();\n",  // line 3: Wait CU
+        "mm.cc");
+    Ect ect = skeleton();
+    // A goroutine parked at the send site (GoBlockSend) and a done()
+    // recorded as a WgAdd with a negative delta both still match.
+    ect.append(evAt(4, 1, EventType::GoBlockSend, 1));
+    ect.append(evAt(5, 1, EventType::WgAdd, 2, -1));
+    ect.append(evAt(6, 1, EventType::WgWait, 3));
+    finish(ect, 7);
+    auto m = matchEctToModel(ect, model);
+    EXPECT_TRUE(m.ok()) << (m.unmatched.empty() ? "" : m.unmatched[0]);
+    EXPECT_EQ(m.matchedEvents, 3u);
+}
+
+TEST(ModelMatch, RealExecutionMatchesItsOwnScan)
+{
+    // Dog-food the matcher on a real trace: scan this very test's
+    // source text idioms via an equivalent synthetic model is brittle,
+    // so instead assert the weaker end-to-end property that a run
+    // against an EMPTY model reports no unmatched events (no model
+    // files -> nothing to contradict).
+    auto rr = runProgram([] {
+        Chan<int> c(1);
+        go([c]() mutable { c.send(1); });
+        yield();
+        c.recv();
+    });
+    auto m = matchEctToModel(rr.ect, staticmodel::CuTable());
+    EXPECT_TRUE(m.ok());
+    EXPECT_EQ(m.matchedEvents, 0u);
 }

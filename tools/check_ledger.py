@@ -116,6 +116,26 @@ def check_ledger(path, expect_min_lines):
             v = obj["min_yields"]
             if not isinstance(v, int) or isinstance(v, bool) or v < 0:
                 fail(f"ledger line {i}: bad min_yields {v!r}")
+        # Lint-bridge fields: static_warnings on every row of a
+        # lint-guided campaign, confirmed_warnings only on bug rows
+        # and never without the bridge active.
+        if "static_warnings" in obj:
+            v = obj["static_warnings"]
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"ledger line {i}: bad static_warnings {v!r}")
+        if "confirmed_warnings" in obj:
+            if not obj["bug"]:
+                fail(f"ledger line {i}: confirmed_warnings on a "
+                     f"non-bug row")
+            if "static_warnings" not in obj:
+                fail(f"ledger line {i}: confirmed_warnings without "
+                     f"static_warnings")
+            v = obj["confirmed_warnings"]
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"ledger line {i}: bad confirmed_warnings {v!r}")
+            if v > obj["static_warnings"]:
+                fail(f"ledger line {i}: confirmed_warnings {v} exceeds "
+                     f"static_warnings {obj['static_warnings']}")
     return lines
 
 
@@ -172,7 +192,7 @@ def canonical_rows(lines):
 
 
 def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None,
-             record=None):
+             record=None, lint_guided=False):
     cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
            "-cov", f"-ledger={ledger}"]
     if trace is not None:
@@ -181,6 +201,8 @@ def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None,
         cmd.append(f"-jobs={jobs}")
     if record is not None:
         cmd.append(f"-record={record}")
+    if lint_guided:
+        cmd.append("-lint-guided")
     proc = subprocess.run(cmd, capture_output=True, text=True,
                           timeout=90)
     if proc.returncode != 0:
@@ -250,6 +272,32 @@ def main():
             print(f"check_ledger: OK — {len(lines)} ledger line(s) "
                   f"(identical at -jobs=4), no bug surfaced so no "
                   f"trace expected")
+
+        # Lint-guided campaigns stamp static_warnings on every row
+        # (and confirmed_warnings on the bug row); both are computed
+        # from campaign-deterministic inputs, so the jobs=1 vs jobs=4
+        # byte-identity guarantee extends to them — note that
+        # canonical_rows() deliberately KEEPS the lint fields.
+        lintl1 = Path(tmp) / "lint_j1.jsonl"
+        lintl4 = Path(tmp) / "lint_j4.jsonl"
+        run_goat(goat, kernel, iterations, lintl1, lint_guided=True)
+        run_goat(goat, kernel, iterations, lintl4, jobs=4,
+                 lint_guided=True)
+        lrows1 = check_ledger(lintl1, expect_min_lines=1)
+        lrows4 = check_ledger(lintl4, expect_min_lines=1)
+        for i, line in enumerate(lrows1, 1):
+            obj = json.loads(line)
+            if "static_warnings" not in obj:
+                fail(f"lint-guided ledger line {i} lacks "
+                     f"static_warnings")
+            if obj["bug"] and "confirmed_warnings" not in obj:
+                fail(f"lint-guided ledger bug row {i} lacks "
+                     f"confirmed_warnings")
+        if canonical_rows(lrows1) != canonical_rows(lrows4):
+            fail("lint-guided -jobs=4 ledger differs from -jobs=1")
+        print(f"check_ledger: OK — lint-guided campaign: "
+              f"{len(lrows1)} row(s), static/confirmed warning "
+              f"stamps identical at -jobs=4")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Structural validator for the goat lint SARIF output.
+
+Checks that a document is well-formed SARIF 2.1.0 as consumed by code
+scanning UIs: correct version/schema, a tool driver with uniquely
+identified rules, and results whose ruleId/ruleIndex, level, message,
+and physical locations are all consistent.
+
+Usage:
+  check_sarif.py --file report.sarif
+      Validate one SARIF file on disk.
+  check_sarif.py /path/to/goat [srcdir]
+      End-to-end: run `goat -lint -lint-format=sarif` over all bug
+      kernels (expected to produce findings) and over srcdir/examples
+      (expected to produce none), validating both documents. srcdir
+      defaults to the repository root containing this script.
+
+Registered as the `check_sarif` ctest; exits non-zero (with a
+diagnostic on stderr) on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+VALID_LEVELS = {"error", "warning", "note", "none"}
+
+
+def fail(msg):
+    print(f"check_sarif: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_location(loc, where):
+    phys = loc.get("physicalLocation")
+    if not isinstance(phys, dict):
+        fail(f"{where}: location without physicalLocation")
+    art = phys.get("artifactLocation", {})
+    uri = art.get("uri")
+    if not isinstance(uri, str) or not uri:
+        fail(f"{where}: empty artifactLocation.uri")
+    region = phys.get("region", {})
+    line = region.get("startLine")
+    if not isinstance(line, int) or isinstance(line, bool) or line < 1:
+        fail(f"{where}: bad region.startLine {line!r}")
+
+
+def check_sarif(doc):
+    """Validate one parsed SARIF document; returns the result count."""
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, expected '2.1.0'")
+    schema = doc.get("$schema", "")
+    if "sarif-schema-2.1.0" not in schema:
+        fail(f"$schema does not reference 2.1.0: {schema!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("no runs[] array")
+    total_results = 0
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        driver = run.get("tool", {}).get("driver")
+        if not isinstance(driver, dict):
+            fail(f"{where}: no tool.driver")
+        if not driver.get("name"):
+            fail(f"{where}: empty driver name")
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list) or not rules:
+            fail(f"{where}: driver has no rules")
+        rule_ids = []
+        for ki, rule in enumerate(rules):
+            rwhere = f"{where}.rules[{ki}]"
+            rid = rule.get("id")
+            if not isinstance(rid, str) or not rid:
+                fail(f"{rwhere}: empty rule id")
+            if rid in rule_ids:
+                fail(f"{rwhere}: duplicate rule id {rid}")
+            rule_ids.append(rid)
+            if not rule.get("name"):
+                fail(f"{rwhere}: empty rule name")
+            if not rule.get("shortDescription", {}).get("text"):
+                fail(f"{rwhere}: empty shortDescription.text")
+            level = rule.get("defaultConfiguration", {}).get("level")
+            if level not in VALID_LEVELS:
+                fail(f"{rwhere}: bad default level {level!r}")
+        results = run.get("results")
+        if not isinstance(results, list):
+            fail(f"{where}: results is not an array")
+        for si, res in enumerate(results):
+            swhere = f"{where}.results[{si}]"
+            rid = res.get("ruleId")
+            if rid not in rule_ids:
+                fail(f"{swhere}: ruleId {rid!r} not among driver rules")
+            idx = res.get("ruleIndex")
+            if idx is not None:
+                if not isinstance(idx, int) or isinstance(idx, bool) \
+                        or not 0 <= idx < len(rule_ids):
+                    fail(f"{swhere}: ruleIndex {idx!r} out of range")
+                if rule_ids[idx] != rid:
+                    fail(f"{swhere}: ruleIndex {idx} names "
+                         f"{rule_ids[idx]}, not ruleId {rid}")
+            if res.get("level") not in VALID_LEVELS:
+                fail(f"{swhere}: bad level {res.get('level')!r}")
+            if not res.get("message", {}).get("text"):
+                fail(f"{swhere}: empty message.text")
+            locations = res.get("locations")
+            if not isinstance(locations, list) or not locations:
+                fail(f"{swhere}: no locations[]")
+            for loc in locations:
+                check_location(loc, swhere)
+            for loc in res.get("relatedLocations", []):
+                check_location(loc, f"{swhere}.relatedLocations")
+        total_results += len(results)
+    return total_results
+
+
+def load(path):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def run_lint(goat, out, lint_path=None, kernel=None):
+    cmd = [goat, "-lint", "-lint-format=sarif", f"-lint-out={out}"]
+    if lint_path is not None:
+        cmd.append(f"-lint-path={lint_path}")
+    if kernel is not None:
+        cmd.append(f"-kernel={kernel}")
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          timeout=90)
+    if proc.returncode != 0:
+        fail(f"goat exited {proc.returncode}: {proc.stdout}"
+             f"{proc.stderr}")
+    if not Path(out).exists():
+        fail(f"SARIF file not written (cmd: {' '.join(cmd)})")
+
+
+def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "--file":
+        n = check_sarif(load(sys.argv[2]))
+        print(f"check_sarif: OK — {sys.argv[2]}: {n} result(s)")
+        return
+    if len(sys.argv) < 2:
+        fail("usage: check_sarif.py --file report.sarif | "
+             "check_sarif.py /path/to/goat [srcdir]")
+    goat = sys.argv[1]
+    srcdir = Path(sys.argv[2]) if len(sys.argv) > 2 \
+        else Path(__file__).resolve().parent.parent
+
+    with tempfile.TemporaryDirectory(prefix="goat_sarif_") as tmp:
+        # All bug kernels: the seeded bugs must surface as findings.
+        kernels = Path(tmp) / "kernels.sarif"
+        run_lint(goat, kernels, kernel="all")
+        n_kernels = check_sarif(load(kernels))
+        if n_kernels == 0:
+            fail("lint over the bug kernels produced no findings")
+
+        # The clean examples must lint clean — but the document still
+        # has to be structurally valid SARIF (empty results array).
+        examples = Path(tmp) / "examples.sarif"
+        run_lint(goat, examples, lint_path=srcdir / "examples")
+        n_examples = check_sarif(load(examples))
+        if n_examples != 0:
+            fail(f"clean examples produced {n_examples} finding(s)")
+
+    print(f"check_sarif: OK — kernels: {n_kernels} result(s), "
+          f"examples: clean, both documents valid SARIF 2.1.0")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,16 @@ struct Options
     bool minimize = false;
     bool metrics = false;
     uint64_t seed = 1;
+    /** Static lint mode: report findings instead of campaigning. */
+    bool lint = false;
+    /** Lint output format: "text", "json", or "sarif". */
+    std::string lint_format = "text";
+    /** Lint output file ("" = stdout). */
+    std::string lint_out;
+    /** Comma-separated files/directories to lint (else kernels). */
+    std::string lint_path;
+    /** Seed the campaign's priority yield sites from the lint pass. */
+    bool lint_guided = false;
 };
 
 /**
@@ -90,6 +100,16 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.replay_in = v;
         } else if (arg == "-minimize") {
             opt.minimize = true;
+        } else if (arg == "-lint") {
+            opt.lint = true;
+        } else if (const char *v = val("-lint-format=")) {
+            opt.lint_format = v;
+        } else if (const char *v = val("-lint-out=")) {
+            opt.lint_out = v;
+        } else if (const char *v = val("-lint-path=")) {
+            opt.lint_path = v;
+        } else if (arg == "-lint-guided") {
+            opt.lint_guided = true;
         } else if (arg == "-metrics") {
             opt.metrics = true;
         } else if (const char *v = val("-seed=")) {

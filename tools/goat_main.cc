@@ -12,10 +12,13 @@
  *   goat -kernel=all -d=3 -freq=200
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "analysis/goroutine_tree.hh"
@@ -27,6 +30,7 @@
 #include "goker/registry.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
+#include "staticmodel/lint.hh"
 #include "trace/recipe.hh"
 #include "trace/serialize.hh"
 
@@ -66,6 +70,17 @@ usage()
         "                  assert the identical trace and verdict\n"
         "  -minimize       ddmin the recorded/replayed recipe down to a\n"
         "                  locally minimal yield set\n"
+        "  -lint           run the static concurrency lint pass and\n"
+        "                  exit (no execution)\n"
+        "  -lint-format=F  lint output format: text (default), json,\n"
+        "                  or sarif\n"
+        "  -lint-out=PATH  write the lint report to PATH (stdout\n"
+        "                  when omitted)\n"
+        "  -lint-path=P    comma-separated files/directories to lint\n"
+        "                  (default: the -kernel span, or all kernels)\n"
+        "  -lint-guided    seed the campaign's priority yield sites\n"
+        "                  from the lint findings and cross-check them\n"
+        "                  against the first bug trace\n"
         "  -metrics        print the final metrics snapshot as JSON\n"
         "  -seed=N         seed base (default 1)\n");
 }
@@ -79,6 +94,108 @@ parseArgs(int argc, char **argv, Options &opt)
         return false;
     }
     return true;
+}
+
+/**
+ * Expand a comma-separated -lint-path= spec: directories are walked
+ * recursively for C++ sources/headers; files are taken verbatim. The
+ * result is sorted so the merged report is input-order independent.
+ */
+std::vector<std::string>
+collectLintPaths(const std::string &spec)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        std::string item =
+            comma == std::string::npos
+                ? spec.substr(start)
+                : spec.substr(start, comma - start);
+        if (!item.empty()) {
+            std::error_code ec;
+            if (fs::is_directory(item, ec)) {
+                for (const auto &entry :
+                     fs::recursive_directory_iterator(item, ec)) {
+                    if (!entry.is_regular_file())
+                        continue;
+                    std::string ext =
+                        entry.path().extension().string();
+                    if (ext == ".cc" || ext == ".cpp" ||
+                        ext == ".hh" || ext == ".hpp")
+                        out.push_back(entry.path().string());
+                }
+            } else {
+                out.push_back(item);
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/**
+ * -lint mode: run the static pass over -lint-path= files or kernel
+ * spans and render per -lint-format=.
+ * @return the process exit code (0 ok, 1 write failure, 2 usage).
+ */
+int
+runLint(const Options &opt)
+{
+    staticmodel::LintReport report;
+    if (!opt.lint_path.empty()) {
+        report =
+            staticmodel::lintFiles(collectLintPaths(opt.lint_path));
+    } else {
+        auto &registry = goker::KernelRegistry::instance();
+        if (opt.kernel.empty() || opt.kernel == "all") {
+            for (const auto *k : registry.all())
+                report.merge(goker::kernelLintReport(*k));
+            report.rank();
+        } else {
+            const goker::KernelInfo *k = registry.find(opt.kernel);
+            if (!k) {
+                std::printf("unknown kernel '%s' (try -list)\n",
+                            opt.kernel.c_str());
+                return 2;
+            }
+            report = goker::kernelLintReport(*k);
+        }
+    }
+    std::string doc;
+    if (opt.lint_format == "text")
+        doc = report.textStr();
+    else if (opt.lint_format == "json")
+        doc = report.jsonStr();
+    else if (opt.lint_format == "sarif")
+        doc = report.sarifStr();
+    else {
+        std::printf(
+            "unknown -lint-format '%s' (text, json, or sarif)\n",
+            opt.lint_format.c_str());
+        return 2;
+    }
+    if (opt.lint_out.empty()) {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        if (opt.lint_format == "text")
+            std::printf("%zu finding(s)\n", report.size());
+        return 0;
+    }
+    std::FILE *f = std::fopen(opt.lint_out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "goat: cannot write %s\n",
+                     opt.lint_out.c_str());
+        return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("%zu finding(s) written to %s (%s)\n", report.size(),
+                opt.lint_out.c_str(), opt.lint_format.c_str());
+    return 0;
 }
 
 /** Print a minimized recipe's culprit sites (the debugging headline). */
@@ -114,6 +231,11 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
     ccfg.programName = kernel.name;
     ccfg.recordPath = opt.record_out;
     ccfg.minimize = opt.minimize;
+    if (opt.lint_guided) {
+        ccfg.lint = goker::kernelLintReport(kernel);
+        ccfg.lintBridge = true;
+        cfg.prioritySites = ccfg.lint.sites();
+    }
     campaign::CampaignResult cres =
         campaign::runCampaign(ccfg, kernel.fn);
     GoatResult &result = cres.merged;
@@ -137,6 +259,20 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
                     result.raceIteration);
         if (opt.report)
             std::printf("%s", result.firstRaces.str().c_str());
+    }
+    if (opt.lint_guided) {
+        std::printf("%-22s lint-guided: %zu static warning(s)", "",
+                    cres.lint.size());
+        if (result.bugFound && cres.confirmedWarnings >= 0)
+            std::printf(", %d confirmed by the bug trace",
+                        cres.confirmedWarnings);
+        std::printf("\n");
+        if (opt.report && result.bugFound) {
+            for (const auto &finding : cres.lint.findings)
+                if (finding.confirmed)
+                    std::printf("  confirmed: %s\n",
+                                finding.str().c_str());
+        }
     }
     if (result.bugFound && opt.report && !result.report.empty())
         std::printf("\n%s\n", result.report.c_str());
@@ -310,6 +446,10 @@ main(int argc, char **argv)
                         k->project.c_str(), bugClassName(k->bugClass),
                         k->description.substr(0, 60).c_str());
         return 0;
+    }
+    if (opt.lint) {
+        // Pure static mode: no kernel execution at all.
+        return runLint(opt);
     }
     if (opt.kernel.empty()) {
         usage();

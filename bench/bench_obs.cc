@@ -3,17 +3,33 @@
  * Google-benchmark micro-suite for the telemetry subsystem: the
  * hot-path cost of counter increments and histogram observations
  * (what every scheduler event now pays), snapshot/delta (what every
- * ledgered iteration pays), and the Chrome trace export (a one-shot
- * cost on the buggy iteration).
+ * ledgered iteration pays), the stage-profiler scope in its disabled
+ * and enabled forms (what every instrumentation site pays), and the
+ * Chrome trace export (a one-shot cost on the buggy iteration).
+ *
+ * After the micro benches, a custom main runs the -profile overhead
+ * A/B: the same pinned-seed campaign with the stage profiler off and
+ * on, interleaved min-of-N so the numbers survive a noisy shared
+ * host, written to BENCH_obs.json (tools/check_bench.py holds the
+ * overhead to the documented <5% budget).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "campaign/campaign.hh"
 #include "chan/chan.hh"
 #include "goat/engine.hh"
+#include "goker/registry.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/saturation.hh"
 #include "runtime/api.hh"
 
 using namespace goat;
@@ -116,4 +132,151 @@ BM_ChromeTraceExport(benchmark::State &state)
 }
 BENCHMARK(BM_ChromeTraceExport);
 
-BENCHMARK_MAIN();
+static void
+BM_ProfileScopeDisabled(benchmark::State &state)
+{
+    // No installed profiler: the whole scope is one thread-local load
+    // and a branch — the price every site pays when -profile is off.
+    for (auto _ : state) {
+        ProfileScope s(Stage::ChanOp);
+        benchmark::DoNotOptimize(&s);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileScopeDisabled);
+
+static void
+BM_ProfileScopeEnabled(benchmark::State &state)
+{
+    // Installed profiler: an entry increment per scope plus, on every
+    // kSampleEvery-th entry, two clock reads and a histogram observe.
+    Profiler p;
+    ScopedProfiler install(p);
+    for (auto _ : state) {
+        ProfileScope s(Stage::ChanOp);
+        benchmark::DoNotOptimize(&s);
+    }
+    benchmark::DoNotOptimize(p.peek().stage(Stage::ChanOp).total);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileScopeEnabled);
+
+static void
+BM_SaturationSample(benchmark::State &state)
+{
+    // One merged-iteration sample: four typed scans of the covered
+    // set plus a push_back (cold path — runs once per merged row).
+    engine::SingleRun sr = engine::runOnce(
+        [] {
+            Chan<int> c;
+            go([c]() mutable { c.send(1); });
+            c.recv();
+        },
+        /*seed=*/1);
+    analysis::CoverageState cov;
+    cov.addEct(sr.ect);
+    SaturationSeries series;
+    int iter = 0;
+    for (auto _ : state)
+        series.sample(++iter, cov);
+    benchmark::DoNotOptimize(series.samples().size());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SaturationSample);
+
+namespace {
+
+/**
+ * The -profile overhead A/B: wall time of a pinned-seed fixed-budget
+ * campaign with the stage profiler off vs on. Interleaved min-of-N:
+ * alternate off/on runs and keep each side's minimum, which is the
+ * standard way to get a stable ratio out of a 1-core noisy container.
+ */
+uint64_t
+campaignWallMicros(bool profile, int iterations)
+{
+    using std::chrono::steady_clock;
+    const goker::KernelInfo *k =
+        goker::KernelRegistry::instance().find("cockroach_1055");
+    if (!k) {
+        std::fprintf(stderr, "bench_obs: kernel missing\n");
+        std::exit(1);
+    }
+    campaign::CampaignConfig cfg;
+    cfg.engine.delayBound = 2;
+    cfg.engine.seedBase = 0xC0FFEE;
+    cfg.engine.maxIterations = iterations;
+    cfg.engine.stopOnBug = false;
+    cfg.engine.collectCoverage = true;
+    cfg.engine.covThreshold = 200.0;
+    cfg.engine.staticModel = goker::kernelCuTable(*k);
+    cfg.engine.profile = profile;
+    cfg.jobs = 1;
+    auto t0 = steady_clock::now();
+    campaign::CampaignResult r = campaign::runCampaign(cfg, k->fn);
+    benchmark::DoNotOptimize(r.executedIterations);
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            steady_clock::now() - t0)
+            .count());
+}
+
+int
+runOverheadAb()
+{
+    constexpr int kIterations = 300;
+    constexpr int kReps = 9;
+    uint64_t best_off = UINT64_MAX, best_on = UINT64_MAX;
+    campaignWallMicros(false, kIterations); // warm up stack pools etc.
+    for (int rep = 0; rep < kReps; ++rep) {
+        uint64_t off = campaignWallMicros(false, kIterations);
+        uint64_t on = campaignWallMicros(true, kIterations);
+        if (off < best_off)
+            best_off = off;
+        if (on < best_on)
+            best_on = on;
+    }
+    double overhead_pct =
+        best_off ? 100.0 *
+                       (static_cast<double>(best_on) -
+                        static_cast<double>(best_off)) /
+                       static_cast<double>(best_off)
+                 : 0.0;
+    std::printf("\n=== -profile overhead A/B: cockroach_1055, %d "
+                "iterations, min of %d interleaved reps ===\n"
+                "profile off %8.1f ms\nprofile on  %8.1f ms\n"
+                "overhead    %+7.2f %%\n",
+                kIterations, kReps, best_off / 1e3, best_on / 1e3,
+                overhead_pct);
+
+    std::FILE *f = std::fopen("BENCH_obs.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_obs: cannot write BENCH_obs.json\n");
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"profile_overhead\","
+                 "\"kernel\":\"cockroach_1055\",\"iterations\":%d,"
+                 "\"reps\":%d,\"profile_off_us\":%llu,"
+                 "\"profile_on_us\":%llu,\"overhead_pct\":%.3f}\n",
+                 kIterations, kReps,
+                 static_cast<unsigned long long>(best_off),
+                 static_cast<unsigned long long>(best_on),
+                 overhead_pct);
+    std::fclose(f);
+    std::printf("summary written to BENCH_obs.json\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    setQuiet(true);
+    return runOverheadAb();
+}

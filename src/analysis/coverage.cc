@@ -389,6 +389,22 @@ CoverageState::percent() const
 }
 
 size_t
+CoverageState::coveredCountOfType(ReqType t) const
+{
+    // Requirement keys end in " <type>" (see key()); node-level
+    // instances share the suffix, so both granularities count.
+    std::string suffix = std::string(" ") + reqTypeName(t);
+    size_t n = 0;
+    for (const auto &k : covered_) {
+        if (k.size() >= suffix.size() &&
+            k.compare(k.size() - suffix.size(), suffix.size(),
+                      suffix) == 0)
+            ++n;
+    }
+    return n;
+}
+
+size_t
 CoverageState::uncoveredAtLoc(const SourceLoc &loc) const
 {
     // Program-level keys for a location share the "<file>:<line> "

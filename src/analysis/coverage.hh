@@ -90,6 +90,14 @@ class CoverageState
     /** Number of requirement instances covered so far. */
     size_t coveredCount() const { return covered_.size(); }
 
+    /**
+     * Covered requirement instances demanding behaviour @p t (the
+     * requirement key's trailing token). Drives the per-class series
+     * of the coverage-saturation timeline (obs/saturation.hh); a
+     * linear scan, so call only from cold (merge/report) paths.
+     */
+    size_t coveredCountOfType(ReqType t) const;
+
     /** Coverage percentage in [0, 100]; 100 for an empty universe. */
     double percent() const;
 

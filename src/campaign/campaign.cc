@@ -12,6 +12,7 @@
 #include "base/fmt.hh"
 #include "base/logging.hh"
 #include "obs/ledger.hh"
+#include "obs/profile.hh"
 
 namespace goat::campaign {
 
@@ -52,6 +53,8 @@ struct IterRecord
     std::unique_ptr<CoverageState> cov;
     /** Worker-registry delta over this iteration (ledger only). */
     obs::Snapshot metricsDelta;
+    /** Stage-profiler delta over this iteration (with profile). */
+    obs::ProfileSnapshot profileDelta;
 };
 
 /** Full capture of a worker's first buggy run (report material). */
@@ -84,6 +87,8 @@ struct Worker
 
     int id = 0;
     obs::Registry registry;
+    /** Private stage profiler (installed thread-locally when on). */
+    obs::Profiler profiler;
     CoverageState localCov;
     std::vector<IterRecord> records;
     BugCapture firstBug;
@@ -125,6 +130,9 @@ workerLoop(Shared &sh, Worker &w)
     // Bind this thread's metrics to the worker's private registry for
     // the whole loop (covers the scheduler's per-run flush too).
     obs::ScopedRegistry scope(w.registry);
+    std::unique_ptr<obs::ScopedProfiler> prof_scope;
+    if (cfg.profile)
+        prof_scope = std::make_unique<obs::ScopedProfiler>(w.profiler);
     obs::Counter &iterations_total =
         w.registry.counter("engine.iterations");
     obs::Counter &bugs_total = w.registry.counter("engine.bugs_found");
@@ -214,6 +222,21 @@ workerLoop(Shared &sh, Worker &w)
             prev_snap = std::move(snap);
         }
 
+        // Draining per iteration resets the sampling phase, so the
+        // delta (and under a deterministic clock, its histogram) is a
+        // pure function of the iteration — the canonical merge can
+        // fold deltas in iteration order, worker-count independent.
+        if (cfg.profile)
+            rec.profileDelta = w.profiler.drain();
+
+        if (sh.cfg.progress) {
+            sh.cfg.progress->noteIteration(
+                static_cast<size_t>(rec.dl.verdict), local_bug);
+            if (measure_cov)
+                sh.cfg.progress->noteCoveragePermille(
+                    static_cast<uint64_t>(w.localCov.percent() * 10.0));
+        }
+
         w.records.push_back(std::move(rec));
     }
 }
@@ -295,11 +318,21 @@ runCampaign(const CampaignConfig &cfg,
     std::vector<obs::LedgerEntry> ledger_rows;
     int cutoff = 0;
 
+    // The merge stage is profiled on the campaign thread: one scope
+    // per canonically merged iteration, so its entry total is as
+    // worker-count independent as the rest of the fold.
+    obs::Profiler merge_profiler;
+    std::unique_ptr<obs::ScopedProfiler> merge_prof_scope;
+    if (ecfg.profile)
+        merge_prof_scope =
+            std::make_unique<obs::ScopedProfiler>(merge_profiler);
+
     for (int i = 1; i <= ecfg.maxIterations; ++i) {
         const IterRecord *rec = by_iter[static_cast<size_t>(i)];
         if (!rec)
             break; // past the watermark: nothing more to merge
         cutoff = i;
+        obs::ProfileScope merge_prof(obs::Stage::Merge);
 
         IterationOutcome io;
         io.exec = rec->exec;
@@ -310,7 +343,14 @@ runCampaign(const CampaignConfig &cfg,
             merged.mergeFrom(*rec->cov);
             io.coveragePct = merged.percent();
             result.finalCoverage = io.coveragePct;
+            // The saturation sample reads the canonical cumulative
+            // fold, so the series is identical for any worker count.
+            if (ecfg.collectCoverage)
+                result.saturation.sample(i, merged);
         }
+
+        if (ecfg.profile)
+            result.profile.mergeFrom(rec->profileDelta);
 
         if (i == race_iter) {
             result.firstRaces = race_capture->races;
@@ -350,11 +390,21 @@ runCampaign(const CampaignConfig &cfg,
             e.bug = buggy;
             e.steps = rec->exec.steps;
             e.coveragePct = io.coveragePct;
+            if (ecfg.collectCoverage && rec->cov) {
+                e.satCovered =
+                    static_cast<int64_t>(merged.coveredCount());
+                e.satTotal =
+                    static_cast<int64_t>(merged.totalRequirements());
+            }
             e.wallMicros = rec->wallMicros;
             e.worker = worker_of[static_cast<size_t>(i)];
             e.workerSeq = wseq_of[static_cast<size_t>(i)];
             if (cfg.lintBridge)
                 e.staticWarnings = static_cast<int>(cfg.lint.size());
+            if (ecfg.profile) {
+                e.hasProfile = true;
+                e.profileDelta = rec->profileDelta;
+            }
             e.metricsDelta = rec->metricsDelta;
             ledger_rows.push_back(std::move(e));
         }
@@ -365,6 +415,19 @@ runCampaign(const CampaignConfig &cfg,
             break;
         if (ecfg.collectCoverage && merged.percent() >= ecfg.covThreshold)
             break;
+    }
+
+    // Close out the merge-stage profiling before the recipe/minimize
+    // replays below: those execute the program on this thread and must
+    // not record into the campaign fold.
+    if (ecfg.profile) {
+        obs::ProfileSnapshot merge_delta = merge_profiler.drain();
+        merge_prof_scope.reset();
+        result.profile.mergeFrom(merge_delta);
+        for (const auto &w : workers)
+            for (const IterRecord &r : w->records)
+                out.executedProfile.mergeFrom(r.profileDelta);
+        out.executedProfile.mergeFrom(merge_delta);
     }
 
     out.cutoffIteration = cutoff;

@@ -49,6 +49,7 @@
 #include "analysis/coverage.hh"
 #include "goat/engine.hh"
 #include "obs/metrics.hh"
+#include "obs/progress.hh"
 #include "staticmodel/lint.hh"
 
 namespace goat::campaign {
@@ -89,6 +90,13 @@ struct CampaignConfig
     bool lintBridge = false;
     /** The findings driving the bridge (with lintBridge). */
     staticmodel::LintReport lint;
+    /**
+     * Live-progress counters the workers publish to (relaxed atomics,
+     * bumped once per iteration). Optional; a ProgressReporter
+     * (obs/progress.hh) owned by the caller samples them. Pure
+     * observability — does not affect the campaign's results.
+     */
+    obs::ProgressCounters *progress = nullptr;
 };
 
 /**
@@ -135,6 +143,13 @@ struct CampaignResult
     staticmodel::LintReport lint;
     /** Confirmed finding count (-1 = no lint bridge or no bug). */
     int confirmedWarnings = -1;
+    /**
+     * Stage-profiler fold over every executed iteration, including
+     * the overshoot the canonical merge discards (with
+     * engine.profile). `merged.profile` holds the canonical fold;
+     * this one answers "what did the whole campaign actually cost".
+     */
+    obs::ProfileSnapshot executedProfile;
 };
 
 /**

@@ -28,6 +28,7 @@
 #include "base/logging.hh"
 #include "base/source_loc.hh"
 #include "chan/sudog.hh"
+#include "obs/profile.hh"
 #include "runtime/scheduler.hh"
 #include "staticmodel/cu.hh"
 
@@ -254,6 +255,9 @@ class Chan
     {
         auto &s = runtime::Scheduler::require();
         s.cuHook(staticmodel::CuKind::Send, loc);
+        // The chan_op scope starts after the perturb decision (its own
+        // stage) and spans the whole dispatch, including any park wait.
+        obs::ProfileScope prof(obs::Stage::ChanOp);
         auto *im = impl_.get();
         if (im->closed)
             s.gopanic("send on closed channel", loc);
@@ -291,6 +295,7 @@ class Chan
     {
         auto &s = runtime::Scheduler::require();
         s.cuHook(staticmodel::CuKind::Recv, loc);
+        obs::ProfileScope prof(obs::Stage::ChanOp);
         auto *im = impl_.get();
         T out{};
         bool ok = false;
@@ -330,6 +335,7 @@ class Chan
     {
         auto &s = runtime::Scheduler::require();
         s.cuHook(staticmodel::CuKind::Close, loc);
+        obs::ProfileScope prof(obs::Stage::ChanOp);
         auto *im = impl_.get();
         if (im->closed)
             s.gopanic("close of closed channel", loc);

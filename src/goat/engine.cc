@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 
 #include "analysis/report.hh"
 #include "base/fmt.hh"
@@ -326,6 +327,14 @@ GoatEngine::run(const std::function<void()> &program)
     GoatResult result;
     bool guided = cfg_.coverageGuided;
 
+    // Stage profiler: installed for the whole run, drained per
+    // iteration so ledger rows carry per-iteration deltas and the
+    // folded result matches a campaign's canonical merge.
+    obs::Profiler profiler;
+    std::unique_ptr<obs::ScopedProfiler> prof_scope;
+    if (cfg_.profile)
+        prof_scope = std::make_unique<obs::ScopedProfiler>(profiler);
+
     auto &reg = obs::Registry::current();
     obs::Counter &iterations_total = reg.counter("engine.iterations");
     obs::Counter &campaigns_total = reg.counter("engine.campaigns");
@@ -354,6 +363,8 @@ GoatEngine::run(const std::function<void()> &program)
             cov_.addEct(sr.ect);
             io.coveragePct = cov_.percent();
             result.finalCoverage = io.coveragePct;
+            if (cfg_.collectCoverage)
+                result.saturation.sample(iter, cov_);
         }
 
         if (cfg_.raceDetect && result.raceIteration < 0) {
@@ -402,6 +413,12 @@ GoatEngine::run(const std::function<void()> &program)
             debugLog(line);
         }
 
+        obs::ProfileSnapshot prof_delta;
+        if (cfg_.profile) {
+            prof_delta = profiler.drain();
+            result.profile.mergeFrom(prof_delta);
+        }
+
         if (ledger.enabled()) {
             obs::Snapshot snap = reg.snapshot();
             obs::LedgerEntry e;
@@ -413,7 +430,17 @@ GoatEngine::run(const std::function<void()> &program)
             e.bug = buggy;
             e.steps = sr.exec.steps;
             e.coveragePct = io.coveragePct;
+            if (cfg_.collectCoverage) {
+                e.satCovered =
+                    static_cast<int64_t>(cov_.coveredCount());
+                e.satTotal =
+                    static_cast<int64_t>(cov_.totalRequirements());
+            }
             e.wallMicros = io.wallMicros;
+            if (cfg_.profile) {
+                e.hasProfile = true;
+                e.profileDelta = prof_delta;
+            }
             e.metricsDelta = snap.deltaFrom(prev_snap);
             prev_snap = std::move(snap);
             ledger.append(e);

@@ -20,6 +20,8 @@
 #include "analysis/coverage.hh"
 #include "analysis/deadlock.hh"
 #include "analysis/happens_before.hh"
+#include "obs/profile.hh"
+#include "obs/saturation.hh"
 #include "runtime/scheduler.hh"
 #include "staticmodel/cutable.hh"
 #include "trace/ect.hh"
@@ -61,6 +63,14 @@ struct GoatConfig
      * run ledger; "" disables). See obs/ledger.hh for the schema.
      */
     std::string ledgerPath;
+    /**
+     * Enable the hot-path stage profiler (-profile): per-worker
+     * obs::Profiler instances record log-bucketed latency histograms
+     * for the named runtime stages, drained per iteration and folded
+     * canonically at merge time (obs/profile.hh). Off by default —
+     * the instrumentation sites then cost one thread-local load.
+     */
+    bool profile = false;
     /** Static CU model (coverage denominators; may be empty). */
     staticmodel::CuTable staticModel;
     /**
@@ -110,6 +120,19 @@ struct GoatResult
     std::vector<IterationOutcome> iterations;
     /** Final coverage percentage (-1 without -cov). */
     double finalCoverage = -1.0;
+    /**
+     * Folded stage-profiler histograms over the whole campaign (with
+     * GoatConfig::profile; empty otherwise). Campaigns fold the
+     * per-iteration deltas of the canonical iteration prefix, so the
+     * per-stage totals are identical for any -jobs value.
+     */
+    obs::ProfileSnapshot profile;
+    /**
+     * Per-iteration coverage-saturation series (with collectCoverage;
+     * empty otherwise), derived from the canonical cumulative
+     * coverage fold — byte-identical for any -jobs value.
+     */
+    obs::SaturationSeries saturation;
 };
 
 /**

@@ -19,6 +19,10 @@ ledgerEntryJson(const LedgerEntry &e)
     // Omitted entirely when coverage was not measured (< 0).
     if (e.coveragePct >= 0)
         os << strFormat(",\"coverage_pct\":%.3f", e.coveragePct);
+    // Saturation counts ride along with coverage measurement.
+    if (e.satCovered >= 0 && e.satTotal >= 0)
+        os << ",\"covered\":" << e.satCovered
+           << ",\"req_total\":" << e.satTotal;
     os << ",\"wall_us\":" << e.wallMicros;
     // Worker tags appear only on multi-worker campaign ledgers.
     if (e.worker >= 0)
@@ -34,6 +38,9 @@ ledgerEntryJson(const LedgerEntry &e)
         os << ",\"static_warnings\":" << e.staticWarnings;
     if (e.confirmedWarnings >= 0)
         os << ",\"confirmed_warnings\":" << e.confirmedWarnings;
+    // Per-iteration stage-profiler delta (compact: no buckets).
+    if (e.hasProfile)
+        os << ",\"profile\":" << e.profileDelta.jsonRowStr();
     os << ",\"metrics\":" << e.metricsDelta.jsonStr() << '}';
     return os.str();
 }

@@ -32,6 +32,15 @@
  * cross-check confirmed) on the bug row. Both are computed from
  * campaign-deterministic inputs, so they survive the jobs=1 vs jobs=N
  * byte-identity guarantee.
+ *
+ * Coverage-measured rows additionally carry the cumulative
+ * saturation counts `covered`/`req_total` (obs/saturation.hh), and
+ * `-profile` campaigns a per-row `profile` object with per-stage
+ * total/count/sum_ns from the stage profiler (obs/profile.hh). The
+ * saturation counts and the profile `total`/`count` fields are
+ * deterministic; `sum_ns` is host timing noise, which
+ * tools/check_ledger.py strips (like `wall_us`) before comparing
+ * ledgers across -jobs values.
  */
 
 #ifndef GOAT_OBS_LEDGER_HH
@@ -42,6 +51,7 @@
 #include <string>
 
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 
 namespace goat::obs {
 
@@ -90,6 +100,22 @@ struct LedgerEntry
      * bug rows.
      */
     int confirmedWarnings = -1;
+    /**
+     * Cumulative covered / total coverage-requirement counts after
+     * this iteration (-1 = coverage not measured). Emitted as
+     * "covered"/"req_total"; both are derived from the canonical
+     * merged coverage fold, so they are worker-count independent.
+     */
+    int64_t satCovered = -1;
+    int64_t satTotal = -1;
+    /**
+     * Stage-profiler delta over this iteration (with -profile).
+     * Emitted as "profile" with per-stage total/count/sum_ns (no
+     * buckets). `total` and `count` are deterministic; `sum_ns` is
+     * host noise, stripped by check_ledger.py's canonical view.
+     */
+    bool hasProfile = false;
+    ProfileSnapshot profileDelta;
     /** Metrics-registry delta over this iteration. */
     Snapshot metricsDelta;
 };

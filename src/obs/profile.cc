@@ -1,0 +1,172 @@
+#include "obs/profile.hh"
+
+#include <atomic>
+#include <sstream>
+
+#include "base/fmt.hh"
+
+namespace goat::obs {
+
+namespace {
+
+thread_local Profiler *tlsProfiler = nullptr;
+std::atomic<ProfileClock> gClock{nullptr};
+
+} // namespace
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::FiberSwitch:
+        return "fiber_switch";
+    case Stage::ChanOp:
+        return "chan_op";
+    case Stage::TraceAppend:
+        return "trace_append";
+    case Stage::PerturbDecision:
+        return "perturb_decision";
+    case Stage::Merge:
+        return "merge";
+    case Stage::NumStages:
+        break;
+    }
+    return "unknown";
+}
+
+uint64_t
+profileNowNs()
+{
+    if (ProfileClock c = gClock.load(std::memory_order_relaxed))
+        return c();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ProfileClock
+setProfileClock(ProfileClock clock)
+{
+    return gClock.exchange(clock, std::memory_order_relaxed);
+}
+
+void
+ProfileSnapshot::mergeFrom(const ProfileSnapshot &o)
+{
+    for (size_t i = 0; i < kNumStages; ++i)
+        stages[i].mergeFrom(o.stages[i]);
+}
+
+bool
+ProfileSnapshot::empty() const
+{
+    for (const StageHist &h : stages)
+        if (!h.empty())
+            return false;
+    return true;
+}
+
+namespace {
+
+void
+appendStageJson(std::ostringstream &os, const StageHist &h, bool buckets)
+{
+    os << "{\"total\":" << h.total << ",\"count\":" << h.count
+       << ",\"sum_ns\":" << h.sum;
+    if (buckets) {
+        size_t last = StageHist::kBuckets;
+        while (last > 0 && h.buckets[last - 1] == 0)
+            --last;
+        os << ",\"buckets\":[";
+        for (size_t i = 0; i < last; ++i) {
+            if (i)
+                os << ',';
+            os << h.buckets[i];
+        }
+        os << ']';
+    }
+    os << '}';
+}
+
+std::string
+snapshotJson(const ProfileSnapshot &s, bool buckets)
+{
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (size_t i = 0; i < kNumStages; ++i) {
+        const StageHist &h = s.stages[i];
+        if (h.empty())
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << stageName(static_cast<Stage>(i)) << "\":";
+        appendStageJson(os, h, buckets);
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace
+
+std::string
+ProfileSnapshot::jsonStr() const
+{
+    return snapshotJson(*this, true);
+}
+
+std::string
+ProfileSnapshot::jsonRowStr() const
+{
+    return snapshotJson(*this, false);
+}
+
+std::string
+ProfileSnapshot::tableStr() const
+{
+    std::ostringstream os;
+    os << strFormat("%-18s %12s %10s %14s %10s\n", "stage", "entries",
+                    "sampled", "sum_ns", "mean_ns");
+    for (size_t i = 0; i < kNumStages; ++i) {
+        const StageHist &h = stages[i];
+        if (h.empty())
+            continue;
+        os << strFormat("%-18s %12llu %10llu %14llu %10llu\n",
+                        stageName(static_cast<Stage>(i)),
+                        static_cast<unsigned long long>(h.total),
+                        static_cast<unsigned long long>(h.count),
+                        static_cast<unsigned long long>(h.sum),
+                        static_cast<unsigned long long>(h.meanNs()));
+    }
+    return os.str();
+}
+
+ProfileSnapshot
+Profiler::drain()
+{
+    ProfileSnapshot out = cur_;
+    cur_ = ProfileSnapshot{};
+    entries_ = {};
+    return out;
+}
+
+Profiler *
+Profiler::current()
+{
+    return tlsProfiler;
+}
+
+ScopedProfiler::ScopedProfiler(Profiler &p)
+    : prev_(tlsProfiler)
+{
+    tlsProfiler = &p;
+}
+
+ScopedProfiler::~ScopedProfiler()
+{
+    tlsProfiler = prev_;
+}
+
+} // namespace goat::obs

@@ -1,0 +1,187 @@
+#include "obs/saturation.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/fmt.hh"
+
+namespace goat::obs {
+
+using analysis::ReqType;
+
+void
+SaturationSeries::sample(int iter, const analysis::CoverageState &cov)
+{
+    SaturationSample s;
+    s.iter = iter;
+    s.covered = cov.coveredCount();
+    s.total = cov.totalRequirements();
+    s.blocked = cov.coveredCountOfType(ReqType::Blocked);
+    s.unblocking = cov.coveredCountOfType(ReqType::Unblocking);
+    s.nop = cov.coveredCountOfType(ReqType::Nop);
+    s.blocking = cov.coveredCountOfType(ReqType::Blocking);
+    samples_.push_back(s);
+}
+
+std::string
+SaturationSeries::jsonlStr() const
+{
+    std::ostringstream os;
+    for (const SaturationSample &s : samples_) {
+        os << "{\"iter\":" << s.iter << ",\"covered\":" << s.covered
+           << ",\"total\":" << s.total
+           << strFormat(",\"pct\":%.3f", s.pct())
+           << ",\"blocked\":" << s.blocked
+           << ",\"unblocking\":" << s.unblocking
+           << ",\"nop\":" << s.nop << ",\"blocking\":" << s.blocking
+           << "}\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Map a (x in [0,n], y in [0,max]) point into the SVG plot box. */
+std::string
+svgPoints(const std::vector<SaturationSample> &samples,
+          uint64_t (*get)(const SaturationSample &), uint64_t y_max,
+          int w, int h, int pad)
+{
+    std::ostringstream os;
+    size_t n = samples.size();
+    for (size_t i = 0; i < n; ++i) {
+        double fx = n > 1 ? static_cast<double>(i) /
+                                static_cast<double>(n - 1)
+                          : 0.0;
+        double fy = y_max ? static_cast<double>(get(samples[i])) /
+                                static_cast<double>(y_max)
+                          : 0.0;
+        double x = pad + fx * (w - 2 * pad);
+        double y = h - pad - fy * (h - 2 * pad);
+        if (i)
+            os << ' ';
+        os << strFormat("%.1f,%.1f", x, y);
+    }
+    return os.str();
+}
+
+uint64_t sampleCovered(const SaturationSample &s) { return s.covered; }
+uint64_t sampleTotal(const SaturationSample &s) { return s.total; }
+
+} // namespace
+
+std::string
+SaturationSeries::htmlStr(const std::string &title) const
+{
+    constexpr int kW = 760, kH = 360, kPad = 40;
+    uint64_t y_max = 1;
+    for (const SaturationSample &s : samples_)
+        y_max = std::max(y_max, s.total);
+
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+       << "<title>coverage saturation: " << jsonEscape(title)
+       << "</title>\n"
+       << "<style>body{font:14px sans-serif;margin:2em}"
+          "table{border-collapse:collapse}"
+          "td,th{border:1px solid #ccc;padding:2px 8px;"
+          "text-align:right}</style>\n"
+       << "</head><body>\n"
+       << "<h1>Coverage saturation &mdash; " << jsonEscape(title)
+       << "</h1>\n";
+
+    if (samples_.empty()) {
+        os << "<p>No samples (coverage was not measured).</p>\n"
+           << "</body></html>\n";
+        return os.str();
+    }
+
+    const SaturationSample &last = samples_.back();
+    os << strFormat("<p>%zu iteration(s); final coverage "
+                    "<b>%llu / %llu (%.1f%%)</b>.</p>\n",
+                    samples_.size(),
+                    static_cast<unsigned long long>(last.covered),
+                    static_cast<unsigned long long>(last.total),
+                    last.pct());
+
+    os << strFormat("<svg width=\"%d\" height=\"%d\" "
+                    "viewBox=\"0 0 %d %d\">\n",
+                    kW, kH, kW, kH)
+       << strFormat("<rect x=\"%d\" y=\"%d\" width=\"%d\" "
+                    "height=\"%d\" fill=\"#fafafa\" "
+                    "stroke=\"#999\"/>\n",
+                    kPad, kPad, kW - 2 * kPad, kH - 2 * kPad)
+       << "<polyline fill=\"none\" stroke=\"#999\" "
+          "stroke-dasharray=\"4 3\" points=\""
+       << svgPoints(samples_, sampleTotal, y_max, kW, kH, kPad)
+       << "\"/>\n"
+       << "<polyline fill=\"none\" stroke=\"#1f77b4\" "
+          "stroke-width=\"2\" points=\""
+       << svgPoints(samples_, sampleCovered, y_max, kW, kH, kPad)
+       << "\"/>\n"
+       << strFormat("<text x=\"%d\" y=\"%d\" font-size=\"12\">"
+                    "iteration 1&ndash;%d</text>\n",
+                    kPad, kH - kPad + 20, last.iter)
+       << strFormat("<text x=\"%d\" y=\"%d\" font-size=\"12\">"
+                    "requirements (max %llu)</text>\n",
+                    kPad, kPad - 8,
+                    static_cast<unsigned long long>(y_max))
+       << "<text x=\"" << (kW - kPad - 200) << "\" y=\""
+       << (kPad - 8)
+       << "\" font-size=\"12\" fill=\"#1f77b4\">covered</text>\n"
+       << "<text x=\"" << (kW - kPad - 120) << "\" y=\""
+       << (kPad - 8)
+       << "\" font-size=\"12\" fill=\"#999\">total</text>\n"
+       << "</svg>\n";
+
+    os << "<h2>Per-class covered counts</h2>\n<table>\n"
+       << "<tr><th>iter</th><th>covered</th><th>total</th>"
+          "<th>pct</th><th>blocked</th><th>unblocking</th>"
+          "<th>nop</th><th>blocking</th></tr>\n";
+    // Keep the table readable on long campaigns: first, every
+    // coverage-changing sample, and last.
+    uint64_t prev_cov = ~0ull;
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        const SaturationSample &s = samples_[i];
+        bool interesting = i == 0 || i + 1 == samples_.size() ||
+                           s.covered != prev_cov ||
+                           s.total != samples_[i - 1].total;
+        prev_cov = s.covered;
+        if (!interesting)
+            continue;
+        os << strFormat("<tr><td>%d</td><td>%llu</td><td>%llu</td>"
+                        "<td>%.1f</td><td>%llu</td><td>%llu</td>"
+                        "<td>%llu</td><td>%llu</td></tr>\n",
+                        s.iter,
+                        static_cast<unsigned long long>(s.covered),
+                        static_cast<unsigned long long>(s.total),
+                        s.pct(),
+                        static_cast<unsigned long long>(s.blocked),
+                        static_cast<unsigned long long>(s.unblocking),
+                        static_cast<unsigned long long>(s.nop),
+                        static_cast<unsigned long long>(s.blocking));
+    }
+    os << "</table>\n</body></html>\n";
+    return os.str();
+}
+
+bool
+SaturationSeries::writeFiles(const std::string &path,
+                             const std::string &title) const
+{
+    auto write_all = [](const std::string &p, const std::string &doc) {
+        std::FILE *f = std::fopen(p.c_str(), "w");
+        if (!f)
+            return false;
+        size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+        bool ok = n == doc.size();
+        ok = std::fclose(f) == 0 && ok;
+        return ok;
+    };
+    if (!write_all(path, jsonlStr()))
+        return false;
+    return write_all(path + ".html", htmlStr(title));
+}
+
+} // namespace goat::obs

@@ -60,6 +60,10 @@ class YieldPerturber
 
     /**
      * Decide whether to yield at a CU (the goat.handler() body).
+     * Called from inside the scheduler's `perturb_decision` stage
+     * scope (obs/profile.hh), so with -profile the cost of every
+     * policy's decision path — this one, the guided perturber, replay
+     * — lands in that histogram; keep the body allocation-free.
      */
     bool
     shouldYield(staticmodel::CuKind kind, const SourceLoc &loc)

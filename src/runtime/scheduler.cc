@@ -5,6 +5,7 @@
 #include "base/fmt.hh"
 #include "base/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 
 namespace goat::runtime {
 
@@ -258,6 +259,7 @@ void
 Scheduler::emit(trace::EventType type, const SourceLoc &loc, int64_t a0,
                 int64_t a1, int64_t a2, int64_t a3, const std::string &str)
 {
+    obs::ProfileScope prof(obs::Stage::TraceAppend);
     trace::Event ev(++steps_, currentGid(), type, loc, a0, a1, a2, a3);
     if (!str.empty())
         ev.str = str;
@@ -302,7 +304,15 @@ Scheduler::cuHook(staticmodel::CuKind kind, const SourceLoc &loc)
         return;
     if (cfg_.noiseProb > 0 && rng_.chance(cfg_.noiseProb))
         preemptCurrent(trace::PreemptTagNoise, loc);
-    if (cfg_.perturb && cfg_.perturb(kind, loc))
+    // The profiled stage is the policy *decision* only; the preemption
+    // it may trigger (a context switch plus an arbitrary run segment
+    // of other goroutines) is deliberately outside the scope.
+    bool want_yield;
+    {
+        obs::ProfileScope prof(obs::Stage::PerturbDecision);
+        want_yield = cfg_.perturb && cfg_.perturb(kind, loc);
+    }
+    if (want_yield)
         preemptCurrent(trace::PreemptTagPerturb, loc);
 }
 
@@ -473,6 +483,11 @@ Scheduler::dispatch(Goroutine *g)
         g->ctx.prepare(g->stack, g->stackSize, &fiberMainTrampoline, g);
         emit(trace::EventType::GoStart, g->creationLoc());
     }
+    // One fiber_switch sample is the full dispatch round trip: swap
+    // in, the goroutine's run segment, swap back out. `total` is the
+    // (deterministic) dispatch count; the latency distribution is the
+    // timeslice length.
+    obs::ProfileScope prof(obs::Stage::FiberSwitch);
     FiberContext::swap(schedCtx_, g->ctx);
     current_ = nullptr;
     if (g->status == GoStatus::Dead)

@@ -16,6 +16,7 @@
 
 #include "campaign/campaign.hh"
 #include "goker/registry.hh"
+#include "obs/profile.hh"
 
 using namespace goat;
 using goat::campaign::CampaignConfig;
@@ -197,6 +198,127 @@ TEST(Campaign, WorkerMetricsFoldAndJobClamp)
     ASSERT_NE(it, r.workerMetrics.counters.end());
     EXPECT_EQ(it->second,
               static_cast<uint64_t>(r.executedIterations));
+}
+
+namespace {
+
+/**
+ * Deterministic profile clock: each thread sees a monotone counter
+ * advancing 7ns per read. Durations are same-thread differences, so a
+ * scope's duration is 7ns * (nested clock reads + 1) — a pure function
+ * of the iteration's code path and sampling phase, independent of
+ * which worker runs it or what ran on the thread before.
+ */
+uint64_t
+fakeClock()
+{
+    thread_local uint64_t t = 0;
+    return t += 7;
+}
+
+/** RAII install/restore of the fake profile clock. */
+struct FakeClockGuard
+{
+    obs::ProfileClock prev;
+    FakeClockGuard() : prev(obs::setProfileClock(&fakeClock)) {}
+    ~FakeClockGuard() { obs::setProfileClock(prev); }
+};
+
+} // namespace
+
+// The profiler's canonical fold is byte-identical across worker counts
+// under a deterministic clock: full snapshots (buckets included) and
+// the executed-side fold both match, because per-iteration deltas are
+// pure functions of the iteration and the merge folds them in
+// canonical order.
+TEST(Campaign, ProfileMergeIsByteIdenticalAcrossJobCounts)
+{
+    FakeClockGuard clock;
+    const goker::KernelInfo &k = kernel("cockroach_1055");
+    CampaignConfig c1 = baseConfig(k, 1);
+    c1.engine.profile = true;
+    c1.engine.stopOnBug = false; // fixed budget: executed == merged
+    CampaignConfig c4 = baseConfig(k, 4);
+    c4.engine.profile = true;
+    c4.engine.stopOnBug = false;
+
+    CampaignResult r1 = runCampaign(c1, k.fn);
+    CampaignResult r4 = runCampaign(c4, k.fn);
+
+    ASSERT_FALSE(r1.merged.profile.empty());
+    EXPECT_GT(r1.merged.profile.stage(obs::Stage::FiberSwitch).total, 0u);
+    EXPECT_GT(r1.merged.profile.stage(obs::Stage::TraceAppend).total, 0u);
+    EXPECT_EQ(r1.merged.profile.jsonStr(), r4.merged.profile.jsonStr());
+    EXPECT_EQ(r1.executedProfile.jsonStr(), r4.executedProfile.jsonStr());
+}
+
+// Under the real clock, sum_ns is host noise but the entry counters
+// stay deterministic: per-stage total and sampled count match across
+// worker counts (the ledger-canonical subset check_ledger.py keeps).
+TEST(Campaign, ProfileEntryCountsDeterministicUnderRealClock)
+{
+    const goker::KernelInfo &k = kernel("moby_28462");
+    CampaignConfig c1 = baseConfig(k, 1);
+    c1.engine.profile = true;
+    c1.engine.stopOnBug = false;
+    c1.engine.maxIterations = 15;
+    CampaignConfig c4 = c1;
+    c4.jobs = 4;
+
+    CampaignResult r1 = runCampaign(c1, k.fn);
+    CampaignResult r4 = runCampaign(c4, k.fn);
+
+    for (size_t i = 0; i < obs::kNumStages; ++i) {
+        SCOPED_TRACE(obs::stageName(static_cast<obs::Stage>(i)));
+        EXPECT_EQ(r1.merged.profile.stages[i].total,
+                  r4.merged.profile.stages[i].total);
+        EXPECT_EQ(r1.merged.profile.stages[i].count,
+                  r4.merged.profile.stages[i].count);
+    }
+}
+
+// With -profile off no instrumentation site records anything: the
+// merged snapshot is empty and ledger rows carry no profile key.
+TEST(Campaign, ProfileOffRecordsNothing)
+{
+    const goker::KernelInfo &k = kernel("cockroach_1055");
+    CampaignConfig cfg = baseConfig(k, 2);
+    cfg.engine.maxIterations = 4;
+    cfg.engine.stopOnBug = false;
+    CampaignResult r = runCampaign(cfg, k.fn);
+    EXPECT_TRUE(r.merged.profile.empty());
+    EXPECT_TRUE(r.executedProfile.empty());
+}
+
+// The coverage-saturation series derives from the canonical merged
+// fold, so its JSONL encoding is byte-identical for any worker count,
+// monotone in covered, and one sample per merged iteration.
+TEST(Campaign, SaturationSeriesIsByteIdenticalAcrossJobCounts)
+{
+    const goker::KernelInfo &k = kernel("moby_28462");
+    CampaignConfig c1 = baseConfig(k, 1);
+    c1.engine.stopOnBug = false;
+    c1.engine.maxIterations = 20;
+    CampaignConfig c4 = c1;
+    c4.jobs = 4;
+
+    CampaignResult r1 = runCampaign(c1, k.fn);
+    CampaignResult r4 = runCampaign(c4, k.fn);
+
+    ASSERT_EQ(r1.merged.saturation.samples().size(), 20u);
+    EXPECT_EQ(r1.merged.saturation.jsonlStr(),
+              r4.merged.saturation.jsonlStr());
+
+    uint64_t prev = 0;
+    for (const auto &s : r1.merged.saturation.samples()) {
+        EXPECT_GE(s.covered, prev);
+        EXPECT_LE(s.covered, s.total);
+        EXPECT_EQ(s.blocked + s.unblocking + s.nop + s.blocking,
+                  s.covered);
+        prev = s.covered;
+    }
+    EXPECT_DOUBLE_EQ(r1.merged.saturation.samples().back().pct(),
+                     r1.merged.finalCoverage);
 }
 
 // A coverage threshold stops the merged campaign at the same canonical

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 #include <vector>
@@ -143,6 +144,35 @@ TEST(Cli, DecimalSeed)
     EXPECT_EQ(opt.seed, 12345u);
 }
 
+TEST(Cli, ObservabilityFlagsDefaultOff)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({}, opt, &err));
+    EXPECT_FALSE(opt.profile);
+    EXPECT_EQ(opt.progress, 0);
+    EXPECT_EQ(opt.saturation_out, "");
+    EXPECT_EQ(opt.status_out, "");
+}
+
+TEST(Cli, ObservabilityFlags)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-profile", "-progress",
+                       "-saturation-out=/tmp/sat.jsonl",
+                       "-status-out=/tmp/status.json"},
+                      opt, &err));
+    EXPECT_TRUE(opt.profile);
+    EXPECT_EQ(opt.progress, 1); // bare -progress means 1s interval
+    EXPECT_EQ(opt.saturation_out, "/tmp/sat.jsonl");
+    EXPECT_EQ(opt.status_out, "/tmp/status.json");
+
+    Options opt2;
+    EXPECT_TRUE(parse({"-progress=5"}, opt2, &err));
+    EXPECT_EQ(opt2.progress, 5);
+}
+
 TEST(Cli, RecordReplayMinimizeFlags)
 {
     Options opt;
@@ -189,6 +219,59 @@ TEST(CliExit, ArtifactWriteFailureIsOne)
     EXPECT_EQ(runGoat(std::string(kBugRun) + " -record=" + dir +
                       "/b.recipe"),
               1);
+    // The observability artifacts follow the same contract.
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -cov -saturation-out=" +
+                      dir + "/sat.jsonl"),
+              1);
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -status-out=" + dir +
+                      "/status.json"),
+              1);
+}
+
+TEST(CliExit, ObservabilityArtifactsWrittenOnSuccess)
+{
+    std::string sat = tmpPath("sat.jsonl");
+    std::string status = tmpPath("status.json");
+    std::remove(sat.c_str());
+    std::remove((sat + ".html").c_str());
+    std::remove(status.c_str());
+    EXPECT_EQ(runGoat(std::string(kBugRun) +
+                      " -cov -profile -saturation-out=" + sat +
+                      " -status-out=" + status),
+              0);
+    // JSONL + HTML report + final status snapshot all exist.
+    for (const std::string &p : {sat, sat + ".html", status}) {
+        FILE *f = std::fopen(p.c_str(), "r");
+        EXPECT_NE(f, nullptr) << p;
+        if (f)
+            std::fclose(f);
+    }
+    std::remove(sat.c_str());
+    std::remove((sat + ".html").c_str());
+    std::remove(status.c_str());
+}
+
+// An unrecognized GOAT_LOG_LEVEL value is ignored with exactly one
+// stderr warning; the run itself still completes with exit 0.
+TEST(CliExit, UnknownLogLevelWarnsOnceAndIsIgnored)
+{
+    std::string errfile = tmpPath("loglevel.err");
+    std::remove(errfile.c_str());
+    std::string cmd = std::string("GOAT_LOG_LEVEL=bogus ") + GOAT_CLI_BIN +
+                      " " + kBugRun + " >/dev/null 2>" + errfile;
+    int rc = std::system(cmd.c_str());
+    ASSERT_GE(rc, 0);
+    EXPECT_EQ(WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, 0);
+
+    std::ifstream in(errfile);
+    std::string line;
+    int warnings = 0;
+    while (std::getline(in, line))
+        if (line.find("unknown GOAT_LOG_LEVEL 'bogus' ignored") !=
+            std::string::npos)
+            ++warnings;
+    EXPECT_EQ(warnings, 1);
+    std::remove(errfile.c_str());
 }
 
 TEST(CliExit, ReplayOfMissingRecipeIsOne)

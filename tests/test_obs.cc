@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,6 +20,9 @@
 #include "obs/chrome_trace.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/progress.hh"
+#include "obs/saturation.hh"
 #include "runtime/api.hh"
 
 using namespace goat;
@@ -374,4 +378,233 @@ TEST(SchedulerMetrics, GlobalCountersAdvanceAcrossARun)
     EXPECT_GE(delta.counters["event.go_create"], 2u);
     EXPECT_GE(delta.counters["chan.makes"], 1u);
     EXPECT_GE(delta.counters["sched.park.chan_send"], 1u);
+}
+
+// ---------------------------------------------------------------------
+// Stage profiler (obs/profile.hh).
+// ---------------------------------------------------------------------
+
+TEST(Profile, HistogramBucketsByBitWidth)
+{
+    StageHist h;
+    h.observe(0);  // bucket 0
+    h.observe(1);  // bucket 1: bit_width(1) == 1
+    h.observe(2);  // bucket 2
+    h.observe(3);  // bucket 2
+    h.observe(4);  // bucket 3
+    h.observe(1023); // bucket 10
+    h.observe(1024); // bucket 11
+    EXPECT_EQ(h.count, 7u);
+    EXPECT_EQ(h.sum, 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[2], 2u);
+    EXPECT_EQ(h.buckets[3], 1u);
+    EXPECT_EQ(h.buckets[10], 1u);
+    EXPECT_EQ(h.buckets[11], 1u);
+    EXPECT_EQ(h.meanNs(), h.sum / 7);
+}
+
+TEST(Profile, SnapshotMergeIsCommutative)
+{
+    ProfileSnapshot a, b;
+    a.stages[0].total = 3;
+    a.stages[0].observe(5);
+    b.stages[0].total = 2;
+    b.stages[0].observe(9);
+    b.stages[2].total = 1;
+
+    ProfileSnapshot ab = a, ba = b;
+    ab.mergeFrom(b);
+    ba.mergeFrom(a);
+    EXPECT_EQ(ab.jsonStr(), ba.jsonStr());
+    EXPECT_EQ(ab.stages[0].total, 5u);
+    EXPECT_EQ(ab.stages[0].count, 2u);
+    EXPECT_EQ(ab.stages[0].sum, 14u);
+}
+
+TEST(Profile, JsonSkipsEmptyStagesAndBalances)
+{
+    ProfileSnapshot s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.jsonStr(), "{}");
+    s.stages[static_cast<size_t>(Stage::ChanOp)].total = 4;
+    s.stages[static_cast<size_t>(Stage::ChanOp)].observe(100);
+    std::string j = s.jsonStr();
+    EXPECT_NE(j.find("\"chan_op\""), std::string::npos);
+    EXPECT_EQ(j.find("\"fiber_switch\""), std::string::npos);
+    EXPECT_NE(j.find("\"buckets\""), std::string::npos);
+    EXPECT_EQ(s.jsonRowStr().find("\"buckets\""), std::string::npos);
+    EXPECT_TRUE(jsonBalanced(j));
+    EXPECT_TRUE(jsonBalanced(s.jsonRowStr()));
+}
+
+TEST(Profile, SamplingIsCounterBasedAndDrainResetsPhase)
+{
+    Profiler p;
+    // Entry 0 of every kSampleEvery-block is the timed one.
+    for (uint64_t i = 0; i < 2 * Profiler::kSampleEvery; ++i)
+        EXPECT_EQ(p.enter(Stage::ChanOp), i % Profiler::kSampleEvery == 0)
+            << i;
+    EXPECT_EQ(p.peek().stage(Stage::ChanOp).total,
+              2 * Profiler::kSampleEvery);
+
+    ProfileSnapshot d = p.drain();
+    EXPECT_EQ(d.stage(Stage::ChanOp).total, 2 * Profiler::kSampleEvery);
+    EXPECT_TRUE(p.peek().empty());
+    // The sampling phase restarts after drain: the next entry is timed.
+    EXPECT_TRUE(p.enter(Stage::ChanOp));
+}
+
+TEST(Profile, ScopeRecordsOnlyWithInstalledProfiler)
+{
+    // No installed profiler: scopes are inert.
+    { ProfileScope s(Stage::TraceAppend); }
+
+    ProfileClock prev = setProfileClock(+[]() -> uint64_t {
+        thread_local uint64_t t = 100;
+        return t += 13;
+    });
+    Profiler p;
+    {
+        ScopedProfiler install(p);
+        for (int i = 0; i < 9; ++i)
+            ProfileScope s(Stage::TraceAppend);
+    }
+    setProfileClock(prev);
+
+    const StageHist &h = p.peek().stage(Stage::TraceAppend);
+    EXPECT_EQ(h.total, 9u);
+    EXPECT_EQ(h.count, 2u); // entries 0 and 8 sampled at kSampleEvery=8
+    EXPECT_EQ(h.sum, 26u);  // two sampled scopes, 13ns fake tick each
+    EXPECT_TRUE(Profiler::current() == nullptr);
+}
+
+TEST(Profile, StageNamesAreStable)
+{
+    EXPECT_STREQ(stageName(Stage::FiberSwitch), "fiber_switch");
+    EXPECT_STREQ(stageName(Stage::ChanOp), "chan_op");
+    EXPECT_STREQ(stageName(Stage::TraceAppend), "trace_append");
+    EXPECT_STREQ(stageName(Stage::PerturbDecision), "perturb_decision");
+    EXPECT_STREQ(stageName(Stage::Merge), "merge");
+}
+
+// ---------------------------------------------------------------------
+// Saturation series (obs/saturation.hh).
+// ---------------------------------------------------------------------
+
+TEST(Saturation, JsonlAndHtmlRenderFromCoverageFolds)
+{
+    engine::GoatConfig cfg;
+    cfg.delayBound = 1;
+    cfg.maxIterations = 3;
+    cfg.stopOnBug = false;
+    cfg.collectCoverage = true;
+    engine::GoatEngine eng(cfg);
+    engine::GoatResult res = eng.run(leakyProgram);
+
+    ASSERT_EQ(res.saturation.samples().size(), 3u);
+    std::string jl = res.saturation.jsonlStr();
+    EXPECT_EQ(std::count(jl.begin(), jl.end(), '\n'), 3);
+    EXPECT_NE(jl.find("\"iter\":1,"), std::string::npos);
+    EXPECT_NE(jl.find("\"covered\":"), std::string::npos);
+    EXPECT_NE(jl.find("\"blocked\":"), std::string::npos);
+
+    std::string html = res.saturation.htmlStr("leaky");
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("leaky"), std::string::npos);
+}
+
+TEST(Saturation, WriteFilesContractAndFailure)
+{
+    SaturationSeries s;
+    analysis::CoverageState cov;
+    s.sample(1, cov);
+
+    std::string path = testing::TempDir() + "/goat_obs_sat.jsonl";
+    std::remove(path.c_str());
+    std::remove((path + ".html").c_str());
+    EXPECT_TRUE(s.writeFiles(path, "t"));
+    std::ifstream jl(path), html(path + ".html");
+    EXPECT_TRUE(jl.good());
+    EXPECT_TRUE(html.good());
+    std::remove(path.c_str());
+    std::remove((path + ".html").c_str());
+
+    EXPECT_FALSE(s.writeFiles("/nonexistent-goat-dir/sat.jsonl", "t"));
+}
+
+// ---------------------------------------------------------------------
+// Progress reporting (obs/progress.hh).
+// ---------------------------------------------------------------------
+
+TEST(Progress, AtomicWriteFileReplacesAndFails)
+{
+    std::string path = testing::TempDir() + "/goat_obs_status.json";
+    EXPECT_TRUE(atomicWriteFile(path, "one"));
+    EXPECT_TRUE(atomicWriteFile(path, "two"));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), "two");
+    std::remove(path.c_str());
+    EXPECT_FALSE(atomicWriteFile("/nonexistent-goat-dir/x.json", "z"));
+}
+
+TEST(Progress, CountersAggregateAndCoverageIsMax)
+{
+    ProgressCounters c;
+    c.noteIteration(0, false);
+    c.noteIteration(1, true);
+    c.noteIteration(1, true);
+    c.noteIteration(99, false); // out-of-range verdict only bumps executed
+    EXPECT_EQ(c.executed.load(), 4u);
+    EXPECT_EQ(c.bugs.load(), 2u);
+    EXPECT_EQ(c.verdict[0].load(), 1u);
+    EXPECT_EQ(c.verdict[1].load(), 2u);
+    c.noteCoveragePermille(421);
+    c.noteCoveragePermille(137); // lower: ignored
+    EXPECT_EQ(c.coveragePermille.load(), 421u);
+}
+
+TEST(Progress, StatusJsonShapeAndFinalWrite)
+{
+    std::string path = testing::TempDir() + "/goat_obs_progress.json";
+    std::remove(path.c_str());
+    ProgressCounters counters;
+    counters.noteIteration(1, true);
+    counters.noteCoveragePermille(500);
+    {
+        ProgressConfig cfg;
+        cfg.totalIterations = 10;
+        cfg.label = "unit_kernel";
+        cfg.statusPath = path;
+        cfg.haveCoverage = true;
+        ProgressReporter rep(cfg, counters);
+        std::string j = rep.statusJson(/*done=*/false);
+        EXPECT_TRUE(jsonBalanced(j));
+        EXPECT_NE(j.find("\"kernel\":\"unit_kernel\""), std::string::npos);
+        EXPECT_NE(j.find("\"running\":true"), std::string::npos);
+        EXPECT_NE(j.find("\"coverage_pct\":50.0"), std::string::npos);
+        EXPECT_NE(j.find("\"partial_deadlock\":1"), std::string::npos);
+        rep.stop();
+        EXPECT_TRUE(rep.statusOk());
+    }
+    // stop() leaves a final done snapshot on disk.
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"running\":false"), std::string::npos);
+    EXPECT_NE(buf.str().find("\"executed\":1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Progress, StatusFailureIsSticky)
+{
+    ProgressCounters counters;
+    ProgressConfig cfg;
+    cfg.statusPath = "/nonexistent-goat-dir/status.json";
+    ProgressReporter rep(cfg, counters);
+    rep.stop();
+    EXPECT_FALSE(rep.statusOk());
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Sanity-check the committed benchmark baselines at the repo root.
+
+  * BENCH_obs.json — the -profile overhead A/B written by bench_obs.
+    Must parse, carry the pinned-seed run's parameters, and show the
+    stage profiler costing less than the documented 5% budget
+    (docs/INTERNALS.md §7) over a profile-off campaign.
+  * BENCH_campaign.json — the campaign scaling sweep written by
+    bench_campaign. Must parse, cover jobs ∈ {1,2,4,8}, and report
+    merged_identical=true everywhere (the determinism cross-check the
+    bench performs on its own results).
+
+Usage: check_bench.py [repo_root]
+
+Registered as the `check_bench` ctest; exits non-zero (with a
+diagnostic on stderr) on the first violation. Regenerate the
+baselines with `build/bench/bench_obs` / `build/bench/bench_campaign`
+run from the repo root.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+OVERHEAD_BUDGET_PCT = 5.0
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    if not path.exists():
+        fail(f"{path.name} missing — run the bench from the repo root")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{path.name} is not valid JSON: {e}")
+
+
+def pos_int(doc, name, key):
+    v = doc.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v <= 0:
+        fail(f"{name}: bad {key} {v!r}")
+    return v
+
+
+def check_obs(root):
+    doc = load(root / "BENCH_obs.json")
+    if doc.get("bench") != "profile_overhead":
+        fail(f"BENCH_obs.json: unexpected bench {doc.get('bench')!r}")
+    if not doc.get("kernel"):
+        fail("BENCH_obs.json: missing kernel")
+    pos_int(doc, "BENCH_obs.json", "iterations")
+    pos_int(doc, "BENCH_obs.json", "reps")
+    off = pos_int(doc, "BENCH_obs.json", "profile_off_us")
+    on = pos_int(doc, "BENCH_obs.json", "profile_on_us")
+    pct = doc.get("overhead_pct")
+    if not isinstance(pct, (int, float)) or isinstance(pct, bool):
+        fail(f"BENCH_obs.json: bad overhead_pct {pct!r}")
+    recomputed = 100.0 * (on - off) / off
+    if abs(recomputed - pct) > 0.01:
+        fail(f"BENCH_obs.json: overhead_pct {pct} does not match "
+             f"off/on times ({recomputed:.3f})")
+    if pct >= OVERHEAD_BUDGET_PCT:
+        fail(f"BENCH_obs.json: -profile overhead {pct:.2f}% exceeds "
+             f"the {OVERHEAD_BUDGET_PCT}% budget")
+    print(f"check_bench: OK — BENCH_obs.json: -profile overhead "
+          f"{pct:+.2f}% over {doc['iterations']} iterations "
+          f"(budget {OVERHEAD_BUDGET_PCT}%)")
+
+
+def check_campaign(root):
+    doc = load(root / "BENCH_campaign.json")
+    if doc.get("bench") != "campaign_scaling":
+        fail(f"BENCH_campaign.json: unexpected bench "
+             f"{doc.get('bench')!r}")
+    pos_int(doc, "BENCH_campaign.json", "kernels")
+    pos_int(doc, "BENCH_campaign.json", "iterations")
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        fail("BENCH_campaign.json: missing samples array")
+    jobs_seen = []
+    for s in samples:
+        jobs_seen.append(s.get("jobs"))
+        pos_int(s, f"BENCH_campaign.json jobs={s.get('jobs')}",
+                "wall_us")
+        if s.get("merged_identical") is not True:
+            fail(f"BENCH_campaign.json: jobs={s.get('jobs')} was not "
+                 f"merged_identical — determinism violation")
+    if jobs_seen != [1, 2, 4, 8]:
+        fail(f"BENCH_campaign.json: samples cover jobs {jobs_seen}, "
+             f"expected [1, 2, 4, 8]")
+    print(f"check_bench: OK — BENCH_campaign.json: "
+          f"{len(samples)} job count(s), all merged_identical")
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    check_obs(root)
+    check_campaign(root)
+
+
+if __name__ == "__main__":
+    main()

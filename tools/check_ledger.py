@@ -15,7 +15,15 @@ Runs a tiny campaign through the goat CLI with -ledger and
   * with -record, the bug row carries the recipe path, the recipe file
     is byte-identical between -jobs=1 and -jobs=4, and replaying it
     through `goat -replay=` exits 0 (exact reproduction asserted by
-    the binary itself).
+    the binary itself);
+  * with -profile, every row carries a "profile" object of per-stage
+    {total,count,sum_ns} rows whose deterministic subset (total and
+    the counter-sampled count — sum_ns is wall-clock noise) is
+    byte-identical between -jobs=1 and -jobs=4;
+  * with -cov, rows carry the paired covered/req_total counters
+    (covered monotone nondecreasing, never above req_total), and the
+    -saturation-out JSONL series is byte-identical between -jobs=1
+    and -jobs=4 with its standalone HTML report alongside.
 
 Usage: check_ledger.py /path/to/goat [kernel]
 
@@ -43,9 +51,20 @@ LEDGER_KEYS = {
 }
 
 
+PROFILE_STAGES = {"fiber_switch", "chan_op", "trace_append",
+                  "perturb_decision", "merge"}
+
+
 def fail(msg):
     print(f"check_ledger: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_counter(i, obj, key, minimum=0):
+    v = obj[key]
+    if not isinstance(v, int) or isinstance(v, bool) or v < minimum:
+        fail(f"ledger line {i}: bad {key} {v!r}")
+    return v
 
 
 def check_ledger(path, expect_min_lines):
@@ -55,6 +74,7 @@ def check_ledger(path, expect_min_lines):
     prev_iter = 0
     seen_iters = set()
     wseq_of_worker = {}
+    prev_covered = 0
     for i, line in enumerate(lines, 1):
         try:
             obj = json.loads(line)
@@ -116,6 +136,46 @@ def check_ledger(path, expect_min_lines):
             v = obj["min_yields"]
             if not isinstance(v, int) or isinstance(v, bool) or v < 0:
                 fail(f"ledger line {i}: bad min_yields {v!r}")
+        # Saturation counters: covered/req_total come as a pair of
+        # cumulative ints derived from the canonical merged coverage
+        # fold — covered never exceeds the requirement universe and
+        # never shrinks (the universe itself may grow).
+        if ("covered" in obj) != ("req_total" in obj):
+            fail(f"ledger line {i}: covered/req_total must pair")
+        if "covered" in obj:
+            if "coverage_pct" not in obj:
+                fail(f"ledger line {i}: covered without coverage_pct")
+            cov = check_counter(i, obj, "covered")
+            tot = check_counter(i, obj, "req_total")
+            if cov > tot:
+                fail(f"ledger line {i}: covered {cov} > req_total {tot}")
+            if cov < prev_covered:
+                fail(f"ledger line {i}: covered {cov} shrank from "
+                     f"{prev_covered}")
+            prev_covered = cov
+        # Stage-profiler rows: per-stage {total,count,sum_ns}, stage
+        # names from the fixed enum, sampled count never above the
+        # entry total.
+        if "profile" in obj:
+            prof = obj["profile"]
+            if not isinstance(prof, dict) or not prof:
+                fail(f"ledger line {i}: bad profile object {prof!r}")
+            for stage, hist in prof.items():
+                if stage not in PROFILE_STAGES:
+                    fail(f"ledger line {i}: unknown profile stage "
+                         f"'{stage}'")
+                if not isinstance(hist, dict):
+                    fail(f"ledger line {i}: profile stage '{stage}' "
+                         f"is not an object")
+                if set(hist) != {"total", "count", "sum_ns"}:
+                    fail(f"ledger line {i}: profile stage '{stage}' "
+                         f"keys {sorted(hist)}")
+                total = check_counter(i, hist, "total")
+                count = check_counter(i, hist, "count")
+                check_counter(i, hist, "sum_ns")
+                if count > total:
+                    fail(f"ledger line {i}: profile stage '{stage}' "
+                         f"count {count} > total {total}")
         # Lint-bridge fields: static_warnings on every row of a
         # lint-guided campaign, confirmed_warnings only on bug rows
         # and never without the bridge active.
@@ -187,12 +247,16 @@ def canonical_rows(lines):
         # between the two campaigns by construction.
         for key in ("wall_us", "metrics", "worker", "wseq", "recipe"):
             obj.pop(key, None)
+        # Profile sum_ns is sampled wall time (host noise); the entry
+        # counters total/count are deterministic and stay canonical.
+        for hist in obj.get("profile", {}).values():
+            hist.pop("sum_ns", None)
         rows.append(obj)
     return rows
 
 
 def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None,
-             record=None, lint_guided=False):
+             record=None, lint_guided=False, extra=()):
     cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
            "-cov", f"-ledger={ledger}"]
     if trace is not None:
@@ -203,6 +267,7 @@ def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None,
         cmd.append(f"-record={record}")
     if lint_guided:
         cmd.append("-lint-guided")
+    cmd.extend(extra)
     proc = subprocess.run(cmd, capture_output=True, text=True,
                           timeout=90)
     if proc.returncode != 0:
@@ -298,6 +363,60 @@ def main():
         print(f"check_ledger: OK — lint-guided campaign: "
               f"{len(lrows1)} row(s), static/confirmed warning "
               f"stamps identical at -jobs=4")
+
+        # Observability campaign: -profile stamps per-stage histogram
+        # rows (deterministic entry counters canonical across -jobs),
+        # and -saturation-out emits a JSONL series derived from the
+        # canonical merged coverage fold, so both the series and its
+        # HTML report must be byte-identical between -jobs=1 and
+        # -jobs=4.
+        profl1 = Path(tmp) / "prof_j1.jsonl"
+        profl4 = Path(tmp) / "prof_j4.jsonl"
+        sat1 = Path(tmp) / "sat_j1.jsonl"
+        sat4 = Path(tmp) / "sat_j4.jsonl"
+        run_goat(goat, kernel, iterations, profl1,
+                 extra=["-profile", f"-saturation-out={sat1}"])
+        run_goat(goat, kernel, iterations, profl4, jobs=4,
+                 extra=["-profile", f"-saturation-out={sat4}"])
+        prows1 = check_ledger(profl1, expect_min_lines=1)
+        prows4 = check_ledger(profl4, expect_min_lines=1)
+        for i, line in enumerate(prows1, 1):
+            obj = json.loads(line)
+            if "profile" not in obj:
+                fail(f"-profile ledger line {i} lacks profile stamp")
+            if "covered" not in obj:
+                fail(f"-cov ledger line {i} lacks covered/req_total")
+        if canonical_rows(prows1) != canonical_rows(prows4):
+            fail("-profile -jobs=4 ledger differs from -jobs=1 "
+                 "(profile entry counters must be deterministic)")
+        for sat in (sat1, sat4):
+            if not sat.exists():
+                fail(f"saturation series {sat} not written")
+            html = Path(str(sat) + ".html")
+            if not html.exists() or "<svg" not in html.read_text():
+                fail(f"saturation HTML report {html} missing or "
+                     f"lacks the inline SVG chart")
+            for i, line in enumerate(
+                    sat.read_text().splitlines(), 1):
+                row = json.loads(line)
+                for key in ("iter", "covered", "total", "pct",
+                            "blocked", "unblocking", "nop",
+                            "blocking"):
+                    if key not in row:
+                        fail(f"saturation line {i} missing '{key}'")
+                if row["iter"] != i:
+                    fail(f"saturation line {i} has iter "
+                         f"{row['iter']}")
+        if sat1.read_bytes() != sat4.read_bytes():
+            fail("-jobs=4 saturation series differs from -jobs=1")
+        n_sat = len(sat1.read_text().splitlines())
+        if n_sat != len(prows1):
+            fail(f"saturation series has {n_sat} samples for "
+                 f"{len(prows1)} ledger rows")
+        print(f"check_ledger: OK — observability campaign: profile "
+              f"stamps canonical at -jobs=4, saturation series "
+              f"({n_sat} sample(s)) byte-identical, HTML report "
+              f"present")
 
 
 if __name__ == "__main__":

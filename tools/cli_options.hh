@@ -50,6 +50,17 @@ struct Options
     std::string lint_path;
     /** Seed the campaign's priority yield sites from the lint pass. */
     bool lint_guided = false;
+    /** Enable the hot-path stage profiler and print its table. */
+    bool profile = false;
+    /**
+     * Progress-heartbeat interval in seconds (0 = off). `-progress`
+     * alone means 1; `-progress=N` sets N.
+     */
+    int progress = 0;
+    /** Write the coverage-saturation JSONL here (+ ".html" report). */
+    std::string saturation_out;
+    /** Atomically rewrite a JSON status snapshot here each interval. */
+    std::string status_out;
 };
 
 /**
@@ -112,6 +123,16 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.lint_guided = true;
         } else if (arg == "-metrics") {
             opt.metrics = true;
+        } else if (arg == "-profile") {
+            opt.profile = true;
+        } else if (arg == "-progress") {
+            opt.progress = 1;
+        } else if (const char *v = val("-progress=")) {
+            opt.progress = std::atoi(v);
+        } else if (const char *v = val("-saturation-out=")) {
+            opt.saturation_out = v;
+        } else if (const char *v = val("-status-out=")) {
+            opt.status_out = v;
         } else if (const char *v = val("-seed=")) {
             opt.seed = std::strtoull(v, nullptr, 0);
         } else {

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "goker/registry.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
+#include "obs/progress.hh"
 #include "staticmodel/lint.hh"
 #include "trace/recipe.hh"
 #include "trace/serialize.hh"
@@ -82,6 +84,16 @@ usage()
         "                  from the lint findings and cross-check them\n"
         "                  against the first bug trace\n"
         "  -metrics        print the final metrics snapshot as JSON\n"
+        "  -profile        profile the runtime's hot-path stages and\n"
+        "                  print per-stage latency totals\n"
+        "  -progress[=N]   print a campaign heartbeat to stderr every\n"
+        "                  N seconds (default 1)\n"
+        "  -saturation-out=PATH\n"
+        "                  write the coverage-saturation series as\n"
+        "                  JSONL to PATH and HTML to PATH.html\n"
+        "  -status-out=PATH\n"
+        "                  atomically rewrite a JSON status snapshot\n"
+        "                  at PATH while the campaign runs\n"
         "  -seed=N         seed base (default 1)\n");
 }
 
@@ -226,6 +238,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
     cfg.covThreshold = 200.0;
     cfg.seedBase = opt.seed;
     cfg.ledgerPath = opt.ledger_out;
+    cfg.profile = opt.profile;
     cfg.staticModel = goker::kernelCuTable(kernel);
     ccfg.jobs = opt.jobs;
     ccfg.programName = kernel.name;
@@ -236,9 +249,36 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
         ccfg.lintBridge = true;
         cfg.prioritySites = ccfg.lint.sites();
     }
+
+    // Live progress: workers bump the counters; the reporter thread
+    // prints heartbeats and rewrites the status snapshot until the
+    // campaign returns.
+    obs::ProgressCounters progress_counters;
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (opt.progress > 0 || !opt.status_out.empty()) {
+        obs::ProgressConfig pcfg;
+        pcfg.intervalSeconds = opt.progress;
+        pcfg.totalIterations = cfg.maxIterations;
+        pcfg.label = kernel.name;
+        pcfg.statusPath = opt.status_out;
+        pcfg.haveCoverage = cfg.collectCoverage;
+        progress = std::make_unique<obs::ProgressReporter>(
+            pcfg, progress_counters);
+        ccfg.progress = &progress_counters;
+    }
+
     campaign::CampaignResult cres =
         campaign::runCampaign(ccfg, kernel.fn);
     GoatResult &result = cres.merged;
+
+    if (progress) {
+        progress->stop();
+        if (!opt.status_out.empty() && !progress->statusOk()) {
+            std::fprintf(stderr, "goat: cannot write %s\n",
+                         opt.status_out.c_str());
+            artifact_fail = true;
+        }
+    }
 
     std::printf("%-22s ", kernel.name.c_str());
     if (result.bugFound) {
@@ -354,6 +394,23 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
         std::fprintf(stderr, "goat: cannot write %s\n",
                      opt.ledger_out.c_str());
         artifact_fail = true;
+    }
+    if (!opt.saturation_out.empty()) {
+        if (cres.merged.saturation.writeFiles(opt.saturation_out,
+                                              kernel.name)) {
+            std::printf("saturation series written to %s (+ .html)\n",
+                        opt.saturation_out.c_str());
+        } else {
+            std::fprintf(stderr, "goat: cannot write %s\n",
+                         opt.saturation_out.c_str());
+            artifact_fail = true;
+        }
+    }
+    if (opt.profile) {
+        std::printf("\n-- stage profile (canonical fold, %d merged "
+                    "iteration(s)) --\n%s",
+                    cres.cutoffIteration,
+                    cres.merged.profile.tableStr().c_str());
     }
     if (opt.cov && opt.report) {
         std::printf("\n-- coverage requirements --\n%s",

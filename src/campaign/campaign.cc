@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -55,6 +56,15 @@ struct IterRecord
     obs::Snapshot metricsDelta;
     /** Stage-profiler delta over this iteration (with profile). */
     obs::ProfileSnapshot profileDelta;
+    /**
+     * Predictive-analysis report over this iteration's trace (with
+     * predict) — a pure function of the trace, so computed in the
+     * worker; the merge folds and confirms canonically.
+     */
+    analysis::PredictionReport predictions;
+    /** The iteration's schedule recipe (with predict): the base the
+     * merge synthesizes confirmation replays from. */
+    trace::Recipe recipe;
 };
 
 /** Full capture of a worker's first buggy run (report material). */
@@ -163,6 +173,11 @@ workerLoop(Shared &sh, Worker &w)
         rec.coreBug = sr.dl.buggy() ||
                       sr.exec.outcome == RunOutcome::StepBudget;
         iterations_total.inc();
+
+        if (cfg.predict) {
+            rec.predictions = analysis::predictBlockingBugs(sr.ect);
+            rec.recipe = sr.recipe;
+        }
 
         if (measure_cov) {
             rec.cov = std::make_unique<CoverageState>(cfg.staticModel);
@@ -316,6 +331,7 @@ runCampaign(const CampaignConfig &cfg,
     engine::GoatResult &result = out.merged;
     CoverageState merged(ecfg.staticModel);
     std::vector<obs::LedgerEntry> ledger_rows;
+    std::set<std::string> seen_pred;
     int cutoff = 0;
 
     // The merge stage is profiled on the campaign thread: one scope
@@ -355,6 +371,20 @@ runCampaign(const CampaignConfig &cfg,
         if (i == race_iter) {
             result.firstRaces = race_capture->races;
             result.raceIteration = i;
+        }
+
+        // Fold this iteration's predictions in iteration order,
+        // keeping the first instance of each stable key — the same
+        // dedup a sequential pass over the traces would perform.
+        if (ecfg.predict) {
+            for (const analysis::Prediction &p :
+                 rec->predictions.predictions) {
+                if (!seen_pred.insert(p.key()).second)
+                    continue;
+                analysis::Prediction q = p;
+                q.iteration = i;
+                out.predict.report.predictions.push_back(std::move(q));
+            }
         }
 
         bool buggy = rec->coreBug || i == race_iter;
@@ -405,6 +435,9 @@ runCampaign(const CampaignConfig &cfg,
                 e.hasProfile = true;
                 e.profileDelta = rec->profileDelta;
             }
+            if (ecfg.predict)
+                e.predicted = static_cast<int>(
+                    rec->predictions.predictions.size());
             e.metricsDelta = rec->metricsDelta;
             ledger_rows.push_back(std::move(e));
         }
@@ -460,6 +493,54 @@ runCampaign(const CampaignConfig &cfg,
             }
         }
     }
+    // Prediction confirmation: replay-steered cross-checks run on this
+    // (scheduler-free) thread after the workers joined, grouped by the
+    // source iteration whose recipe seeds the synthesized schedules.
+    // The fold above appended predictions in ascending iteration
+    // order, so each group is a contiguous span.
+    if (ecfg.predict) {
+        auto &preds = out.predict.report.predictions;
+        out.predict.confirmRecipes.assign(preds.size(),
+                                          trace::Recipe());
+        size_t idx = 0;
+        while (idx < preds.size()) {
+            int src = preds[idx].iteration;
+            size_t end = idx;
+            while (end < preds.size() && preds[end].iteration == src)
+                ++end;
+            analysis::PredictionReport sub;
+            sub.predictions.assign(preds.begin() +
+                                       static_cast<ptrdiff_t>(idx),
+                                   preds.begin() +
+                                       static_cast<ptrdiff_t>(end));
+            trace::Recipe base =
+                by_iter[static_cast<size_t>(src)]->recipe;
+            base.kernel = cfg.programName;
+            engine::PredictOutcome po = engine::confirmPredictions(
+                program, base, std::move(sub));
+            out.predict.replays += po.replays;
+            for (size_t j = 0; j < po.report.predictions.size(); ++j) {
+                preds[idx + j] = std::move(po.report.predictions[j]);
+                out.predict.confirmRecipes[idx + j] =
+                    std::move(po.confirmRecipes[j]);
+            }
+            idx = end;
+        }
+        out.predict.confirmedCount =
+            out.predict.report.confirmedCount();
+
+        // Stamp rows whose iteration contributed confirmed
+        // predictions (the ledger is written below, at the end).
+        for (obs::LedgerEntry &e : ledger_rows) {
+            int conf = 0;
+            for (const analysis::Prediction &p : preds)
+                if (p.confirmed && p.iteration == e.iteration)
+                    ++conf;
+            if (conf > 0)
+                e.predictedConfirmed = conf;
+        }
+    }
+
     // Dynamic cross-check of the lint bridge: mark findings whose site
     // a goroutine of the canonical first bug trace actually reached
     // while parked or panicking. Input (the canonical trace) and the
@@ -516,6 +597,13 @@ runCampaign(const CampaignConfig &cfg,
     parent.counter("campaign.iterations.discarded")
         .inc(static_cast<uint64_t>(out.discardedIterations));
     parent.gauge("campaign.workers").setMax(jobs);
+    if (ecfg.predict) {
+        parent.counter("campaign.predictions")
+            .inc(static_cast<uint64_t>(
+                out.predict.report.predictions.size()));
+        parent.counter("campaign.predictions.confirmed")
+            .inc(static_cast<uint64_t>(out.predict.confirmedCount));
+    }
 
     out.wallMicros = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(

@@ -150,6 +150,17 @@ struct CampaignResult
      * this one answers "what did the whole campaign actually cost".
      */
     obs::ProfileSnapshot executedProfile;
+    /**
+     * Merged predictive-analysis outcome (with engine.predict):
+     * per-iteration prediction reports deduplicated by stable key in
+     * iteration order, each surviving prediction stamped with its
+     * source iteration and cross-checked by synthesized-recipe replay
+     * on the campaign thread (engine::confirmPredictions). Every
+     * input is a pure function of the iteration index, so the merged
+     * report — including confirmations — is byte-identical for any
+     * -jobs value.
+     */
+    engine::PredictOutcome predict;
 };
 
 /**

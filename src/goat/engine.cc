@@ -1,5 +1,6 @@
 #include "goat/engine.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -305,6 +306,112 @@ minimizeRecipe(const std::function<void()> &program,
     m.verdict = analysis::verdictName(best.sr.dl.verdict);
     m.ectEvents = best.sr.ect.size();
     m.ectHash = trace::ectFingerprint(best.sr.ect);
+    return out;
+}
+
+PredictOutcome
+confirmPredictions(const std::function<void()> &program,
+                   const trace::Recipe &base,
+                   analysis::PredictionReport report)
+{
+    PredictOutcome out;
+
+    // Index run: replay the base schedule exactly while recording
+    // which goroutine reaches which CU at every hook call. Observing
+    // never touches the scheduler's PRNG stream, so the replay is
+    // byte-identical to the analyzed execution.
+    struct CallSite
+    {
+        uint32_t gid;
+        SourceLoc loc;
+    };
+    std::vector<CallSite> calls;
+    {
+        perturb::ReplayPerturber rp(
+            perturb::ReplayPerturber::callsOf(base));
+        auto inner = rp.hook();
+        runtime::PerturbHook indexer =
+            [&](staticmodel::CuKind k, const SourceLoc &l) {
+                uint32_t g = 0;
+                if (auto *s = runtime::Scheduler::cur())
+                    g = s->currentGid();
+                calls.push_back({g, l});
+                return inner(k, l);
+            };
+        runOnceHooked(program, base.seed, std::move(indexer),
+                      base.noiseProb, base.stepBudget, base.delayBound);
+        ++out.replays;
+    }
+
+    std::vector<uint64_t> base_calls =
+        perturb::ReplayPerturber::callsOf(base);
+
+    auto tryCandidate = [&](std::vector<uint64_t> cand,
+                            trace::Recipe *recipe_out) {
+        std::sort(cand.begin(), cand.end());
+        cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+        perturb::ReplayPerturber rp(cand);
+        SingleRun sr =
+            runOnceHooked(program, base.seed, rp.hook(),
+                          base.noiseProb, base.stepBudget,
+                          base.delayBound);
+        ++out.replays;
+        bool buggy = sr.dl.buggy() ||
+                     sr.exec.outcome == RunOutcome::StepBudget;
+        if (!buggy)
+            return false;
+        trace::Recipe &r = sr.recipe;
+        r.kernel = base.kernel;
+        r.seed = base.seed;
+        r.delayBound = base.delayBound;
+        r.noiseProb = base.noiseProb;
+        r.stepBudget = base.stepBudget;
+        r.iteration = base.iteration;
+        r.hookCalls = rp.calls();
+        r.yields = rp.injected();
+        r.outcome = runtime::runOutcomeName(sr.exec.outcome);
+        r.verdict = analysis::verdictName(sr.dl.verdict);
+        finalizeRecipe(sr);
+        *recipe_out = sr.recipe;
+        return true;
+    };
+
+    out.confirmRecipes.resize(report.predictions.size());
+    for (size_t pi = 0; pi < report.predictions.size(); ++pi) {
+        analysis::Prediction &p = report.predictions[pi];
+
+        // Hook calls where the delay target reaches the delay site,
+        // in execution order.
+        std::vector<uint64_t> hits;
+        for (size_t i = 0; i < calls.size(); ++i) {
+            if (calls[i].gid == p.delayGid && calls[i].loc == p.delayLoc)
+                hits.push_back(static_cast<uint64_t>(i) + 1);
+        }
+
+        trace::Recipe confirm;
+        bool ok = false;
+        // One suspension usually suffices (the yield reorders the two
+        // witnesses); a double suspension covers schedules where a
+        // single round-robin slice is not enough.
+        for (size_t i = 0; !ok && i < hits.size() && i < 4; ++i) {
+            std::vector<uint64_t> cand = base_calls;
+            cand.push_back(hits[i]);
+            ok = tryCandidate(std::move(cand), &confirm);
+        }
+        for (size_t i = 0; !ok && i < hits.size() && i < 2; ++i) {
+            std::vector<uint64_t> cand = base_calls;
+            cand.push_back(hits[i]);
+            cand.push_back(hits[i] + 1);
+            ok = tryCandidate(std::move(cand), &confirm);
+        }
+        if (ok) {
+            p.confirmed = true;
+            p.confirmVerdict = confirm.verdict;
+            out.confirmRecipes[pi] = std::move(confirm);
+            ++out.confirmedCount;
+        }
+    }
+    out.report = std::move(report);
     return out;
 }
 

@@ -20,6 +20,7 @@
 #include "analysis/coverage.hh"
 #include "analysis/deadlock.hh"
 #include "analysis/happens_before.hh"
+#include "analysis/hb_predict.hh"
 #include "obs/profile.hh"
 #include "obs/saturation.hh"
 #include "runtime/scheduler.hh"
@@ -58,6 +59,13 @@ struct GoatConfig
     uint64_t stepBudget = 2'000'000;
     /** Run happens-before race detection on every trace (-race). */
     bool raceDetect = false;
+    /**
+     * Run the predictive happens-before analysis on every trace
+     * (-predict): infer blocking bugs the schedule did not take and
+     * cross-check them by synthesized-recipe replay. See
+     * analysis/hb_predict.hh and confirmPredictions().
+     */
+    bool predict = false;
     /**
      * Append one JSON line per iteration to this file (the campaign
      * run ledger; "" disables). See obs/ledger.hh for the schema.
@@ -286,6 +294,41 @@ struct MinimizeResult
  */
 MinimizeResult minimizeRecipe(const std::function<void()> &program,
                               const trace::Recipe &recipe);
+
+/**
+ * Result of the prediction-confirmation pass (confirmPredictions).
+ */
+struct PredictOutcome
+{
+    /** The input report with confirmed/confirmVerdict stamped. */
+    analysis::PredictionReport report;
+    /** Predictions a synthesized replay reproduced dynamically. */
+    int confirmedCount = 0;
+    /** Candidate executions performed by the search. */
+    int replays = 0;
+    /**
+     * One confirming recipe per prediction, parallel to
+     * report.predictions; unconfirmed slots hold an empty recipe
+     * (no yields, seed 0).
+     */
+    std::vector<trace::Recipe> confirmRecipes;
+};
+
+/**
+ * Cross-check each prediction by steering the scheduler toward the
+ * predicted interleaving: re-execute @p base's schedule once to index
+ * which goroutine reaches which CU at every hook call, then, per
+ * prediction, synthesize candidate recipes that add a yield where the
+ * prediction's delayGid reaches delayLoc (suspending it so the other
+ * witness runs first) and replay them deterministically. The first
+ * candidate whose replay is buggy upgrades the prediction to its
+ * dynamic verdict. Bounded work: at most a handful of replays per
+ * prediction; everything is a pure function of (@p base, @p report),
+ * so campaign results stay independent of the job count.
+ */
+PredictOutcome confirmPredictions(const std::function<void()> &program,
+                                  const trace::Recipe &base,
+                                  analysis::PredictionReport report);
 
 } // namespace goat::engine
 

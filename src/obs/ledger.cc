@@ -38,6 +38,13 @@ ledgerEntryJson(const LedgerEntry &e)
         os << ",\"static_warnings\":" << e.staticWarnings;
     if (e.confirmedWarnings >= 0)
         os << ",\"confirmed_warnings\":" << e.confirmedWarnings;
+    // Predictive-analysis fields appear only on -predict campaign
+    // ledgers; the confirmed count additionally only on rows whose
+    // iteration contributed confirmed predictions.
+    if (e.predicted >= 0)
+        os << ",\"predicted\":" << e.predicted;
+    if (e.predictedConfirmed >= 0)
+        os << ",\"predicted_confirmed\":" << e.predictedConfirmed;
     // Per-iteration stage-profiler delta (compact: no buckets).
     if (e.hasProfile)
         os << ",\"profile\":" << e.profileDelta.jsonRowStr();

@@ -33,6 +33,13 @@
  * campaign-deterministic inputs, so they survive the jobs=1 vs jobs=N
  * byte-identity guarantee.
  *
+ * Predicting campaigns (`-predict`, src/analysis/hb_predict.hh) stamp
+ * `predicted` (the iteration trace's prediction count, zero included)
+ * on every row and `predicted_confirmed` (predictions from this
+ * iteration that a synthesized replay reproduced) on the rows that
+ * contributed confirmed predictions to the merged report. Both are
+ * pure functions of the iteration, preserving byte-identity.
+ *
  * Coverage-measured rows additionally carry the cumulative
  * saturation counts `covered`/`req_total` (obs/saturation.hh), and
  * `-profile` campaigns a per-row `profile` object with per-stage
@@ -100,6 +107,19 @@ struct LedgerEntry
      * bug rows.
      */
     int confirmedWarnings = -1;
+    /**
+     * Predictive-analysis finding count over this iteration's trace
+     * (-1 = -predict off). Emitted as "predicted" on every row of a
+     * predicting campaign, including zero counts.
+     */
+    int predicted = -1;
+    /**
+     * Predictions from this iteration that a synthesized-recipe
+     * replay confirmed (-1 = not computed). Emitted as
+     * "predicted_confirmed"; only ever set on rows whose iteration
+     * contributed confirmed predictions to the merged report.
+     */
+    int predictedConfirmed = -1;
     /**
      * Cumulative covered / total coverage-requirement counts after
      * this iteration (-1 = coverage not measured). Emitted as

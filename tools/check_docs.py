@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Execute the fenced CLI examples of the analysis docs.
+
+Extracts every `./build/tools/goat ...` command from the ```sh fences
+of docs/ANALYSIS.md and docs/CLI.md and runs it against the real
+binary, so the documented command lines cannot drift from the flag
+grammar or the runtime behavior:
+
+  * backslash continuations are joined; leading VAR=VAL assignments
+    become environment overrides; other fence lines (comments, example
+    loops) are ignored;
+  * each document's commands run sequentially in one shared temporary
+    directory, so chained examples (record then replay) see each
+    other's artifacts; the repo's `examples` and `src` trees are
+    symlinked in for the -lint-path= examples;
+  * iteration budgets are capped (-freq= is clamped, harder for
+    -kernel=all sweeps) to keep the check fast without changing what
+    is exercised;
+  * a command fails the check when it exits outside {0, 1} (1 is the
+    documented bug-found/replay-mismatch status) or prints a `goat:`
+    error line on stderr (unwritable artifact, unreadable recipe).
+
+Usage: check_docs.py /path/to/goat [repo_root]
+
+Registered as the `check_docs` ctest and run by CI's predictive
+analysis smoke step; exits non-zero with the offending command and
+its output on the first violation.
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DOCS = ("docs/ANALYSIS.md", "docs/CLI.md")
+FREQ_CAP = 50
+FREQ_CAP_ALL = 5
+GOAT_CMD = "./build/tools/goat"
+
+
+def fail(msg):
+    print(f"check_docs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sh_fences(markdown):
+    """The contents of every ```sh fenced block, in order."""
+    return re.findall(r"```sh\n(.*?)```", markdown, re.DOTALL)
+
+
+def commands(markdown):
+    """Joined goat command lines from the document's sh fences."""
+    cmds = []
+    for fence in sh_fences(markdown):
+        # Join backslash continuations before filtering lines.
+        joined = re.sub(r"\\\n\s*", " ", fence)
+        for line in joined.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split()
+            env = {}
+            while tokens and re.fullmatch(r"[A-Z_][A-Z0-9_]*=\S*",
+                                          tokens[0]):
+                key, _, value = tokens.pop(0).partition("=")
+                env[key] = value
+            if tokens and tokens[0] == GOAT_CMD:
+                cmds.append((env, tokens))
+    return cmds
+
+
+def cap_freq(tokens):
+    """Clamp -freq=N so doc-scale budgets stay test-scale."""
+    cap = FREQ_CAP_ALL if "-kernel=all" in tokens else FREQ_CAP
+    for i, tok in enumerate(tokens):
+        if tok.startswith("-freq="):
+            tokens[i] = f"-freq={min(int(tok[len('-freq='):]), cap)}"
+    return tokens
+
+
+def run_one(goat, env, tokens, cwd, base_env):
+    argv = [goat] + cap_freq(tokens[1:])
+    shown = " ".join([f"{k}={v}" for k, v in env.items()] + argv)
+    proc = subprocess.run(argv, cwd=cwd, capture_output=True,
+                          text=True, timeout=120,
+                          env={**base_env, **env})
+    if proc.returncode not in (0, 1):
+        fail(f"`{shown}` exited {proc.returncode}:\n"
+             f"{proc.stdout}{proc.stderr}")
+    if "goat:" in proc.stderr:
+        fail(f"`{shown}` reported an error:\n{proc.stderr}")
+    return shown
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_docs.py /path/to/goat [repo_root]")
+    goat = str(Path(sys.argv[1]).resolve())
+    root = Path(sys.argv[2]).resolve() if len(sys.argv) > 2 else \
+        Path(__file__).resolve().parent.parent
+
+    import os
+    base_env = dict(os.environ)
+    total = 0
+    for doc in DOCS:
+        path = root / doc
+        if not path.exists():
+            fail(f"document not found: {path}")
+        cmds = commands(path.read_text())
+        if not cmds:
+            fail(f"no goat commands extracted from {doc} — "
+                 f"fence drift?")
+        with tempfile.TemporaryDirectory(prefix="goat_docs_") as tmp:
+            # Relative -lint-path= targets resolve against the repo.
+            for tree in ("examples", "src"):
+                (Path(tmp) / tree).symlink_to(root / tree)
+            for env, tokens in cmds:
+                shown = run_one(goat, env, tokens, tmp, base_env)
+                print(f"check_docs: ran [{doc}] {shown}")
+                total += 1
+    print(f"check_docs: OK — {total} documented command(s) executed")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,11 @@ Runs a tiny campaign through the goat CLI with -ledger and
     {total,count,sum_ns} rows whose deterministic subset (total and
     the counter-sampled count — sum_ns is wall-clock noise) is
     byte-identical between -jobs=1 and -jobs=4;
+  * with -predict, every row carries a "predicted" count, rows whose
+    iteration contributed confirmed predictions carry
+    "predicted_confirmed" (never above "predicted"), and both the
+    canonical ledger rows and the -predict-out findings document are
+    byte-identical between -jobs=1 and -jobs=4;
   * with -cov, rows carry the paired covered/req_total counters
     (covered monotone nondecreasing, never above req_total), and the
     -saturation-out JSONL series is byte-identical between -jobs=1
@@ -176,6 +181,19 @@ def check_ledger(path, expect_min_lines):
                 if count > total:
                     fail(f"ledger line {i}: profile stage '{stage}' "
                          f"count {count} > total {total}")
+        # Predictive-analysis fields: predicted on every row of a
+        # -predict campaign; predicted_confirmed only alongside it,
+        # bounded by that iteration's raw prediction count.
+        if "predicted" in obj:
+            check_counter(i, obj, "predicted")
+        if "predicted_confirmed" in obj:
+            if "predicted" not in obj:
+                fail(f"ledger line {i}: predicted_confirmed without "
+                     f"predicted")
+            v = check_counter(i, obj, "predicted_confirmed", minimum=1)
+            if v > obj["predicted"]:
+                fail(f"ledger line {i}: predicted_confirmed {v} "
+                     f"exceeds predicted {obj['predicted']}")
         # Lint-bridge fields: static_warnings on every row of a
         # lint-guided campaign, confirmed_warnings only on bug rows
         # and never without the bridge active.
@@ -256,9 +274,13 @@ def canonical_rows(lines):
 
 
 def run_goat(goat, kernel, iterations, ledger, trace=None, jobs=None,
-             record=None, lint_guided=False, extra=()):
-    cmd = [goat, f"-kernel={kernel}", "-d=2", f"-freq={iterations}",
-           "-cov", f"-ledger={ledger}"]
+             record=None, lint_guided=False, extra=(), delay=2,
+             cov=True):
+    cmd = [goat, f"-kernel={kernel}", f"-d={delay}",
+           f"-freq={iterations}"]
+    if cov:
+        cmd.append("-cov")
+    cmd.append(f"-ledger={ledger}")
     if trace is not None:
         cmd.append(f"-chrome-trace={trace}")
     if jobs is not None:
@@ -363,6 +385,58 @@ def main():
         print(f"check_ledger: OK — lint-guided campaign: "
               f"{len(lrows1)} row(s), static/confirmed warning "
               f"stamps identical at -jobs=4")
+
+        # Predictive campaign: every row of a -predict run carries the
+        # predicted stamp, confirmed iterations carry
+        # predicted_confirmed, and the merged findings document plus
+        # the canonical ledger rows are byte-identical between -jobs=1
+        # and -jobs=4 (the confirmation replays run on the campaign
+        # thread after the deterministic merge — docs/ANALYSIS.md §7).
+        # cockroach_7504 at D=0 passes its schedules, which is exactly
+        # the predictive tier's input: bugs inferred without ever
+        # driving the bad interleaving.
+        predl1 = Path(tmp) / "pred_j1.jsonl"
+        predl4 = Path(tmp) / "pred_j4.jsonl"
+        pred1 = Path(tmp) / "pred_j1.json"
+        pred4 = Path(tmp) / "pred_j4.json"
+        run_goat(goat, "cockroach_7504", 8, predl1, delay=0, cov=False,
+                 extra=["-predict", f"-predict-out={pred1}"])
+        run_goat(goat, "cockroach_7504", 8, predl4, jobs=4, delay=0,
+                 cov=False, extra=["-predict", f"-predict-out={pred4}"])
+        drows1 = check_ledger(predl1, expect_min_lines=1)
+        drows4 = check_ledger(predl4, expect_min_lines=1)
+        for i, line in enumerate(drows1, 1):
+            if "predicted" not in json.loads(line):
+                fail(f"-predict ledger line {i} lacks predicted stamp")
+        if canonical_rows(drows1) != canonical_rows(drows4):
+            fail("-predict -jobs=4 ledger differs from -jobs=1")
+        for pred in (pred1, pred4):
+            if not pred.exists():
+                fail(f"prediction findings {pred} not written")
+        doc = json.loads(pred1.read_text())
+        for key in ("kernel", "predicted", "confirmed", "predictions"):
+            if key not in doc:
+                fail(f"prediction findings missing '{key}'")
+        if doc["predicted"] < 1:
+            fail("predictive campaign produced no prediction")
+        if doc["confirmed"] < 1:
+            fail("no prediction confirmed by synthesized replay")
+        if len(doc["predictions"]) != doc["predicted"]:
+            fail(f"prediction count {doc['predicted']} does not match "
+                 f"{len(doc['predictions'])} findings")
+        for p in doc["predictions"]:
+            for key in ("kind", "iter", "obj", "gid_a", "loc_a",
+                        "vc_a", "gid_b", "loc_b", "vc_b", "delay_gid",
+                        "delay_loc", "detail", "confirmed"):
+                if key not in p:
+                    fail(f"prediction finding missing '{key}': {p}")
+            if p["confirmed"] and "confirm_verdict" not in p:
+                fail(f"confirmed finding lacks confirm_verdict: {p}")
+        if pred1.read_bytes() != pred4.read_bytes():
+            fail("-jobs=4 prediction findings differ from -jobs=1")
+        print(f"check_ledger: OK — predictive campaign: "
+              f"{doc['predicted']} prediction(s), {doc['confirmed']} "
+              f"confirmed, findings byte-identical at -jobs=4")
 
         # Observability campaign: -profile stamps per-stage histogram
         # rows (deterministic entry counters canonical across -jobs),

@@ -53,6 +53,14 @@ struct Options
     /** Enable the hot-path stage profiler and print its table. */
     bool profile = false;
     /**
+     * Predictive happens-before analysis: infer blocking bugs from
+     * every iteration's trace (or a replayed one) and cross-check
+     * them by synthesized-recipe replay.
+     */
+    bool predict = false;
+    /** Write the prediction findings as a JSON document here. */
+    std::string predict_out;
+    /**
      * Progress-heartbeat interval in seconds (0 = off). `-progress`
      * alone means 1; `-progress=N` sets N.
      */
@@ -121,6 +129,10 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.lint_path = v;
         } else if (arg == "-lint-guided") {
             opt.lint_guided = true;
+        } else if (arg == "-predict") {
+            opt.predict = true;
+        } else if (const char *v = val("-predict-out=")) {
+            opt.predict_out = v;
         } else if (arg == "-metrics") {
             opt.metrics = true;
         } else if (arg == "-profile") {

@@ -72,6 +72,14 @@ usage()
         "                  assert the identical trace and verdict\n"
         "  -minimize       ddmin the recorded/replayed recipe down to a\n"
         "                  locally minimal yield set\n"
+        "  -predict        infer blocking bugs the schedule did not\n"
+        "                  take from every iteration's trace (or a\n"
+        "                  -replay= trace) via predictive happens-\n"
+        "                  before, and auto-confirm them by\n"
+        "                  synthesized-recipe replay\n"
+        "  -predict-out=PATH\n"
+        "                  write the prediction findings as a JSON\n"
+        "                  document to PATH (implies -predict)\n"
         "  -lint           run the static concurrency lint pass and\n"
         "                  exit (no execution)\n"
         "  -lint-format=F  lint output format: text (default), json,\n"
@@ -239,6 +247,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
     cfg.seedBase = opt.seed;
     cfg.ledgerPath = opt.ledger_out;
     cfg.profile = opt.profile;
+    cfg.predict = opt.predict || !opt.predict_out.empty();
     cfg.staticModel = goker::kernelCuTable(kernel);
     ccfg.jobs = opt.jobs;
     ccfg.programName = kernel.name;
@@ -312,6 +321,30 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
                 if (finding.confirmed)
                     std::printf("  confirmed: %s\n",
                                 finding.str().c_str());
+        }
+    }
+    if (cfg.predict) {
+        const engine::PredictOutcome &po = cres.predict;
+        std::printf("%-22s predicted %zu blocking bug(s), %d "
+                    "confirmed by synthesized replay\n",
+                    "", po.report.predictions.size(),
+                    po.confirmedCount);
+        if (opt.report && po.report.any())
+            std::printf("%s", po.report.str().c_str());
+        if (!opt.predict_out.empty()) {
+            std::string doc = po.report.jsonDocStr(kernel.name);
+            std::FILE *f = std::fopen(opt.predict_out.c_str(), "w");
+            if (f) {
+                std::fwrite(doc.data(), 1, doc.size(), f);
+                std::fputc('\n', f);
+                std::fclose(f);
+                std::printf("prediction findings written to %s\n",
+                            opt.predict_out.c_str());
+            } else {
+                std::fprintf(stderr, "goat: cannot write %s\n",
+                             opt.predict_out.c_str());
+                artifact_fail = true;
+            }
         }
     }
     if (result.bugFound && opt.report && !result.report.empty())
@@ -452,6 +485,37 @@ runReplay(const goker::KernelInfo &kernel, const Options &opt)
                         .c_str());
     }
     int rc = rr.matched ? 0 : 1;
+
+    if (opt.predict || !opt.predict_out.empty()) {
+        // Predict over the replayed trace; the replay's own recipe is
+        // the confirmation base, so confirming schedules are
+        // synthesized relative to the recorded interleaving.
+        analysis::PredictionReport pr =
+            analysis::predictBlockingBugs(rr.sr.ect);
+        engine::PredictOutcome po =
+            engine::confirmPredictions(kernel.fn, rr.sr.recipe,
+                                       std::move(pr));
+        std::printf("predicted %zu blocking bug(s), %d confirmed by "
+                    "synthesized replay\n",
+                    po.report.predictions.size(), po.confirmedCount);
+        if (po.report.any())
+            std::printf("%s", po.report.str().c_str());
+        if (!opt.predict_out.empty()) {
+            std::string doc = po.report.jsonDocStr(kernel.name);
+            std::FILE *f = std::fopen(opt.predict_out.c_str(), "w");
+            if (f) {
+                std::fwrite(doc.data(), 1, doc.size(), f);
+                std::fputc('\n', f);
+                std::fclose(f);
+                std::printf("prediction findings written to %s\n",
+                            opt.predict_out.c_str());
+            } else {
+                std::fprintf(stderr, "goat: cannot write %s\n",
+                             opt.predict_out.c_str());
+                rc = 1;
+            }
+        }
+    }
 
     if (opt.minimize) {
         engine::MinimizeResult mr = minimizeRecipe(kernel.fn, recipe);

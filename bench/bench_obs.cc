@@ -10,8 +10,10 @@
  * After the micro benches, a custom main runs the -profile overhead
  * A/B: the same pinned-seed campaign with the stage profiler off and
  * on, interleaved min-of-N so the numbers survive a noisy shared
- * host, written to BENCH_obs.json (tools/check_bench.py holds the
- * overhead to the documented <5% budget).
+ * host, written to BENCH_obs.json together with the best profile-on
+ * rep's per-stage breakdown (tools/check_bench.py holds the overhead
+ * to the documented <5% budget and compares per-stage means across
+ * baselines in --compare mode).
  */
 
 #include <benchmark/benchmark.h>
@@ -193,7 +195,8 @@ namespace {
  * standard way to get a stable ratio out of a 1-core noisy container.
  */
 uint64_t
-campaignWallMicros(bool profile, int iterations)
+campaignWallMicros(bool profile, int iterations,
+                   std::string *stages_json = nullptr)
 {
     using std::chrono::steady_clock;
     const goker::KernelInfo *k =
@@ -215,6 +218,8 @@ campaignWallMicros(bool profile, int iterations)
     auto t0 = steady_clock::now();
     campaign::CampaignResult r = campaign::runCampaign(cfg, k->fn);
     benchmark::DoNotOptimize(r.executedIterations);
+    if (profile && stages_json)
+        *stages_json = r.executedProfile.jsonStr();
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             steady_clock::now() - t0)
@@ -224,17 +229,26 @@ campaignWallMicros(bool profile, int iterations)
 int
 runOverheadAb()
 {
-    constexpr int kIterations = 300;
+    // The hot-path memory overhaul cut per-iteration wall ~3.5×; 300
+    // iterations now finish in ~5 ms, too short for a stable ratio on
+    // a shared host. 2000 keeps each leg in the tens of milliseconds.
+    constexpr int kIterations = 2000;
     constexpr int kReps = 9;
     uint64_t best_off = UINT64_MAX, best_on = UINT64_MAX;
+    // Per-stage breakdown of the best profile-on rep (the campaign is
+    // seed-pinned, so every rep folds the same stage work).
+    std::string stages;
     campaignWallMicros(false, kIterations); // warm up stack pools etc.
     for (int rep = 0; rep < kReps; ++rep) {
         uint64_t off = campaignWallMicros(false, kIterations);
-        uint64_t on = campaignWallMicros(true, kIterations);
+        std::string rep_stages;
+        uint64_t on = campaignWallMicros(true, kIterations, &rep_stages);
         if (off < best_off)
             best_off = off;
-        if (on < best_on)
+        if (on < best_on) {
             best_on = on;
+            stages = std::move(rep_stages);
+        }
     }
     double overhead_pct =
         best_off ? 100.0 *
@@ -258,11 +272,13 @@ runOverheadAb()
                  "{\"bench\":\"profile_overhead\","
                  "\"kernel\":\"cockroach_1055\",\"iterations\":%d,"
                  "\"reps\":%d,\"profile_off_us\":%llu,"
-                 "\"profile_on_us\":%llu,\"overhead_pct\":%.3f}\n",
+                 "\"profile_on_us\":%llu,\"overhead_pct\":%.3f,"
+                 "\"stages\":%s}\n",
                  kIterations, kReps,
                  static_cast<unsigned long long>(best_off),
                  static_cast<unsigned long long>(best_on),
-                 overhead_pct);
+                 overhead_pct,
+                 stages.empty() ? "{}" : stages.c_str());
     std::fclose(f);
     std::printf("summary written to BENCH_obs.json\n");
     return 0;

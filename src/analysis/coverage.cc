@@ -1,6 +1,8 @@
 #include "analysis/coverage.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <string_view>
 
 #include "analysis/goroutine_tree.hh"
 #include "base/fmt.hh"
@@ -28,24 +30,40 @@ reqTypeName(ReqType t)
 namespace {
 
 /** Template requirement types per CU kind (Table I rows). */
-std::vector<ReqType>
+struct ReqTemplates
+{
+    const ReqType *data = nullptr;
+    size_t n = 0;
+
+    const ReqType *begin() const { return data; }
+    const ReqType *end() const { return data + n; }
+    bool empty() const { return n == 0; }
+};
+
+ReqTemplates
 templatesFor(CuKind kind)
 {
+    static constexpr ReqType kChanOp[] = {ReqType::Blocked,
+                                          ReqType::Unblocking, ReqType::Nop};
+    static constexpr ReqType kLock[] = {ReqType::Blocked, ReqType::Blocking};
+    static constexpr ReqType kUnblock[] = {ReqType::Unblocking,
+                                           ReqType::Nop};
+    static constexpr ReqType kGo[] = {ReqType::Nop};
     switch (kind) {
       case CuKind::Send:
       case CuKind::Recv:
       case CuKind::Range:
-        return {ReqType::Blocked, ReqType::Unblocking, ReqType::Nop};
+        return {kChanOp, 3};
       case CuKind::Lock:
-        return {ReqType::Blocked, ReqType::Blocking};
+        return {kLock, 2};
       case CuKind::Unlock:
       case CuKind::Close:
       case CuKind::Signal:
       case CuKind::Broadcast:
       case CuKind::Done:
-        return {ReqType::Unblocking, ReqType::Nop};
+        return {kUnblock, 2};
       case CuKind::Go:
-        return {ReqType::Nop};
+        return {kGo, 1};
       case CuKind::Select: // cases/default discovered dynamically
       case CuKind::Wait:
       case CuKind::Add:
@@ -62,16 +80,52 @@ struct SelCtx
     int nCases = 0;
 };
 
+/** Append "<basename>:<line>" (the SourceLoc::str() form). */
+void
+appendLoc(std::string &out, const SourceLoc &loc)
+{
+    out.append(loc.basenameView());
+    char num[16];
+    int n = std::snprintf(num, sizeof num, ":%u", loc.line);
+    out.append(num, static_cast<size_t>(n));
+}
+
+/**
+ * Append a requirement key: "<basename>:<line> <kind>[/case<i>]
+ * <type>". Must stay byte-equal to what CoverageState::key()
+ * historically produced — persisted coverage bitmaps and determinism
+ * tests compare these strings.
+ */
+void
+appendKey(std::string &out, const Cu &cu, ReqType type, int case_idx)
+{
+    appendLoc(out, cu.loc);
+    char mid[40];
+    int n;
+    if (case_idx >= 0) {
+        n = std::snprintf(mid, sizeof mid, " %s/case%d ",
+                          cuKindName(cu.kind), case_idx);
+    } else {
+        n = std::snprintf(mid, sizeof mid, " %s ", cuKindName(cu.kind));
+    }
+    out.append(mid, static_cast<size_t>(n));
+    out += reqTypeName(type);
+}
+
+void
+buildKey(std::string &out, const Cu &cu, ReqType type, int case_idx)
+{
+    out.clear();
+    appendKey(out, cu, type, case_idx);
+}
+
 } // namespace
 
 std::string
 CoverageState::key(const Cu &cu, ReqType type, int case_idx)
 {
-    std::string k = cu.loc.str() + " " + cuKindName(cu.kind);
-    if (case_idx >= 0)
-        k += strFormat("/case%d", case_idx);
-    k += " ";
-    k += reqTypeName(type);
+    std::string k;
+    buildKey(k, cu, type, case_idx);
     return k;
 }
 
@@ -86,55 +140,95 @@ void
 CoverageState::instantiate(const Cu &cu, const std::string &prefix,
                            int case_idx)
 {
+    // Each instantiate group is inserted atomically, so when a group's
+    // first key is already required the whole group is — the common
+    // repeat call (every node-level cover() re-materializes) exits
+    // after a single probe, with keys built in a reusable buffer.
+    auto makeKey = [&](ReqType t) -> const std::string & {
+        instBuf_.assign(prefix);
+        appendKey(instBuf_, cu, t, case_idx);
+        return instBuf_;
+    };
     if (case_idx >= 0) {
         // Select-case requirement triple.
-        require(prefix + key(cu, ReqType::Blocked, case_idx));
-        require(prefix + key(cu, ReqType::Unblocking, case_idx));
-        require(prefix + key(cu, ReqType::Nop, case_idx));
+        if (required_.count(makeKey(ReqType::Blocked)))
+            return;
+        required_.insert(instBuf_);
+        required_.insert(makeKey(ReqType::Unblocking));
+        required_.insert(makeKey(ReqType::Nop));
         return;
     }
-    for (ReqType t : templatesFor(cu.kind))
-        require(prefix + key(cu, t));
+    ReqTemplates ts = templatesFor(cu.kind);
+    if (!ts.empty() && !required_.count(makeKey(ts.data[0]))) {
+        required_.insert(instBuf_);
+        for (size_t i = 1; i < ts.n; ++i)
+            required_.insert(makeKey(ts.data[i]));
+    }
     // A select known to carry a default case is an "unblocking action"
     // (Req4 NB-SELECT).
-    if (cu.kind == CuKind::Select && nbSelects_.count(cu.loc.str())) {
-        require(prefix + key(cu, ReqType::Unblocking));
-        require(prefix + key(cu, ReqType::Nop));
+    if (cu.kind == CuKind::Select) {
+        locBuf_.clear();
+        appendLoc(locBuf_, cu.loc);
+        if (nbSelects_.count(locBuf_)) {
+            required_.insert(makeKey(ReqType::Unblocking));
+            required_.insert(makeKey(ReqType::Nop));
+        }
     }
 }
 
 Cu
 CoverageState::resolveCu(const SourceLoc &loc, CuKind fallback)
 {
-    if (const Cu *cu = table_.findKind(loc, fallback))
-        return *cu;
+    // Memoized on the interned file pointer: one map probe replaces
+    // the linear table scan this call used to do per trace event. A
+    // repeated miss recomputes the same answer (table_ only ever
+    // grows with the very CU a miss inserts), so the cache is safe
+    // across dynamic registration and mergeFrom().
+    CuCacheKey ck{loc.file, loc.line, static_cast<uint8_t>(fallback)};
+    auto cached = cuCache_.find(ck);
+    if (cached != cuCache_.end())
+        return cached->second;
+
+    const Cu *found = table_.findKind(loc, fallback);
     // Receive events at a range statement resolve to the range CU.
-    if (fallback == CuKind::Recv) {
-        if (const Cu *cu = table_.findKind(loc, CuKind::Range))
-            return *cu;
+    if (!found && fallback == CuKind::Recv)
+        found = table_.findKind(loc, CuKind::Range);
+    Cu cu = found ? *found : Cu(loc, fallback);
+    if (!found) {
+        table_.add(cu);
+        instantiate(cu, "");
     }
-    Cu cu(loc, fallback);
-    table_.add(cu);
-    instantiate(cu, "");
+    cuCache_.emplace(ck, cu);
     return cu;
 }
 
 void
 CoverageState::cover(const Cu &cu, ReqType type, int case_idx,
-                     const std::string &node_key)
+                     const std::string *node_key)
 {
-    std::string k = key(cu, type, case_idx);
-    require(k);
-    covered_.insert(k);
-    if (!node_key.empty()) {
-        std::string prefix = node_key + "|";
-        // Materialize the node-level requirement set for this CU the
-        // first time the node touches it (idempotent).
-        instantiate(cu, prefix, case_idx >= 0 ? case_idx : -1);
-        if (case_idx < 0)
-            instantiate(cu, prefix);
-        require(prefix + k);
-        covered_.insert(prefix + k);
+    buildKey(keyBuf_, cu, type, case_idx);
+    // covered_ ⊆ required_ always (both inserts below are paired), so
+    // a covered hit means all program-level work is already done.
+    if (covered_.find(keyBuf_) == covered_.end()) {
+        required_.insert(keyBuf_);
+        covered_.insert(keyBuf_);
+        ++coveredOfType_[static_cast<size_t>(type)];
+    }
+    if (node_key && !node_key->empty()) {
+        nodeBuf_.assign(*node_key);
+        nodeBuf_ += '|';
+        nodeBuf_ += keyBuf_;
+        if (covered_.find(nodeBuf_) == covered_.end()) {
+            // Materialize the node-level requirement set for this CU
+            // the first time the node covers it (idempotent).
+            std::string prefix = *node_key + "|";
+            instantiate(cu, prefix, case_idx >= 0 ? case_idx : -1);
+            if (case_idx < 0)
+                instantiate(cu, prefix);
+            required_.insert(nodeBuf_);
+            covered_.insert(nodeBuf_);
+            ++coveredOfType_[static_cast<size_t>(type)];
+        }
     }
 }
 
@@ -142,20 +236,33 @@ void
 CoverageState::addEct(const trace::Ect &ect)
 {
     GoroutineTree tree(ect);
+    addEct(ect, tree);
+}
 
-    // gid → node equivalence key for application-level goroutines.
-    auto nodeKey = [&](uint32_t gid) -> std::string {
-        const GoroutineNode *n = tree.node(gid);
-        return (n && n->appLevel) ? n->key : "";
+void
+CoverageState::addEct(const trace::Ect &ect, const GoroutineTree &tree)
+{
+    // gid → node equivalence key for application-level goroutines
+    // (nullptr = system/scheduler context). Gids are dense, so a flat
+    // vector beats a map probe per event.
+    std::vector<const std::string *> keyByGid;
+    for (const auto &[gid, node] : tree.nodes()) {
+        if (gid >= keyByGid.size())
+            keyByGid.resize(gid + 1, nullptr);
+        if (node->appLevel)
+            keyByGid[gid] = &node->key;
+    }
+    auto nodeKey = [&](uint32_t gid) -> const std::string * {
+        return gid < keyByGid.size() ? keyByGid[gid] : nullptr;
     };
 
     // Last acquisition site per lock object id: (cu, nodeKey).
-    std::map<uint64_t, std::pair<Cu, std::string>> last_acq;
+    std::map<uint64_t, std::pair<Cu, const std::string *>> last_acq;
     std::map<uint32_t, SelCtx> sel;
 
     for (const Event &ev : ect.events()) {
-        std::string nk = nodeKey(ev.gid);
-        if (nk.empty() && ev.type != EventType::GoCreate)
+        const std::string *nk = nodeKey(ev.gid);
+        if (!nk && ev.type != EventType::GoCreate)
             continue; // system/scheduler context
         auto obj = static_cast<uint64_t>(ev.args[0]);
 
@@ -292,11 +399,15 @@ CoverageState::addEct(const trace::Ect &ect)
             ctx.cu = resolveCu(ev.loc, CuKind::Select);
             ctx.nCases = static_cast<int>(ev.args[0]);
             ctx.hasDefault = ev.args[1] != 0;
-            if (ctx.hasDefault &&
-                nbSelects_.insert(ctx.cu.loc.str()).second) {
-                // First observation of the default: Req4 instances.
-                require(key(ctx.cu, ReqType::Unblocking));
-                require(key(ctx.cu, ReqType::Nop));
+            if (ctx.hasDefault) {
+                locBuf_.clear();
+                appendLoc(locBuf_, ctx.cu.loc);
+                if (nbSelects_.find(locBuf_) == nbSelects_.end()) {
+                    // First observation of the default: Req4 instances.
+                    nbSelects_.insert(locBuf_);
+                    require(key(ctx.cu, ReqType::Unblocking));
+                    require(key(ctx.cu, ReqType::Nop));
+                }
             }
             sel[ev.gid] = ctx;
             break;
@@ -310,12 +421,14 @@ CoverageState::addEct(const trace::Ect &ect)
                 // Req2: discovered case → requirement triple, program
                 // and node level.
                 auto idx = static_cast<int>(ev.args[0]);
-                std::string ck = key(ctx.cu, ReqType::Blocked, idx);
                 instantiate(ctx.cu, "", idx);
-                instantiate(ctx.cu, nk + "|", idx);
-                int &n = selectCases_[ctx.cu.loc.str()];
-                n = std::max(n, idx + 1);
-                (void)ck;
+                instantiate(ctx.cu, *nk + "|", idx);
+                locBuf_.clear();
+                appendLoc(locBuf_, ctx.cu.loc);
+                auto itc = selectCases_.find(locBuf_);
+                if (itc == selectCases_.end())
+                    itc = selectCases_.emplace(locBuf_, 0).first;
+                itc->second = std::max(itc->second, idx + 1);
             }
             break;
           }
@@ -364,6 +477,24 @@ CoverageState::mergeFrom(const CoverageState &other)
         int &mine = selectCases_[loc];
         mine = std::max(mine, n);
     }
+    // Rebuild the per-type covered counters from scratch (cold path;
+    // the set union above bypasses cover()'s incremental counting).
+    constexpr ReqType kTypes[] = {ReqType::Blocked, ReqType::Unblocking,
+                                  ReqType::Nop, ReqType::Blocking};
+    for (size_t i = 0; i < 4; ++i)
+        coveredOfType_[i] = 0;
+    for (const auto &k : covered_) {
+        for (ReqType t : kTypes) {
+            std::string_view suffix(reqTypeName(t));
+            if (k.size() > suffix.size() &&
+                k[k.size() - suffix.size() - 1] == ' ' &&
+                k.compare(k.size() - suffix.size(), suffix.size(),
+                          suffix.data()) == 0) {
+                ++coveredOfType_[static_cast<size_t>(t)];
+                break;
+            }
+        }
+    }
 }
 
 std::string
@@ -392,16 +523,11 @@ size_t
 CoverageState::coveredCountOfType(ReqType t) const
 {
     // Requirement keys end in " <type>" (see key()); node-level
-    // instances share the suffix, so both granularities count.
-    std::string suffix = std::string(" ") + reqTypeName(t);
-    size_t n = 0;
-    for (const auto &k : covered_) {
-        if (k.size() >= suffix.size() &&
-            k.compare(k.size() - suffix.size(), suffix.size(),
-                      suffix) == 0)
-            ++n;
-    }
-    return n;
+    // instances share the suffix, so both granularities count. The
+    // counters are maintained by cover() and rebuilt in mergeFrom(),
+    // making this O(1) — it is sampled every campaign iteration for
+    // the saturation timeline.
+    return coveredOfType_[static_cast<size_t>(t)];
 }
 
 size_t

@@ -31,12 +31,15 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "staticmodel/cutable.hh"
 #include "trace/ect.hh"
 
 namespace goat::analysis {
+
+class GoroutineTree;
 
 /** Behaviour classes a requirement can demand (Table I columns). */
 enum class ReqType : uint8_t
@@ -63,6 +66,14 @@ class CoverageState
 
     /** Fold one execution's trace into the coverage state. */
     void addEct(const trace::Ect &ect);
+
+    /**
+     * Like addEct(ect), but reusing a goroutine tree the caller already
+     * built for the same trace. The campaign worker folds every trace
+     * into both a per-iteration state and its worker-cumulative state;
+     * sharing one tree halves the tree builds on that hot path.
+     */
+    void addEct(const trace::Ect &ect, const GoroutineTree &tree);
 
     /**
      * Union @p other into this state (the campaign merge step): CUs
@@ -145,9 +156,13 @@ class CoverageState
     /** Register a requirement without covering it. */
     void require(const std::string &k) { required_.insert(k); }
 
-    /** Register and mark covered (program level + node level). */
+    /**
+     * Register and mark covered (program level + node level).
+     * @p node_key is a pointer into the caller's GoroutineTree
+     * (nullptr for system/scheduler context — program level only).
+     */
     void cover(const staticmodel::Cu &cu, ReqType type, int case_idx,
-               const std::string &node_key);
+               const std::string *node_key);
 
     /** Instantiate the template set of @p cu at a granularity. */
     void instantiate(const staticmodel::Cu &cu, const std::string &prefix,
@@ -158,12 +173,30 @@ class CoverageState
                               staticmodel::CuKind fallback);
 
     staticmodel::CuTable table_;
-    std::set<std::string> required_;
-    std::set<std::string> covered_;
+    // Transparent comparators: hot-path probes use buffer-built keys
+    // without constructing fresh std::string arguments.
+    std::set<std::string, std::less<>> required_;
+    std::set<std::string, std::less<>> covered_;
     /** Select CUs observed to carry a default case. */
-    std::set<std::string> nbSelects_;
+    std::set<std::string, std::less<>> nbSelects_;
     /** Discovered case counts per select CU key. */
-    std::map<std::string, int> selectCases_;
+    std::map<std::string, int, std::less<>> selectCases_;
+    /** Covered-key counts by trailing ReqType token (kept in sync by
+     *  cover(); rebuilt wholesale in mergeFrom()). */
+    size_t coveredOfType_[4] = {};
+
+    // ------------------------------------------------------------------
+    // Hot-path machinery (see coverage.cc). resolveCu() is called once
+    // per trace event; memoizing on the event's interned file pointer
+    // replaces a linear CU-table scan with one map probe. The string
+    // buffers let cover() build requirement keys without allocating.
+    // ------------------------------------------------------------------
+    using CuCacheKey = std::tuple<const void *, uint32_t, uint8_t>;
+    std::map<CuCacheKey, staticmodel::Cu> cuCache_;
+    std::string keyBuf_;
+    std::string nodeBuf_;
+    std::string instBuf_;
+    std::string locBuf_;
 };
 
 } // namespace goat::analysis

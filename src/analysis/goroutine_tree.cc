@@ -29,12 +29,15 @@ GoroutineTree::GoroutineTree(const trace::Ect &ect)
             child->system = ev.args[1] != 0;
             GoroutineNode *parent = ensure(ev.gid);
             parent->children.push_back(child);
-            parent->events.push_back(ev);
+            parent->last = ev;
+            parent->hasLast = true;
             continue;
         }
         if (ev.gid == 0)
             continue; // scheduler/tracer context
-        ensure(ev.gid)->events.push_back(ev);
+        GoroutineNode *n = ensure(ev.gid);
+        n->last = ev;
+        n->hasLast = true;
     }
 
     // Main is the goroutine created by the scheduler (gid 1 by

@@ -37,7 +37,15 @@ struct GoroutineNode
     SourceLoc creationLoc;
     bool system = false;
     bool appLevel = false;
-    std::vector<trace::Event> events;
+    /**
+     * The goroutine's final event (valid when hasLast). Only the last
+     * event is kept — every analysis consumer reads lastEvent(), and
+     * copying each node's full event sequence dominated tree
+     * construction on the campaign hot path. The full sequence remains
+     * available from the source Ect (Ect::eventsOf).
+     */
+    trace::Event last;
+    bool hasLast = false;
     std::vector<GoroutineNode *> children;
 
     /**
@@ -52,7 +60,7 @@ struct GoroutineNode
     const trace::Event *
     lastEvent() const
     {
-        return events.empty() ? nullptr : &events.back();
+        return hasLast ? &last : nullptr;
     }
 };
 

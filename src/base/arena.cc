@@ -1,0 +1,120 @@
+#include "base/arena.hh"
+
+#include <cstdlib>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace goat {
+
+namespace {
+
+/**
+ * Thread-local cache of retired standard-size chunks. Campaign workers
+ * build one Scheduler (one Arena) per iteration; routing chunks through
+ * the cache makes steady-state iterations allocation-free. Oversized
+ * chunks (single allocations larger than a standard chunk) are freed
+ * eagerly — they are rare and would bloat the cache.
+ */
+struct ChunkCache
+{
+    std::vector<void *> free;
+
+    /** Retention cap: 16 chunks ≈ 1 MiB per worker thread. */
+    static constexpr size_t kMaxRetained = 16;
+
+    ~ChunkCache()
+    {
+        for (void *p : free)
+            std::free(p);
+    }
+};
+
+ChunkCache &
+chunkCache()
+{
+    thread_local ChunkCache cache;
+    return cache;
+}
+
+} // namespace
+
+Arena::Chunk *
+Arena::obtainChunk(size_t payload)
+{
+    if (payload <= kChunkPayload) {
+        ChunkCache &cache = chunkCache();
+        if (!cache.free.empty()) {
+            auto *c = static_cast<Chunk *>(cache.free.back());
+            cache.free.pop_back();
+            return c;
+        }
+        payload = kChunkPayload;
+    }
+    void *mem = std::malloc(sizeof(Chunk) + payload);
+    if (!mem)
+        panic("arena chunk allocation failed");
+    auto *c = static_cast<Chunk *>(mem);
+    c->next = nullptr;
+    c->payload = payload;
+    return c;
+}
+
+Arena::~Arena()
+{
+    ChunkCache &cache = chunkCache();
+    while (chunks_) {
+        Chunk *c = chunks_;
+        chunks_ = c->next;
+        if (c->payload == kChunkPayload &&
+            cache.free.size() < ChunkCache::kMaxRetained)
+            cache.free.push_back(c);
+        else
+            std::free(c);
+    }
+}
+
+void *
+Arena::allocSlow(size_t size, size_t align)
+{
+    // A fresh chunk's payload starts right after the header, which is
+    // max_align-sized enough for any standard alignment request.
+    size_t need = size + align;
+    Chunk *c = obtainChunk(need > kChunkPayload ? need : kChunkPayload);
+    c->next = chunks_;
+    chunks_ = c;
+    cur_ = reinterpret_cast<char *>(c) + sizeof(Chunk);
+    end_ = cur_ + c->payload;
+
+    uintptr_t p = reinterpret_cast<uintptr_t>(cur_);
+    p = (p + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    cur_ = reinterpret_cast<char *>(p + size);
+    allocated_ += size;
+    return reinterpret_cast<void *>(p);
+}
+
+void
+Arena::reset()
+{
+    // Keep the newest chunk hot and release the rest to the cache; the
+    // common case (everything fit in one chunk) reuses it in place.
+    ChunkCache &cache = chunkCache();
+    while (chunks_ && chunks_->next) {
+        Chunk *c = chunks_;
+        chunks_ = c->next;
+        if (c->payload == kChunkPayload &&
+            cache.free.size() < ChunkCache::kMaxRetained)
+            cache.free.push_back(c);
+        else
+            std::free(c);
+    }
+    if (chunks_) {
+        cur_ = reinterpret_cast<char *>(chunks_) + sizeof(Chunk);
+        end_ = cur_ + chunks_->payload;
+    } else {
+        cur_ = end_ = nullptr;
+    }
+    allocated_ = 0;
+}
+
+} // namespace goat

@@ -13,8 +13,11 @@
 #define GOAT_BASE_SOURCE_LOC_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <source_location>
 #include <string>
+#include <string_view>
 
 #include "base/fmt.hh"
 
@@ -43,27 +46,53 @@ struct SourceLoc
     }
 
     /** Final path component of the file, as the paper's CU tables show. */
-    std::string basename() const { return pathBasename(file); }
+    std::string basename() const { return std::string(basenameView()); }
+
+    /**
+     * Final path component as a view into the interned file literal —
+     * the allocation-free form every hot-path comparison uses (the CU
+     * table is scanned once per trace event, so allocating compares
+     * dominate coverage measurement otherwise).
+     */
+    std::string_view
+    basenameView() const
+    {
+        const char *slash = std::strrchr(file, '/');
+        return std::string_view(slash ? slash + 1 : file);
+    }
 
     /** "file:line" human-readable form. */
     std::string
     str() const
     {
-        return strFormat("%s:%u", basename().c_str(), line);
+        std::string_view base = basenameView();
+        std::string out;
+        out.reserve(base.size() + 12);
+        out.append(base);
+        out += ':';
+        char buf[12];
+        int n = std::snprintf(buf, sizeof buf, "%u", line);
+        out.append(buf, static_cast<size_t>(n));
+        return out;
     }
 
     bool
     operator==(const SourceLoc &o) const
     {
-        return line == o.line && basename() == o.basename();
+        if (line != o.line)
+            return false;
+        // Interned literals make pointer equality the common fast path.
+        return file == o.file || basenameView() == o.basenameView();
     }
 
     bool
     operator<(const SourceLoc &o) const
     {
-        std::string a = basename(), b = o.basename();
-        if (a != b)
-            return a < b;
+        if (file != o.file) {
+            std::string_view a = basenameView(), b = o.basenameView();
+            if (a != b)
+                return a < b;
+        }
         return line < o.line;
     }
 };

@@ -137,6 +137,12 @@ workerLoop(Shared &sh, Worker &w)
     const bool measure_cov = cfg.collectCoverage || cfg.coverageGuided;
     const bool want_ledger = !cfg.ledgerPath.empty();
 
+    // Template for the per-iteration coverage states: instantiating
+    // the static requirement universe once and copying it per
+    // iteration is much cheaper than rebuilding it from the CU table
+    // every time.
+    const CoverageState covTemplate(cfg.staticModel);
+
     // Bind this thread's metrics to the worker's private registry for
     // the whole loop (covers the scheduler's per-run flush too).
     obs::ScopedRegistry scope(w.registry);
@@ -180,9 +186,11 @@ workerLoop(Shared &sh, Worker &w)
         }
 
         if (measure_cov) {
-            rec.cov = std::make_unique<CoverageState>(cfg.staticModel);
-            rec.cov->addEct(sr.ect);
-            w.localCov.addEct(sr.ect);
+            // The run's tree (built once for the deadlock check)
+            // serves both coverage folds.
+            rec.cov = std::make_unique<CoverageState>(covTemplate);
+            rec.cov->addEct(sr.ect, *sr.tree);
+            w.localCov.addEct(sr.ect, *sr.tree);
             // The worker's cumulative coverage is a subset of the
             // merged coverage at this iteration, so reaching the
             // threshold locally proves the canonical cutoff is <= iter.
@@ -402,9 +410,8 @@ runCampaign(const CampaignConfig &cfg,
                     engine::finalizeRecipe(sr);
                     sr.recipe.kernel = cfg.programName;
                     result.firstBugRecipe = sr.recipe;
-                    analysis::GoroutineTree tree(sr.ect);
                     result.report = analysis::deadlockReportStr(
-                        sr.ect, tree, sr.dl);
+                        sr.ect, *sr.tree, sr.dl);
                     break;
                 }
             }

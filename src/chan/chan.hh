@@ -19,7 +19,6 @@
 #ifndef GOAT_CHAN_CHAN_HH
 #define GOAT_CHAN_CHAN_HH
 
-#include <algorithm>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -48,11 +47,9 @@ namespace chandetail {
 
 /** Remove a specific SudoG from a waiter queue (no-op when absent). */
 inline void
-eraseWaiter(std::deque<SudoG *> &q, SudoG *w)
+eraseWaiter(WaiterQueue &q, SudoG *w)
 {
-    auto it = std::find(q.begin(), q.end(), w);
-    if (it != q.end())
-        q.erase(it);
+    q.erase(w);
 }
 
 /**
@@ -61,7 +58,7 @@ eraseWaiter(std::deque<SudoG *> &q, SudoG *w)
  * are skipped — they are stale only within the current call chain).
  */
 inline SudoG *
-popWaiter(std::deque<SudoG *> &q, bool ok_flag)
+popWaiter(WaiterQueue &q, bool ok_flag)
 {
     while (!q.empty()) {
         SudoG *w = q.front();
@@ -84,8 +81,8 @@ struct ChanImpl
     size_t cap = 0;
     bool closed = false;
     std::deque<T> buf;
-    std::deque<SudoG *> sendq;
-    std::deque<SudoG *> recvq;
+    WaiterQueue sendq;
+    WaiterQueue recvq;
     SourceLoc makeLoc;
 
     bool

@@ -40,6 +40,67 @@ struct SudoG
     SelectState *sel = nullptr;
     /** Case index within the owning select. */
     int caseIdx = -1;
+    /** Intrusive link: the next waiter in the same WaiterQueue. */
+    SudoG *next = nullptr;
+};
+
+/**
+ * Intrusive FIFO of parked channel waiters, threaded through
+ * SudoG::next. SudoGs live on the blocked goroutines' stack frames (or
+ * inside select cases), so the queue itself never allocates — this is
+ * what keeps channel park/wake off the heap on the campaign hot path.
+ * A SudoG may sit on at most one queue at a time (as in Go's runtime).
+ */
+class WaiterQueue
+{
+  public:
+    bool empty() const { return head_ == nullptr; }
+
+    SudoG *front() const { return head_; }
+
+    void
+    push_back(SudoG *w)
+    {
+        w->next = nullptr;
+        if (tail_)
+            tail_->next = w;
+        else
+            head_ = w;
+        tail_ = w;
+    }
+
+    void
+    pop_front()
+    {
+        SudoG *w = head_;
+        head_ = w->next;
+        if (!head_)
+            tail_ = nullptr;
+        w->next = nullptr;
+    }
+
+    /** Unlink @p w wherever it sits (no-op when absent). */
+    void
+    erase(SudoG *w)
+    {
+        SudoG *prev = nullptr;
+        for (SudoG *cur = head_; cur; prev = cur, cur = cur->next) {
+            if (cur != w)
+                continue;
+            if (prev)
+                prev->next = cur->next;
+            else
+                head_ = cur->next;
+            if (tail_ == cur)
+                tail_ = prev;
+            cur->next = nullptr;
+            return;
+        }
+    }
+
+  private:
+    SudoG *head_ = nullptr;
+    SudoG *tail_ = nullptr;
 };
 
 /**

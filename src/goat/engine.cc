@@ -13,6 +13,7 @@
 #include "perturb/guided.hh"
 #include "perturb/perturb.hh"
 #include "perturb/replay.hh"
+#include "trace/ect_ring.hh"
 
 namespace goat::engine {
 
@@ -33,24 +34,6 @@ mixSeed(uint64_t base, int iter)
     return x ^ (x >> 31);
 }
 
-/**
- * Map an execution to the paper's detection verdict: the offline
- * Procedure 1 on the ECT, with the watchdog timeout (step budget)
- * reported as a global deadlock (TO/GDL).
- */
-DeadlockReport
-analyze(const runtime::ExecResult &exec, const trace::Ect &ect)
-{
-    GoroutineTree tree(ect);
-    DeadlockReport dl = analysis::deadlockCheck(tree);
-    if (exec.outcome == RunOutcome::StepBudget &&
-        dl.verdict == Verdict::GlobalDeadlock) {
-        // Keep the GDL verdict; the engine's caller distinguishes a
-        // watchdog timeout via the ExecResult outcome.
-    }
-    return dl;
-}
-
 } // namespace
 
 SingleRun
@@ -65,17 +48,38 @@ runOnceHooked(const std::function<void()> &program, uint64_t seed,
     cfg.perturb = std::move(hook);
 
     runtime::Scheduler sched(cfg);
-    trace::EctRecorder rec;
-    sched.addSink(&rec);
-
     SingleRun out;
-    out.exec = sched.run(program);
-    rec.ect().setMeta("seed", std::to_string(seed));
-    rec.ect().setMeta("outcome", runtime::runOutcomeName(out.exec.outcome));
+
+    // Hot path: record through the worker's binary ring buffer and
+    // batch-convert to the rich Ect once, after the run. The ring is
+    // per thread; if a program under test recursively enters the
+    // engine (the ring is then still bound), fall back to the classic
+    // sink recorder for the nested run.
+    thread_local trace::EctRing ring;
+    if (!ring.active()) {
+        if (ring.capacity() != trace::defaultEctRingCapacity())
+            ring.setCapacity(trace::defaultEctRingCapacity());
+        ring.bind(&out.ect);
+        sched.setRing(&ring);
+        out.exec = sched.run(program);
+        ring.finish();
+    } else {
+        trace::EctRecorder rec;
+        sched.addSink(&rec);
+        out.exec = sched.run(program);
+        out.ect = std::move(rec.ect());
+    }
+
+    out.ect.setMeta("seed", std::to_string(seed));
+    out.ect.setMeta("outcome", runtime::runOutcomeName(out.exec.outcome));
     if (delay_bound_meta >= 0)
-        rec.ect().setMeta("delay_bound", std::to_string(delay_bound_meta));
-    out.ect = rec.ect();
-    out.dl = analyze(out.exec, out.ect);
+        out.ect.setMeta("delay_bound", std::to_string(delay_bound_meta));
+    // The paper's detection verdict: the offline Procedure 1 on the
+    // ECT (a watchdog timeout surfaces separately via exec.outcome).
+    // The tree is kept on the result so downstream consumers (campaign
+    // coverage folds, reports) reuse it instead of rebuilding.
+    out.tree = std::make_shared<GoroutineTree>(out.ect);
+    out.dl = analysis::deadlockCheck(*out.tree);
     return out;
 }
 
@@ -467,7 +471,7 @@ GoatEngine::run(const std::function<void()> &program)
         iterations_total.inc();
 
         if (cfg_.collectCoverage || guided) {
-            cov_.addEct(sr.ect);
+            cov_.addEct(sr.ect, *sr.tree);
             io.coveragePct = cov_.percent();
             result.finalCoverage = io.coveragePct;
             if (cfg_.collectCoverage)
@@ -493,9 +497,8 @@ GoatEngine::run(const std::function<void()> &program)
             result.firstBugEct = sr.ect;
             finalizeRecipe(sr);
             result.firstBugRecipe = sr.recipe;
-            GoroutineTree tree(sr.ect);
             result.report =
-                analysis::deadlockReportStr(sr.ect, tree, sr.dl);
+                analysis::deadlockReportStr(sr.ect, *sr.tree, sr.dl);
             bugs_total.inc();
         }
 

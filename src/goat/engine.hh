@@ -14,6 +14,7 @@
 #define GOAT_GOAT_ENGINE_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -183,6 +184,13 @@ struct SingleRun
      * path; stamp them with finalizeRecipe() before serializing.
      */
     trace::Recipe recipe;
+    /**
+     * Goroutine tree of this run's trace, built once for the deadlock
+     * check and shared with every downstream consumer (the campaign
+     * coverage folds, reports) so the hot path reconstructs it exactly
+     * once per iteration.
+     */
+    std::shared_ptr<analysis::GoroutineTree> tree;
 };
 
 SingleRun runOnce(const std::function<void()> &program, uint64_t seed,

@@ -4,6 +4,12 @@
 
 #include "base/logging.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define GOAT_MMAP_STACKS 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 #ifdef GOAT_ASAN_FIBERS
 #include <pthread.h>
 #include <sanitizer/asan_interface.h>
@@ -11,6 +17,89 @@
 #endif
 
 namespace goat::runtime {
+
+StackPool &
+StackPool::forThread()
+{
+    thread_local StackPool pool;
+    return pool;
+}
+
+StackPool::Entry
+StackPool::mapStack(size_t size)
+{
+#ifdef GOAT_MMAP_STACKS
+    static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    // Round the usable range up to whole pages and prepend one guard
+    // page; release() and unmapStack() recompute the same geometry.
+    size_t usable = (size + page - 1) & ~(page - 1);
+    int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+#ifdef MAP_STACK
+    flags |= MAP_STACK;
+#endif
+    void *base = mmap(nullptr, usable + page, PROT_READ | PROT_WRITE,
+                      flags, -1, 0);
+    if (base == MAP_FAILED)
+        panic("mmap of fiber stack failed");
+    if (mprotect(base, page, PROT_NONE) != 0)
+        panic("mprotect of fiber guard page failed");
+    return Entry{static_cast<char *>(base) + page, size};
+#else
+    return Entry{new char[size], size};
+#endif
+}
+
+void
+StackPool::unmapStack(const Entry &e)
+{
+#ifdef GOAT_MMAP_STACKS
+#ifdef GOAT_ASAN_FIBERS
+    // The departing tenant's frame redzones must not outlive the
+    // mapping: a later unrelated mmap can land on the same pages.
+    __asan_unpoison_memory_region(e.stack, e.size);
+#endif
+    static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    size_t usable = (e.size + page - 1) & ~(page - 1);
+    munmap(e.stack - page, usable + page);
+#else
+    delete[] e.stack;
+#endif
+}
+
+char *
+StackPool::acquire(size_t size, bool *pooled)
+{
+    // Sizes are uniform in practice (SchedConfig::stackSize); scan from
+    // the back so a mixed-size workload still hits quickly.
+    for (size_t i = free_.size(); i > 0; --i) {
+        if (free_[i - 1].size == size) {
+            char *s = free_[i - 1].stack;
+            free_.erase(free_.begin() + static_cast<ptrdiff_t>(i - 1));
+            if (pooled)
+                *pooled = true;
+            return s;
+        }
+    }
+    if (pooled)
+        *pooled = false;
+    return mapStack(size).stack;
+}
+
+void
+StackPool::release(char *stack, size_t size)
+{
+    if (free_.size() >= kMaxRetained) {
+        unmapStack(Entry{stack, size});
+        return;
+    }
+    free_.push_back(Entry{stack, size});
+}
+
+StackPool::~StackPool()
+{
+    for (const Entry &e : free_)
+        unmapStack(e);
+}
 
 namespace {
 

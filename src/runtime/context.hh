@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #ifdef GOAT_USE_UCONTEXT
 #include <ucontext.h>
@@ -43,6 +44,61 @@ namespace goat::runtime {
 
 /** Entry function type for a fresh fiber. Must never return. */
 using FiberEntry = void (*)(void *arg);
+
+/**
+ * Thread-local pool of fiber stacks, recycled across Scheduler
+ * instances: a campaign worker tears its scheduler down after every
+ * iteration, and without pooling each iteration re-allocates (and
+ * re-faults) every goroutine stack. Stacks are mmap'd with a PROT_NONE
+ * guard page below the usable range, so a fiber overflow faults
+ * instead of silently corrupting a neighbouring allocation.
+ *
+ * Not thread-safe by design — each worker thread has its own pool via
+ * forThread(); a stack must be released on the thread that acquired
+ * it (true for the cooperative scheduler, which never migrates).
+ */
+class StackPool
+{
+  public:
+    /** The calling thread's pool (created on first use). */
+    static StackPool &forThread();
+
+    /**
+     * Acquire a stack of @p size usable bytes.
+     *
+     * @param[out] pooled True when the stack was recycled (telemetry).
+     * @return Lowest usable address (guard page excluded).
+     */
+    char *acquire(size_t size, bool *pooled);
+
+    /** Return a stack for reuse (frees it past the retention cap). */
+    void release(char *stack, size_t size);
+
+    /** Currently pooled (idle) stacks. */
+    size_t pooled() const { return free_.size(); }
+
+    ~StackPool();
+
+    StackPool(const StackPool &) = delete;
+    StackPool &operator=(const StackPool &) = delete;
+
+  private:
+    StackPool() = default;
+
+    struct Entry
+    {
+        char *stack; ///< Usable base (guard page below).
+        size_t size; ///< Usable bytes.
+    };
+
+    static Entry mapStack(size_t size);
+    static void unmapStack(const Entry &e);
+
+    /** Retention cap: 64 × 256 KiB ≈ 16 MiB per worker thread. */
+    static constexpr size_t kMaxRetained = 64;
+
+    std::vector<Entry> free_;
+};
 
 /**
  * Saved execution context of one fiber (or of the scheduler itself).

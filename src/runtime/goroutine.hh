@@ -86,6 +86,13 @@ class Goroutine
     char *stack = nullptr;
     size_t stackSize = 0;
 
+    /**
+     * Intrusive link for GoroutineQueue (sync-primitive wait queues).
+     * A goroutine parks on at most one primitive at a time, so a single
+     * link suffices — as in the Go runtime.
+     */
+    Goroutine *waitNext = nullptr;
+
   private:
     uint32_t id_;
     uint32_t parentId_;
@@ -93,6 +100,46 @@ class Goroutine
     SourceLoc creationLoc_;
     bool system_;
     std::string name_;
+};
+
+/**
+ * Intrusive FIFO wait queue for sync primitives (Mutex, RWMutex,
+ * WaitGroup, Cond, Once), threaded through Goroutine::waitNext.
+ * Allocation-free: parking and waking touch only the goroutine records
+ * themselves. Drop-in for the deque<Goroutine*> surface the primitives
+ * use: push_back / front / pop_front / empty.
+ */
+class GoroutineQueue
+{
+  public:
+    bool empty() const { return head_ == nullptr; }
+
+    Goroutine *front() const { return head_; }
+
+    void
+    push_back(Goroutine *g)
+    {
+        g->waitNext = nullptr;
+        if (tail_)
+            tail_->waitNext = g;
+        else
+            head_ = g;
+        tail_ = g;
+    }
+
+    void
+    pop_front()
+    {
+        Goroutine *g = head_;
+        head_ = g->waitNext;
+        if (!head_)
+            tail_ = nullptr;
+        g->waitNext = nullptr;
+    }
+
+  private:
+    Goroutine *head_ = nullptr;
+    Goroutine *tail_ = nullptr;
 };
 
 } // namespace goat::runtime

@@ -235,10 +235,15 @@ Scheduler::Scheduler(SchedConfig cfg)
 
 Scheduler::~Scheduler()
 {
-    for (auto &g : goroutines_)
-        delete[] g->stack;
-    for (char *s : stackPool_)
-        delete[] s;
+    // Stacks still attached (leaked/blocked goroutines) go back to the
+    // thread's pool; the records themselves are arena storage, so only
+    // their non-trivial members need destroying.
+    StackPool &pool = StackPool::forThread();
+    for (Goroutine *g : goroutines_) {
+        if (g->stack)
+            pool.release(g->stack, g->stackSize);
+        g->~Goroutine();
+    }
 }
 
 Scheduler *
@@ -260,10 +265,32 @@ Scheduler::emit(trace::EventType type, const SourceLoc &loc, int64_t a0,
                 int64_t a1, int64_t a2, int64_t a3, const std::string &str)
 {
     obs::ProfileScope prof(obs::Stage::TraceAppend);
-    trace::Event ev(++steps_, currentGid(), type, loc, a0, a1, a2, a3);
+    ++steps_;
+    if (ring_) {
+        // Hot path: one POD row, no Event construction, no virtual
+        // dispatch, and no per-event tally (the ring's batched type
+        // counts are folded into tallies_ once, at run() end).
+        trace::EctRow *r = ring_->push();
+        r->ts = steps_;
+        r->file = loc.file;
+        r->args[0] = a0;
+        r->args[1] = a1;
+        r->args[2] = a2;
+        r->args[3] = a3;
+        r->gid = currentGid();
+        r->line = loc.line;
+        r->strIdx = 0;
+        r->type = type;
+        if (!str.empty())
+            ring_->setStr(r, str);
+        if (sinks_.empty())
+            return;
+    }
+    trace::Event ev(steps_, currentGid(), type, loc, a0, a1, a2, a3);
     if (!str.empty())
         ev.str = str;
-    ++tallies_.event[static_cast<size_t>(type)];
+    if (!ring_)
+        ++tallies_.event[static_cast<size_t>(type)];
     for (auto *sink : sinks_)
         sink->onEvent(ev);
 }
@@ -273,11 +300,11 @@ Scheduler::spawn(std::function<void()> fn, const SourceLoc &loc, bool system,
                  std::string name)
 {
     auto gid = static_cast<uint32_t>(goroutines_.size() + 1);
-    auto g = std::make_unique<Goroutine>(gid, currentGid(), std::move(fn),
-                                         loc, system, std::move(name));
+    Goroutine *g = arena_.make<Goroutine>(gid, currentGid(), std::move(fn),
+                                          loc, system, std::move(name));
     g->status = GoStatus::Runnable;
-    runq_.push_back(g.get());
-    goroutines_.push_back(std::move(g));
+    runq_.push_back(g);
+    goroutines_.push_back(g);
     ++tallies_.spawns;
     emit(trace::EventType::GoCreate, loc, gid, system ? 1 : 0);
     return gid;
@@ -394,27 +421,23 @@ Scheduler::goroutine(uint32_t gid)
 {
     if (gid == 0 || gid > goroutines_.size())
         return nullptr;
-    return goroutines_[gid - 1].get();
+    return goroutines_[gid - 1];
 }
 
 char *
 Scheduler::allocStack()
 {
-    if (!stackPool_.empty()) {
-        char *s = stackPool_.back();
-        stackPool_.pop_back();
-        ++tallies_.stackPoolHits;
-        return s;
-    }
-    ++tallies_.stackPoolMisses;
-    return new char[cfg_.stackSize];
+    bool pooled = false;
+    char *s = StackPool::forThread().acquire(cfg_.stackSize, &pooled);
+    ++(pooled ? tallies_.stackPoolHits : tallies_.stackPoolMisses);
+    return s;
 }
 
 void
 Scheduler::releaseStack(Goroutine *g)
 {
     if (g->stack) {
-        stackPool_.push_back(g->stack);
+        StackPool::forThread().release(g->stack, g->stackSize);
         g->stack = nullptr;
     }
 }
@@ -594,12 +617,19 @@ Scheduler::run(std::function<void()> main_fn)
     emit(trace::EventType::TraceStop, SourceLoc("main", 0));
     res.steps = steps_;
 
+    // Batched tallies: in ring mode no per-event counter was touched
+    // during the run; fold the ring's type counts in one pass now,
+    // before the registry flush.
+    if (ring_)
+        ring_->foldTypeCounts(tallies_.event);
+
     SchedMetrics &m = schedMetrics();
     m.flush(tallies_);
     tallies_ = SchedTallies{}; // run() may be called again on this object
     m.runs.inc();
     m.outcome[static_cast<size_t>(res.outcome)]->inc();
-    m.stackPoolSize.set(static_cast<int64_t>(stackPool_.size()));
+    m.stackPoolSize.set(
+        static_cast<int64_t>(StackPool::forThread().pooled()));
     m.goroutinesPeak.setMax(static_cast<int64_t>(goroutines_.size()));
     m.stepsPerRun.observe(steps_);
 

@@ -27,11 +27,13 @@
 #include <string>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/rng.hh"
 #include "base/source_loc.hh"
 #include "runtime/goroutine.hh"
 #include "staticmodel/cu.hh"
 #include "trace/ect.hh"
+#include "trace/ect_ring.hh"
 
 namespace goat::runtime {
 
@@ -164,6 +166,16 @@ class Scheduler
     void addSink(trace::TraceSink *sink) { sinks_.push_back(sink); }
 
     /**
+     * Record events into a binary ring buffer instead of constructing
+     * rich trace::Events per emit (the campaign hot path; see
+     * trace/ect_ring.hh). Sinks still see every event when both are
+     * installed. The caller binds the ring to an output Ect and
+     * flushes it after run(); the scheduler folds the ring's batched
+     * event-type counts into its tallies at run() end.
+     */
+    void setRing(trace::EctRing *ring) { ring_ = ring; }
+
+    /**
      * Execute @p main_fn as the main goroutine until the program
      * terminates (main returns and runnables drain), deadlocks
      * globally, crashes, or exhausts its step budget.
@@ -241,8 +253,8 @@ class Scheduler
     /** Look up a goroutine by id (nullptr when unknown). */
     Goroutine *goroutine(uint32_t gid);
 
-    /** All goroutines created during this run. */
-    const std::vector<std::unique_ptr<Goroutine>> &
+    /** All goroutines created during this run (arena-owned). */
+    const std::vector<Goroutine *> &
     goroutines() const
     {
         return goroutines_;
@@ -301,13 +313,15 @@ class Scheduler
     SchedConfig cfg_;
     Rng rng_;
 
-    std::vector<std::unique_ptr<Goroutine>> goroutines_;
+    /** Goroutine records live in the arena (destroyed explicitly). */
+    Arena arena_;
+    std::vector<Goroutine *> goroutines_;
     std::deque<Goroutine *> runq_;
     std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
         timers_;
-    std::vector<char *> stackPool_;
 
     std::vector<trace::TraceSink *> sinks_;
+    trace::EctRing *ring_ = nullptr;
 
     FiberContext schedCtx_;
     Goroutine *current_ = nullptr;

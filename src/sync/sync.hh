@@ -18,7 +18,6 @@
 #define GOAT_SYNC_SYNC_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "base/source_loc.hh"
@@ -62,7 +61,7 @@ class Mutex
 
     uint64_t id_;
     uint32_t holder_ = 0;
-    std::deque<runtime::Goroutine *> waitq_;
+    runtime::GoroutineQueue waitq_;
 };
 
 /**
@@ -120,8 +119,8 @@ class RWMutex
     uint64_t id_;
     uint32_t writer_ = 0;
     int readers_ = 0;
-    std::deque<runtime::Goroutine *> writeWaitq_;
-    std::deque<runtime::Goroutine *> readWaitq_;
+    runtime::GoroutineQueue writeWaitq_;
+    runtime::GoroutineQueue readWaitq_;
 };
 
 /**
@@ -152,7 +151,7 @@ class WaitGroup
 
     uint64_t id_;
     int count_ = 0;
-    std::deque<runtime::Goroutine *> waitq_;
+    runtime::GoroutineQueue waitq_;
 };
 
 /**
@@ -183,7 +182,7 @@ class Cond
   private:
     uint64_t id_;
     Mutex &m_;
-    std::deque<runtime::Goroutine *> waitq_;
+    runtime::GoroutineQueue waitq_;
 };
 
 /**
@@ -207,7 +206,7 @@ class Once
   private:
     bool done_ = false;
     bool running_ = false;
-    std::deque<runtime::Goroutine *> waitq_;
+    runtime::GoroutineQueue waitq_;
 };
 
 } // namespace goat::gosync

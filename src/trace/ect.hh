@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/event.hh"
@@ -34,6 +35,12 @@ class Ect
     append(const Event &ev)
     {
         events_.push_back(ev);
+    }
+
+    void
+    append(Event &&ev)
+    {
+        events_.push_back(std::move(ev));
     }
 
     /** All events, in total (ts) order. */

@@ -1,0 +1,99 @@
+#include "trace/ect_ring.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace goat::trace {
+
+namespace {
+
+/**
+ * 4096 rows (256 KiB) holds every GoKer kernel's full trace with room
+ * to spare; long executions wrap and flush in batches.
+ */
+size_t ringCapacity = 4096;
+
+} // namespace
+
+size_t
+defaultEctRingCapacity()
+{
+    return ringCapacity;
+}
+
+void
+setDefaultEctRingCapacity(size_t rows)
+{
+    if (rows < 16)
+        rows = 16; // floor keeps the wrap path sane
+    ringCapacity = rows;
+}
+
+EctRing::EctRing(size_t capacity)
+{
+    setCapacity(capacity ? capacity : defaultEctRingCapacity());
+}
+
+void
+EctRing::setCapacity(size_t rows)
+{
+    if (rows == cap_)
+        return;
+    if (rows < 16)
+        rows = 16;
+    // Raw new[]: rows are written before they are read, so value-
+    // initializing the whole buffer would be a pure memset tax.
+    rows_.reset(new EctRow[rows]);
+    cap_ = rows;
+    n_ = 0;
+}
+
+void
+EctRing::bind(Ect *out)
+{
+    if (out_)
+        panic("EctRing::bind while already bound");
+    out_ = out;
+    n_ = 0;
+    strs_.clear();
+    for (uint64_t &c : counts_)
+        c = 0;
+}
+
+void
+EctRing::flush()
+{
+    if (!out_)
+        panic("EctRing::flush without a bound Ect");
+    for (size_t i = 0; i < n_; ++i) {
+        const EctRow &r = rows_[i];
+        Event ev(r.ts, r.gid, r.type, SourceLoc(r.file, r.line),
+                 r.args[0], r.args[1], r.args[2], r.args[3]);
+        if (r.strIdx)
+            ev.str = std::move(strs_[r.strIdx - 1]);
+        ++counts_[static_cast<size_t>(r.type)];
+        out_->append(std::move(ev));
+    }
+    n_ = 0;
+    strs_.clear();
+}
+
+void
+EctRing::finish()
+{
+    flush();
+    out_ = nullptr;
+}
+
+void
+EctRing::foldTypeCounts(uint64_t *counts) const
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(EventType::NumEventTypes); ++i)
+        counts[i] += counts_[i];
+    for (size_t i = 0; i < n_; ++i)
+        ++counts[static_cast<size_t>(rows_[i].type)];
+}
+
+} // namespace goat::trace

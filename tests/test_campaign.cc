@@ -17,6 +17,7 @@
 #include "campaign/campaign.hh"
 #include "goker/registry.hh"
 #include "obs/profile.hh"
+#include "trace/ect_ring.hh"
 
 using namespace goat;
 using goat::campaign::CampaignConfig;
@@ -104,6 +105,22 @@ TEST(Campaign, MergeDeterminismAcrossJobCounts)
         EXPECT_EQ(r4.jobs, 4);
         EXPECT_EQ(r8.jobs, 8);
     }
+}
+
+// Same contract with the ECT ring squeezed to its 16-row floor: every
+// execution wraps and flushes mid-run many times, and the merged
+// digest must still be byte-identical to jobs=1 (the ring is a format
+// change, not a semantic one).
+TEST(Campaign, MergeDeterminismWithTinyEctRing)
+{
+    size_t prev = trace::defaultEctRingCapacity();
+    trace::setDefaultEctRingCapacity(16);
+    const goker::KernelInfo &k = kernel("cockroach_1055");
+    CampaignResult r1 = runCampaign(baseConfig(k, 1), k.fn);
+    CampaignResult r4 = runCampaign(baseConfig(k, 4), k.fn);
+    trace::setDefaultEctRingCapacity(prev);
+    EXPECT_TRUE(r1.merged.bugFound);
+    expectIdentical(r1, r4);
 }
 
 // Ledger row count (and file line count) is the same for any worker

@@ -466,16 +466,17 @@ TEST(Profile, ScopeRecordsOnlyWithInstalledProfiler)
         return t += 13;
     });
     Profiler p;
+    const uint64_t n = Profiler::kSampleEvery + 1;
     {
         ScopedProfiler install(p);
-        for (int i = 0; i < 9; ++i)
+        for (uint64_t i = 0; i < n; ++i)
             ProfileScope s(Stage::TraceAppend);
     }
     setProfileClock(prev);
 
     const StageHist &h = p.peek().stage(Stage::TraceAppend);
-    EXPECT_EQ(h.total, 9u);
-    EXPECT_EQ(h.count, 2u); // entries 0 and 8 sampled at kSampleEvery=8
+    EXPECT_EQ(h.total, n);
+    EXPECT_EQ(h.count, 2u); // entries 0 and kSampleEvery sampled
     EXPECT_EQ(h.sum, 26u);  // two sampled scopes, 13ns fake tick each
     EXPECT_TRUE(Profiler::current() == nullptr);
 }

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "chan/chan.hh"
+#include "runtime/scheduler.hh"
 #include "trace/ect.hh"
+#include "trace/ect_ring.hh"
 #include "trace/serialize.hh"
 #include "test_util.hh"
 
@@ -185,4 +188,105 @@ TEST(Recorder, CapturesEveryEmittedEvent)
     EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChRecv), 1u);
     EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChClose), 1u);
     EXPECT_EQ(goat::test::countEvents(rr.ect, EventType::ChMake), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Binary ECT ring (trace/ect_ring.hh): the hot-path trace format must
+// be an exact stand-in for the rich recorder path.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Run @p fn under a fresh scheduler recording through an EctRing. */
+trace::Ect
+runWithRing(std::function<void()> fn, uint64_t seed, size_t capacity)
+{
+    runtime::SchedConfig cfg;
+    cfg.seed = seed;
+    cfg.noiseProb = 0; // match runProgram: fully deterministic
+    runtime::Scheduler sched(cfg);
+    trace::EctRing ring(capacity);
+    trace::Ect out;
+    ring.bind(&out);
+    sched.setRing(&ring);
+    sched.run(std::move(fn));
+    ring.finish();
+    return out;
+}
+
+} // namespace
+
+TEST(EctRing, MatchesRecorderByteForByte)
+{
+    // Mixed channel/goroutine traffic plus a panic, so the rare
+    // string-payload side table is exercised too.
+    auto program = [] {
+        Chan<int> c(1);
+        go([c]() mutable { c.send(1); });
+        yield();
+        c.recv();
+        Chan<int> closed;
+        closed.close();
+        closed.send(9); // panics: string-carrying event
+    };
+    auto rr = runProgram(program, /*seed=*/7);
+    trace::Ect ringed = runWithRing(program, /*seed=*/7, 0);
+    EXPECT_EQ(ectToString(ringed), ectToString(rr.ect));
+    EXPECT_GT(ringed.size(), 0u);
+}
+
+TEST(EctRing, WrapFlushesWithoutLosingEvents)
+{
+    // 60 sends+recvs emit far more rows than a 16-row ring holds; the
+    // mid-run flushes must preserve order, payloads, and counts.
+    auto program = [] {
+        Chan<int> c(1);
+        for (int i = 0; i < 60; ++i) {
+            c.send(i);
+            c.recv();
+        }
+    };
+    auto rr = runProgram(program, /*seed=*/3);
+    trace::Ect ringed = runWithRing(program, /*seed=*/3, 16);
+    ASSERT_GT(rr.ect.size(), 16u);
+    EXPECT_EQ(ectToString(ringed), ectToString(rr.ect));
+}
+
+TEST(EctRing, FoldTypeCountsMatchesTraceAcrossWrap)
+{
+    runtime::SchedConfig cfg;
+    cfg.seed = 5;
+    cfg.noiseProb = 0;
+    runtime::Scheduler sched(cfg);
+    trace::EctRing ring(16);
+    trace::Ect out;
+    ring.bind(&out);
+    sched.setRing(&ring);
+    sched.run([] {
+        Chan<int> c(2);
+        for (int i = 0; i < 40; ++i) {
+            c.send(i);
+            c.recv();
+        }
+    });
+    ring.flush(); // leave the ring bound: counts cover all rows
+    uint64_t counts[static_cast<size_t>(EventType::NumEventTypes)] = {};
+    ring.foldTypeCounts(counts);
+    ring.finish();
+    for (size_t i = 0;
+         i < static_cast<size_t>(EventType::NumEventTypes); ++i) {
+        EXPECT_EQ(counts[i],
+                  goat::test::countEvents(
+                      out, static_cast<EventType>(i)))
+            << "type index " << i;
+    }
+}
+
+TEST(EctRing, DefaultCapacityIsFlooredAndRestorable)
+{
+    size_t prev = defaultEctRingCapacity();
+    setDefaultEctRingCapacity(1);
+    EXPECT_EQ(defaultEctRingCapacity(), 16u); // floor
+    setDefaultEctRingCapacity(prev);
+    EXPECT_EQ(defaultEctRingCapacity(), prev);
 }

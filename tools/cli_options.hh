@@ -69,6 +69,12 @@ struct Options
     std::string saturation_out;
     /** Atomically rewrite a JSON status snapshot here each interval. */
     std::string status_out;
+    /**
+     * ECT ring capacity in rows (0 = keep the built-in default).
+     * Smaller rings bound trace memory and flush in batches; the
+     * 16-row floor in trace/ect_ring.cc still applies.
+     */
+    uint64_t ring_capacity = 0;
 };
 
 /**
@@ -147,6 +153,8 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.status_out = v;
         } else if (const char *v = val("-seed=")) {
             opt.seed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = val("-ring-capacity=")) {
+            opt.ring_capacity = std::strtoull(v, nullptr, 0);
         } else {
             if (error)
                 *error = arg;

@@ -33,6 +33,7 @@
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "staticmodel/lint.hh"
+#include "trace/ect_ring.hh"
 #include "trace/recipe.hh"
 #include "trace/serialize.hh"
 
@@ -102,7 +103,11 @@ usage()
         "  -status-out=PATH\n"
         "                  atomically rewrite a JSON status snapshot\n"
         "                  at PATH while the campaign runs\n"
-        "  -seed=N         seed base (default 1)\n");
+        "  -seed=N         seed base (default 1)\n"
+        "  -ring-capacity=N\n"
+        "                  ECT ring buffer rows per worker (default\n"
+        "                  4096, floor 16); smaller rings bound trace\n"
+        "                  memory and flush in batches\n");
 }
 
 bool
@@ -557,6 +562,8 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (opt.ring_capacity)
+        trace::setDefaultEctRingCapacity(opt.ring_capacity);
     auto &registry = goker::KernelRegistry::instance();
 
     if (opt.list) {

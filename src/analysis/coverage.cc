@@ -477,8 +477,14 @@ CoverageState::mergeFrom(const CoverageState &other)
         int &mine = selectCases_[loc];
         mine = std::max(mine, n);
     }
+    rebuildTypeCounts();
+}
+
+void
+CoverageState::rebuildTypeCounts()
+{
     // Rebuild the per-type covered counters from scratch (cold path;
-    // the set union above bypasses cover()'s incremental counting).
+    // set unions bypass cover()'s incremental counting).
     constexpr ReqType kTypes[] = {ReqType::Blocked, ReqType::Unblocking,
                                   ReqType::Nop, ReqType::Blocking};
     for (size_t i = 0; i < 4; ++i)
@@ -495,6 +501,30 @@ CoverageState::mergeFrom(const CoverageState &other)
             }
         }
     }
+}
+
+bool
+CoverageState::restoreBitmap(const std::string &bitmap)
+{
+    size_t pos = 0;
+    while (pos < bitmap.size()) {
+        size_t eol = bitmap.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = bitmap.size();
+        std::string line = bitmap.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        if (line.size() < 3 || (line[0] != '0' && line[0] != '1') ||
+            line[1] != ' ')
+            return false;
+        std::string key = line.substr(2);
+        required_.insert(key);
+        if (line[0] == '1')
+            covered_.insert(std::move(key));
+    }
+    rebuildTypeCounts();
+    return true;
 }
 
 std::string

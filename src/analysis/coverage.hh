@@ -95,6 +95,17 @@ class CoverageState
      */
     std::string bitmapStr() const;
 
+    /**
+     * Union a bitmapStr() serialization into this state (checkpoint
+     * restore; supervised-shard digest fold). Only the requirement
+     * universe and covered set are rebuilt — exactly the components
+     * every merged-state consumer (percent, counts, bitmapStr,
+     * saturation sampling, further mergeFrom folds) reads; the CU
+     * table repopulates as fresh iterations merge in. Returns false
+     * on a malformed line.
+     */
+    bool restoreBitmap(const std::string &bitmap);
+
     /** Number of requirement instances known so far. */
     size_t totalRequirements() const { return required_.size(); }
 
@@ -155,6 +166,9 @@ class CoverageState
   private:
     /** Register a requirement without covering it. */
     void require(const std::string &k) { required_.insert(k); }
+
+    /** Recount coveredOfType_ from covered_ (cold paths only). */
+    void rebuildTypeCounts();
 
     /**
      * Register and mark covered (program level + node level).

@@ -14,6 +14,7 @@ verdictName(Verdict v)
       case Verdict::PartialDeadlock: return "partial_deadlock";
       case Verdict::GlobalDeadlock: return "global_deadlock";
       case Verdict::Crash: return "crash";
+      case Verdict::Timeout: return "timeout";
     }
     return "?";
 }
@@ -30,6 +31,8 @@ DeadlockReport::shortStr() const
         return "GDL";
       case Verdict::Crash:
         return "CRASH";
+      case Verdict::Timeout:
+        return "TIMEOUT";
     }
     return "?";
 }

@@ -29,6 +29,7 @@ enum class Verdict : uint8_t
     PartialDeadlock, ///< ≥1 goroutine leaked (did not reach GoEnd).
     GlobalDeadlock,  ///< Main never reached its final hand-off.
     Crash,           ///< A goroutine panicked.
+    Timeout,         ///< Supervised run exceeded its wall-clock deadline.
 };
 
 const char *verdictName(Verdict v);

@@ -1,0 +1,53 @@
+#include "base/interrupt.hh"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace goat {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupt_sig = 0;
+
+extern "C" void
+interruptHandler(int sig)
+{
+    if (g_interrupt_sig != 0)
+        _exit(128 + sig); // second signal: force quit, skip teardown
+    g_interrupt_sig = sig;
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = &interruptHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a campaign blocked in poll()/read() should see
+    // EINTR and reach its flag check promptly.
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupt_sig != 0;
+}
+
+int
+interruptSignal()
+{
+    return g_interrupt_sig;
+}
+
+void
+clearInterrupt()
+{
+    g_interrupt_sig = 0;
+}
+
+} // namespace goat

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cooperative interrupt handling for long campaigns.
+ *
+ * The first SIGINT/SIGTERM only sets a process-wide flag (the only
+ * async-signal-safe thing worth doing); every long-running loop —
+ * the scheduler's dispatch loop, the campaign worker claim loop, the
+ * supervisor's poll loop — polls the flag at a safe point and winds
+ * down through its normal teardown path, so ECT rings flush, the
+ * ledger and checkpoint are written, and partial results survive the
+ * interruption. A second signal force-quits via _exit(128+sig) for
+ * operators who really mean it.
+ */
+
+#ifndef GOAT_BASE_INTERRUPT_HH
+#define GOAT_BASE_INTERRUPT_HH
+
+namespace goat {
+
+/**
+ * Install the SIGINT/SIGTERM handlers described above. Idempotent;
+ * call once near the top of main(). Child processes that fork after
+ * installation inherit the handlers and should clearInterrupt().
+ */
+void installInterruptHandlers();
+
+/** True once a first SIGINT/SIGTERM has been received. */
+bool interruptRequested();
+
+/** The interrupting signal number (0 when none yet). */
+int interruptSignal();
+
+/** Reset the flag (forked children; tests). */
+void clearInterrupt();
+
+} // namespace goat
+
+#endif // GOAT_BASE_INTERRUPT_HH

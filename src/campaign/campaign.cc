@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <set>
 #include <thread>
@@ -11,7 +12,10 @@
 #include "analysis/happens_before.hh"
 #include "analysis/report.hh"
 #include "base/fmt.hh"
+#include "base/interrupt.hh"
 #include "base/logging.hh"
+#include "campaign/checkpoint.hh"
+#include "campaign/supervisor.hh"
 #include "obs/ledger.hh"
 #include "obs/profile.hh"
 
@@ -33,6 +37,65 @@ atomicMin(std::atomic<int> &a, int v)
     while (v < cur &&
            !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
+}
+
+/** Inverse of analysis::verdictName (Pass on an unknown name). */
+analysis::Verdict
+verdictFromName(const std::string &name)
+{
+    for (analysis::Verdict v :
+         {analysis::Verdict::Pass, analysis::Verdict::PartialDeadlock,
+          analysis::Verdict::GlobalDeadlock, analysis::Verdict::Crash,
+          analysis::Verdict::Timeout}) {
+        if (name == analysis::verdictName(v))
+            return v;
+    }
+    return analysis::Verdict::Pass;
+}
+
+/**
+ * Inverse of runtime::runOutcomeName, extended with the supervised
+ * outcomes ("crashed" → Crash, "timeout" → StepBudget): frozen and
+ * shard-digest rows carry names, not enums.
+ */
+RunOutcome
+outcomeFromName(const std::string &name)
+{
+    for (RunOutcome o : {RunOutcome::Ok, RunOutcome::GlobalDeadlock,
+                         RunOutcome::Crash, RunOutcome::StepBudget}) {
+        if (name == runtime::runOutcomeName(o))
+            return o;
+    }
+    if (name == "crashed")
+        return RunOutcome::Crash;
+    if (name == "timeout")
+        return RunOutcome::StepBudget;
+    return RunOutcome::Ok;
+}
+
+/**
+ * A supervised shard loss (process crash or watchdog timeout), as
+ * opposed to an in-process detection. Loss rows are bug rows but are
+ * exempt from -stop-on-bug: the supervisor's whole point is that the
+ * campaign continues past them.
+ */
+bool
+supervisedLoss(const obs::LedgerEntry &e)
+{
+    return e.outcome == "crashed" || e.outcome == "timeout";
+}
+
+/** Reconstruct the iteration summary from a frozen/digest row. */
+IterationOutcome
+ioFromRow(const obs::LedgerEntry &e)
+{
+    IterationOutcome io;
+    io.exec.outcome = outcomeFromName(e.outcome);
+    io.exec.steps = e.steps;
+    io.dl.verdict = verdictFromName(e.verdict);
+    io.coveragePct = e.coveragePct;
+    io.wallMicros = e.wallMicros;
+    return io;
 }
 
 /**
@@ -87,6 +150,11 @@ struct RaceCapture
  * this thread never touch another worker's instruments), a private
  * cumulative coverage state (guided-policy food and threshold
  * heuristic), and the iteration records to merge.
+ *
+ * Workers persist across checkpoint rounds: the thread running
+ * workerLoop is respawned per round, but the registry, coverage,
+ * records, and the ledger snapshot baseline all carry over, so an
+ * N-round campaign records exactly what a single-round one would.
  */
 struct Worker
 {
@@ -103,6 +171,11 @@ struct Worker
     std::vector<IterRecord> records;
     BugCapture firstBug;
     RaceCapture firstRace;
+    /** Ledger-delta baseline, persistent across rounds. */
+    obs::Snapshot prevSnap;
+    bool prevInit = false;
+    /** Records already indexed by the merge (rounds watermark). */
+    size_t indexed = 0;
 };
 
 /** State shared by all workers of one campaign. */
@@ -112,6 +185,8 @@ struct Shared
     const std::function<void()> &program;
     /** Next iteration to claim (work distribution). */
     std::atomic<int> next{1};
+    /** Last iteration of the current checkpoint round. */
+    std::atomic<int> roundEnd;
     /**
      * Early-stop broadcast: lowest iteration known to satisfy a stop
      * condition. Claims beyond it are pointless — the merge will
@@ -123,7 +198,8 @@ struct Shared
 
     explicit Shared(const CampaignConfig &c,
                     const std::function<void()> &p)
-        : cfg(c), program(p), stopAt(c.engine.maxIterations)
+        : cfg(c), program(p), roundEnd(c.engine.maxIterations),
+          stopAt(c.engine.maxIterations)
     {
     }
 };
@@ -135,7 +211,9 @@ workerLoop(Shared &sh, Worker &w)
 
     const GoatConfig &cfg = sh.cfg.engine;
     const bool measure_cov = cfg.collectCoverage || cfg.coverageGuided;
-    const bool want_ledger = !cfg.ledgerPath.empty();
+    const bool want_ledger = !cfg.ledgerPath.empty() ||
+                             !sh.cfg.checkpointPath.empty() ||
+                             !sh.cfg.resumePath.empty();
 
     // Template for the per-iteration coverage states: instantiating
     // the static requirement universe once and copying it per
@@ -156,20 +234,27 @@ workerLoop(Shared &sh, Worker &w)
         "engine.iter_wall_us",
         {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000});
 
-    obs::Snapshot prev_snap;
-    if (want_ledger)
-        prev_snap = w.registry.snapshot();
+    if (want_ledger && !w.prevInit) {
+        w.prevSnap = w.registry.snapshot();
+        w.prevInit = true;
+    }
 
     for (;;) {
+        if (interruptRequested())
+            break; // drain: stop claiming, keep finished records
         int iter = sh.next.fetch_add(1, std::memory_order_relaxed);
         if (iter > cfg.maxIterations)
             break;
+        if (iter > sh.roundEnd.load(std::memory_order_relaxed))
+            break; // checkpoint-round boundary
         if (iter > sh.stopAt.load(std::memory_order_relaxed))
             break; // early-stop broadcast received
 
         auto t0 = steady_clock::now();
         SingleRun sr = engine::runCampaignIteration(cfg, sh.program,
                                                     iter, &w.localCov);
+        if (sr.exec.interrupted)
+            break; // cut short mid-run: drop the partial record
 
         IterRecord rec;
         rec.iter = iter;
@@ -241,8 +326,8 @@ workerLoop(Shared &sh, Worker &w)
 
         if (want_ledger) {
             obs::Snapshot snap = w.registry.snapshot();
-            rec.metricsDelta = snap.deltaFrom(prev_snap);
-            prev_snap = std::move(snap);
+            rec.metricsDelta = snap.deltaFrom(w.prevSnap);
+            w.prevSnap = std::move(snap);
         }
 
         // Draining per iteration resets the sampling phase, so the
@@ -264,216 +349,168 @@ workerLoop(Shared &sh, Worker &w)
     }
 }
 
-} // namespace
+/**
+ * The canonical fold's bookkeeping, shared by the threaded and
+ * isolated drivers (the heavy material — saturation, iterations, bug
+ * state — lives in the GoatResult being built).
+ */
+struct FoldState
+{
+    CoverageState merged;
+    std::vector<obs::LedgerEntry> rows;
+    /** Last canonically merged iteration. */
+    int cursor = 0;
+    /** Iterations executed across all workers (incl. overshoot). */
+    int executed = 0;
+    /** A canonical stop condition was hit. */
+    bool stopped = false;
+    int respawns = 0;
+    int crashes = 0;
+    int timeouts = 0;
 
-CampaignResult
-runCampaign(const CampaignConfig &cfg,
-            const std::function<void()> &program)
+    explicit FoldState(const GoatConfig &cfg)
+        : merged(cfg.staticModel)
+    {
+    }
+};
+
+/**
+ * Restore a parsed checkpoint into the fold: merged bitmap, saturation
+ * series, frozen rows (their iteration summaries re-enter
+ * result.iterations), tallies, and bug/race watermarks.
+ */
+void
+restoreCheckpoint(const CheckpointData &ck, const CampaignConfig &cfg,
+                  FoldState &fs, engine::GoatResult &result,
+                  CampaignResult &out)
+{
+    const bool measure_cov =
+        cfg.engine.collectCoverage || cfg.engine.coverageGuided;
+    fs.cursor = ck.cursor;
+    fs.executed = ck.executed;
+    fs.stopped = ck.stopped;
+    fs.respawns = ck.respawns;
+    fs.crashes = ck.crashes;
+    fs.timeouts = ck.timeouts;
+    if (!ck.covBitmap.empty())
+        fs.merged.restoreBitmap(ck.covBitmap);
+    for (const obs::SaturationSample &s : ck.satSamples)
+        result.saturation.appendSample(s);
+    fs.rows = ck.rows;
+    for (const obs::LedgerEntry &row : fs.rows) {
+        result.iterations.push_back(ioFromRow(row));
+        if (cfg.progress)
+            cfg.progress->noteIteration(
+                static_cast<size_t>(verdictFromName(row.verdict)),
+                row.bug);
+    }
+    if (measure_cov && fs.cursor > 0)
+        result.finalCoverage = fs.merged.percent();
+    if (ck.bugIteration > 0) {
+        result.bugFound = true;
+        result.bugIteration = ck.bugIteration;
+    }
+    if (ck.raceIteration > 0)
+        result.raceIteration = ck.raceIteration;
+    out.resumed = true;
+    out.resumeFrom = ck.cursor;
+}
+
+/** Snapshot the fold into a checkpoint file (atomic tmp+rename). */
+void
+writeCheckpoint(const CampaignConfig &cfg, const FoldState &fs,
+                const engine::GoatResult &result, CampaignResult &out)
+{
+    const bool measure_cov =
+        cfg.engine.collectCoverage || cfg.engine.coverageGuided;
+    CheckpointData d;
+    d.fingerprint = configFingerprint(cfg);
+    d.cursor = fs.cursor;
+    d.executed = fs.executed;
+    d.respawns = fs.respawns;
+    d.crashes = fs.crashes;
+    d.timeouts = fs.timeouts;
+    d.bugIteration = result.bugFound ? result.bugIteration : -1;
+    d.raceIteration = result.raceIteration;
+    d.stopped = fs.stopped;
+    if (measure_cov)
+        d.covBitmap = fs.merged.bitmapStr();
+    d.satSamples = result.saturation.samples();
+    d.rows = fs.rows;
+    if (!writeCheckpointFile(cfg.checkpointPath, d)) {
+        out.checkpointOk = false;
+        warn("cannot write checkpoint file " + cfg.checkpointPath);
+    }
+}
+
+/**
+ * Produce the first-bug report material when no live capture exists
+ * (the bug row was restored from a checkpoint or crossed a shard
+ * pipe). Normal rows are rehydrated by re-running the iteration —
+ * a pure function of (config, index). Supervised crash/timeout rows
+ * cannot be re-run in-process; they get a seeded-policy recipe (the
+ * replay re-derives the schedule and reproduces the crash/hang) and a
+ * synthesized report.
+ */
+void
+materializeFirstBug(const CampaignConfig &cfg,
+                    const std::function<void()> &program,
+                    const obs::LedgerEntry &row,
+                    engine::GoatResult &result)
+{
+    if (supervisedLoss(row)) {
+        trace::Recipe r;
+        r.kernel = cfg.programName;
+        r.seed = row.seed;
+        r.delayBound = row.delayBound;
+        r.noiseProb = cfg.engine.noiseProb;
+        r.stepBudget = cfg.engine.stepBudget;
+        r.iteration = row.iteration;
+        r.outcome = row.outcome;
+        r.verdict = row.verdict;
+        r.seededPolicy = true;
+        result.firstBugRecipe = std::move(r);
+        result.firstBug.verdict = verdictFromName(row.verdict);
+        result.firstBug.panicMsg = row.crashCause;
+        result.firstBugExec.outcome = outcomeFromName(row.outcome);
+        result.report = strFormat(
+            "supervised %s at iteration %d%s%s (seeded-policy recipe; "
+            "replay reproduces the failure)\n",
+            row.verdict.c_str(), row.iteration,
+            row.crashCause.empty() ? "" : ", cause ",
+            row.crashCause.c_str());
+        return;
+    }
+    CoverageState scratch(cfg.engine.staticModel);
+    SingleRun sr = engine::runCampaignIteration(
+        cfg.engine, program, row.iteration, &scratch);
+    engine::finalizeRecipe(sr);
+    sr.recipe.kernel = cfg.programName;
+    result.firstBug = sr.dl;
+    result.firstBugExec = sr.exec;
+    result.firstBugEct = sr.ect;
+    result.firstBugRecipe = sr.recipe;
+    result.report =
+        analysis::deadlockReportStr(sr.ect, *sr.tree, sr.dl);
+}
+
+/**
+ * The merge epilogue shared by both drivers: recipe recording and
+ * minimization, prediction confirmation (threaded only), the lint
+ * cross-check, ledger emission, and campaign-level metrics.
+ */
+void
+finalizeCampaign(const CampaignConfig &cfg,
+                 const std::function<void()> &program,
+                 CampaignResult &out,
+                 std::vector<obs::LedgerEntry> &ledger_rows,
+                 std::vector<IterRecord *> *by_iter,
+                 std::vector<std::unique_ptr<Worker>> *workers,
+                 std::chrono::steady_clock::time_point campaign_t0)
 {
     using std::chrono::steady_clock;
-    auto campaign_t0 = steady_clock::now();
-
     const GoatConfig &ecfg = cfg.engine;
-    const bool measure_cov = ecfg.collectCoverage || ecfg.coverageGuided;
-    int jobs = cfg.jobs < 1 ? 1 : cfg.jobs;
-    if (jobs > ecfg.maxIterations)
-        jobs = ecfg.maxIterations < 1 ? 1 : ecfg.maxIterations;
-
-    Shared sh(cfg, program);
-    std::vector<std::unique_ptr<Worker>> workers;
-    workers.reserve(static_cast<size_t>(jobs));
-    for (int i = 0; i < jobs; ++i) {
-        workers.push_back(std::make_unique<Worker>(ecfg));
-        workers.back()->id = i;
-    }
-
-    if (jobs == 1) {
-        workerLoop(sh, *workers[0]);
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(workers.size());
-        for (auto &w : workers)
-            threads.emplace_back(
-                [&sh, &w]() { workerLoop(sh, *w); });
-        for (auto &t : threads)
-            t.join();
-    }
-
-    CampaignResult out;
-    out.jobs = jobs;
-
-    // Index records by global iteration id. Claims come from one
-    // atomic counter, so executed iterations form a contiguous prefix
-    // 1..K possibly followed by abandoned claims past the watermark.
-    std::vector<const IterRecord *> by_iter(
-        static_cast<size_t>(ecfg.maxIterations) + 1, nullptr);
-    std::vector<int> worker_of(by_iter.size(), -1);
-    std::vector<int> wseq_of(by_iter.size(), 0);
-    for (const auto &w : workers) {
-        int seq = 0;
-        for (const IterRecord &rec : w->records) {
-            ++seq;
-            by_iter[static_cast<size_t>(rec.iter)] = &rec;
-            worker_of[static_cast<size_t>(rec.iter)] = w->id;
-            wseq_of[static_cast<size_t>(rec.iter)] = seq;
-            ++out.executedIterations;
-        }
-    }
-
-    // Canonical first race: each worker's capture is the minimum over
-    // its (increasing) claimed indices, so the global minimum over
-    // captures is the first race a sequential campaign would find.
-    int race_iter = -1;
-    const RaceCapture *race_capture = nullptr;
-    for (const auto &w : workers) {
-        if (w->firstRace.iter >= 0 &&
-            (race_iter < 0 || w->firstRace.iter < race_iter)) {
-            race_iter = w->firstRace.iter;
-            race_capture = &w->firstRace;
-        }
-    }
-
-    // Replay the sequential engine's loop over the merged records:
-    // fold coverage in iteration order, apply bug/threshold stop
-    // semantics, and cut off exactly where -jobs=1 would have stopped.
     engine::GoatResult &result = out.merged;
-    CoverageState merged(ecfg.staticModel);
-    std::vector<obs::LedgerEntry> ledger_rows;
-    std::set<std::string> seen_pred;
-    int cutoff = 0;
-
-    // The merge stage is profiled on the campaign thread: one scope
-    // per canonically merged iteration, so its entry total is as
-    // worker-count independent as the rest of the fold.
-    obs::Profiler merge_profiler;
-    std::unique_ptr<obs::ScopedProfiler> merge_prof_scope;
-    if (ecfg.profile)
-        merge_prof_scope =
-            std::make_unique<obs::ScopedProfiler>(merge_profiler);
-
-    for (int i = 1; i <= ecfg.maxIterations; ++i) {
-        const IterRecord *rec = by_iter[static_cast<size_t>(i)];
-        if (!rec)
-            break; // past the watermark: nothing more to merge
-        cutoff = i;
-        obs::ProfileScope merge_prof(obs::Stage::Merge);
-
-        IterationOutcome io;
-        io.exec = rec->exec;
-        io.dl = rec->dl;
-        io.wallMicros = rec->wallMicros;
-
-        if (measure_cov && rec->cov) {
-            merged.mergeFrom(*rec->cov);
-            io.coveragePct = merged.percent();
-            result.finalCoverage = io.coveragePct;
-            // The saturation sample reads the canonical cumulative
-            // fold, so the series is identical for any worker count.
-            if (ecfg.collectCoverage)
-                result.saturation.sample(i, merged);
-        }
-
-        if (ecfg.profile)
-            result.profile.mergeFrom(rec->profileDelta);
-
-        if (i == race_iter) {
-            result.firstRaces = race_capture->races;
-            result.raceIteration = i;
-        }
-
-        // Fold this iteration's predictions in iteration order,
-        // keeping the first instance of each stable key — the same
-        // dedup a sequential pass over the traces would perform.
-        if (ecfg.predict) {
-            for (const analysis::Prediction &p :
-                 rec->predictions.predictions) {
-                if (!seen_pred.insert(p.key()).second)
-                    continue;
-                analysis::Prediction q = p;
-                q.iteration = i;
-                out.predict.report.predictions.push_back(std::move(q));
-            }
-        }
-
-        bool buggy = rec->coreBug || i == race_iter;
-        if (buggy && !result.bugFound) {
-            result.bugFound = true;
-            result.bugIteration = i;
-            // The worker that executed the canonical first detection
-            // necessarily captured it as its own first bug.
-            for (const auto &w : workers) {
-                if (w->firstBug.iter == i) {
-                    SingleRun &sr = w->firstBug.sr;
-                    result.firstBug = sr.dl;
-                    result.firstBugExec = sr.exec;
-                    result.firstBugEct = sr.ect;
-                    engine::finalizeRecipe(sr);
-                    sr.recipe.kernel = cfg.programName;
-                    result.firstBugRecipe = sr.recipe;
-                    result.report = analysis::deadlockReportStr(
-                        sr.ect, *sr.tree, sr.dl);
-                    break;
-                }
-            }
-        }
-
-        if (!ecfg.ledgerPath.empty()) {
-            obs::LedgerEntry e;
-            e.iteration = i;
-            e.seed = rec->seed;
-            e.delayBound = ecfg.delayBound;
-            e.outcome = runtime::runOutcomeName(rec->exec.outcome);
-            e.verdict = analysis::verdictName(rec->dl.verdict);
-            e.bug = buggy;
-            e.steps = rec->exec.steps;
-            e.coveragePct = io.coveragePct;
-            if (ecfg.collectCoverage && rec->cov) {
-                e.satCovered =
-                    static_cast<int64_t>(merged.coveredCount());
-                e.satTotal =
-                    static_cast<int64_t>(merged.totalRequirements());
-            }
-            e.wallMicros = rec->wallMicros;
-            e.worker = worker_of[static_cast<size_t>(i)];
-            e.workerSeq = wseq_of[static_cast<size_t>(i)];
-            if (cfg.lintBridge)
-                e.staticWarnings = static_cast<int>(cfg.lint.size());
-            if (ecfg.profile) {
-                e.hasProfile = true;
-                e.profileDelta = rec->profileDelta;
-            }
-            if (ecfg.predict)
-                e.predicted = static_cast<int>(
-                    rec->predictions.predictions.size());
-            e.metricsDelta = rec->metricsDelta;
-            ledger_rows.push_back(std::move(e));
-        }
-
-        result.iterations.push_back(std::move(io));
-
-        if (result.bugFound && ecfg.stopOnBug)
-            break;
-        if (ecfg.collectCoverage && merged.percent() >= ecfg.covThreshold)
-            break;
-    }
-
-    // Close out the merge-stage profiling before the recipe/minimize
-    // replays below: those execute the program on this thread and must
-    // not record into the campaign fold.
-    if (ecfg.profile) {
-        obs::ProfileSnapshot merge_delta = merge_profiler.drain();
-        merge_prof_scope.reset();
-        result.profile.mergeFrom(merge_delta);
-        for (const auto &w : workers)
-            for (const IterRecord &r : w->records)
-                out.executedProfile.mergeFrom(r.profileDelta);
-        out.executedProfile.mergeFrom(merge_delta);
-    }
-
-    out.cutoffIteration = cutoff;
-    out.discardedIterations =
-        out.executedIterations - static_cast<int>(result.iterations.size());
-    out.coverage = std::move(merged);
 
     // Repro-recipe capture: the canonical first bug's decision stream
     // is a pure function of its iteration index, so the recipe bytes
@@ -488,15 +525,23 @@ runCampaign(const CampaignConfig &cfg,
             warn("cannot write recipe file " + cfg.recordPath);
     }
     if (result.bugFound && cfg.minimize) {
-        out.minimize = engine::minimizeRecipe(program,
-                                              result.firstBugRecipe);
-        if (!cfg.recordPath.empty() && out.minimize.reproduced) {
-            std::string min_path = cfg.recordPath + ".min";
-            if (trace::writeRecipeFile(out.minimize.minimized, min_path)) {
-                out.minimizedRecipePath = min_path;
-            } else {
-                out.recordOk = false;
-                warn("cannot write recipe file " + min_path);
+        if (result.firstBugRecipe.seededPolicy) {
+            // Minimization replays candidates in-process; a crash
+            // recipe would take the campaign down with it.
+            warn("skipping -minimize: the first bug is a supervised "
+                 "crash/timeout (seeded-policy recipe)");
+        } else {
+            out.minimize = engine::minimizeRecipe(program,
+                                                  result.firstBugRecipe);
+            if (!cfg.recordPath.empty() && out.minimize.reproduced) {
+                std::string min_path = cfg.recordPath + ".min";
+                if (trace::writeRecipeFile(out.minimize.minimized,
+                                           min_path)) {
+                    out.minimizedRecipePath = min_path;
+                } else {
+                    out.recordOk = false;
+                    warn("cannot write recipe file " + min_path);
+                }
             }
         }
     }
@@ -505,7 +550,7 @@ runCampaign(const CampaignConfig &cfg,
     // source iteration whose recipe seeds the synthesized schedules.
     // The fold above appended predictions in ascending iteration
     // order, so each group is a contiguous span.
-    if (ecfg.predict) {
+    if (ecfg.predict && by_iter) {
         auto &preds = out.predict.report.predictions;
         out.predict.confirmRecipes.assign(preds.size(),
                                           trace::Recipe());
@@ -521,7 +566,7 @@ runCampaign(const CampaignConfig &cfg,
                                    preds.begin() +
                                        static_cast<ptrdiff_t>(end));
             trace::Recipe base =
-                by_iter[static_cast<size_t>(src)]->recipe;
+                (*by_iter)[static_cast<size_t>(src)]->recipe;
             base.kernel = cfg.programName;
             engine::PredictOutcome po = engine::confirmPredictions(
                 program, base, std::move(sub));
@@ -551,10 +596,11 @@ runCampaign(const CampaignConfig &cfg,
     // Dynamic cross-check of the lint bridge: mark findings whose site
     // a goroutine of the canonical first bug trace actually reached
     // while parked or panicking. Input (the canonical trace) and the
-    // lint report are both worker-count-independent.
+    // lint report are both worker-count-independent. A supervised
+    // crash/timeout bug has no trace to check against.
     if (cfg.lintBridge) {
         out.lint = cfg.lint;
-        if (result.bugFound) {
+        if (result.bugFound && !result.firstBugRecipe.seededPolicy) {
             out.confirmedWarnings = static_cast<int>(
                 staticmodel::confirmFindings(out.lint,
                                              result.firstBugEct));
@@ -592,10 +638,12 @@ runCampaign(const CampaignConfig &cfg,
     // Fold the private worker registries into one snapshot and absorb
     // them into the campaign-level registry, plus campaign bookkeeping.
     obs::Registry &parent = obs::Registry::current();
-    for (const auto &w : workers) {
-        obs::Snapshot s = w->registry.snapshot();
-        out.workerMetrics.mergeFrom(s);
-        parent.absorb(s);
+    if (workers) {
+        for (const auto &w : *workers) {
+            obs::Snapshot s = w->registry.snapshot();
+            out.workerMetrics.mergeFrom(s);
+            parent.absorb(s);
+        }
     }
     parent.counter("engine.campaigns").inc();
     parent.counter("campaign.runs").inc();
@@ -603,13 +651,21 @@ runCampaign(const CampaignConfig &cfg,
         .inc(static_cast<uint64_t>(out.executedIterations));
     parent.counter("campaign.iterations.discarded")
         .inc(static_cast<uint64_t>(out.discardedIterations));
-    parent.gauge("campaign.workers").setMax(jobs);
-    if (ecfg.predict) {
+    parent.gauge("campaign.workers").setMax(out.jobs);
+    if (ecfg.predict && by_iter) {
         parent.counter("campaign.predictions")
             .inc(static_cast<uint64_t>(
                 out.predict.report.predictions.size()));
         parent.counter("campaign.predictions.confirmed")
             .inc(static_cast<uint64_t>(out.predict.confirmedCount));
+    }
+    if (cfg.isolate || out.respawns || out.crashes || out.timeouts) {
+        parent.counter("campaign.respawns")
+            .inc(static_cast<uint64_t>(out.respawns));
+        parent.counter("campaign.crashes")
+            .inc(static_cast<uint64_t>(out.crashes));
+        parent.counter("campaign.timeouts")
+            .inc(static_cast<uint64_t>(out.timeouts));
     }
 
     out.wallMicros = static_cast<uint64_t>(
@@ -622,9 +678,477 @@ runCampaign(const CampaignConfig &cfg,
             "campaign: bug found at iteration %d (%s), %d workers, "
             "%d executed / %d discarded",
             result.bugIteration, result.firstBug.shortStr().c_str(),
-            jobs, out.executedIterations, out.discardedIterations));
+            out.jobs, out.executedIterations,
+            out.discardedIterations));
     }
+}
+
+/** Load + fingerprint-check the resume checkpoint ("" error = ok). */
+bool
+loadResume(const CampaignConfig &cfg, CheckpointData *ck,
+           CampaignResult &out)
+{
+    std::string err;
+    if (!readCheckpointFile(cfg.resumePath, ck, &err)) {
+        out.resumeOk = false;
+        out.resumeError = err;
+        return false;
+    }
+    if (ck->fingerprint != configFingerprint(cfg)) {
+        out.resumeOk = false;
+        out.resumeError =
+            "checkpoint fingerprint mismatch: " + ck->fingerprint +
+            " vs " + configFingerprint(cfg);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * In-process driver: worker threads, optionally in checkpoint rounds.
+ * With no checkpoint/resume configured this is exactly one round over
+ * the full budget — the classic path, byte-identical to what it
+ * always produced.
+ */
+CampaignResult
+runThreadedCampaign(const CampaignConfig &cfg,
+                    const std::function<void()> &program)
+{
+    using std::chrono::steady_clock;
+    auto campaign_t0 = steady_clock::now();
+
+    const GoatConfig &ecfg = cfg.engine;
+    const bool measure_cov = ecfg.collectCoverage || ecfg.coverageGuided;
+    const bool checkpointing = !cfg.checkpointPath.empty();
+    const bool want_rows = !ecfg.ledgerPath.empty() || checkpointing ||
+                           !cfg.resumePath.empty();
+    int jobs = cfg.jobs < 1 ? 1 : cfg.jobs;
+    if (jobs > ecfg.maxIterations)
+        jobs = ecfg.maxIterations < 1 ? 1 : ecfg.maxIterations;
+
+    CampaignResult out;
+    out.jobs = jobs;
+    engine::GoatResult &result = out.merged;
+    FoldState fs(ecfg);
+
+    if (!cfg.resumePath.empty()) {
+        CheckpointData ck;
+        if (!loadResume(cfg, &ck, out))
+            return out;
+        restoreCheckpoint(ck, cfg, fs, result, out);
+    }
+    // A race restored from the checkpoint already owns the canonical
+    // first-race slot; fresh captures (necessarily later) never
+    // displace it.
+    const bool race_frozen = result.raceIteration > 0;
+
+    Shared sh(cfg, program);
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(static_cast<size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+        workers.push_back(std::make_unique<Worker>(ecfg));
+        workers.back()->id = i;
+    }
+
+    // Index records by global iteration id. Claims come from one
+    // atomic counter, so executed iterations form a contiguous prefix
+    // possibly followed by abandoned claims past the watermark.
+    std::vector<IterRecord *> by_iter(
+        static_cast<size_t>(ecfg.maxIterations) + 1, nullptr);
+    std::vector<int> worker_of(by_iter.size(), -1);
+    std::vector<int> wseq_of(by_iter.size(), 0);
+
+    std::set<std::string> seen_pred;
+
+    // The merge stage is profiled on the campaign thread: one scope
+    // per canonically merged iteration, so its entry total is as
+    // worker-count independent as the rest of the fold.
+    obs::Profiler merge_profiler;
+    std::unique_ptr<obs::ScopedProfiler> merge_prof_scope;
+    if (ecfg.profile)
+        merge_prof_scope =
+            std::make_unique<obs::ScopedProfiler>(merge_profiler);
+
+    while (!fs.stopped && fs.cursor < ecfg.maxIterations &&
+           !interruptRequested()) {
+        const int round_end =
+            checkpointing
+                ? std::min(ecfg.maxIterations,
+                           fs.cursor + std::max(1, cfg.checkpointEvery))
+                : ecfg.maxIterations;
+        sh.roundEnd.store(round_end, std::memory_order_relaxed);
+        sh.next.store(fs.cursor + 1, std::memory_order_relaxed);
+
+        if (jobs == 1) {
+            workerLoop(sh, *workers[0]);
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(workers.size());
+            for (auto &w : workers)
+                threads.emplace_back(
+                    [&sh, &w]() { workerLoop(sh, *w); });
+            for (auto &t : threads)
+                t.join();
+        }
+
+        // Index this round's fresh records.
+        for (const auto &w : workers) {
+            for (size_t r = w->indexed; r < w->records.size(); ++r) {
+                IterRecord &rec = w->records[r];
+                by_iter[static_cast<size_t>(rec.iter)] = &rec;
+                worker_of[static_cast<size_t>(rec.iter)] = w->id;
+                wseq_of[static_cast<size_t>(rec.iter)] =
+                    static_cast<int>(r) + 1;
+                ++fs.executed;
+            }
+            w->indexed = w->records.size();
+        }
+
+        // Canonical first race: each worker's capture is the minimum
+        // over its (increasing) claimed indices, so the global minimum
+        // over captures is the first race a sequential campaign would
+        // find.
+        int race_iter = -1;
+        const RaceCapture *race_capture = nullptr;
+        if (!race_frozen) {
+            for (const auto &w : workers) {
+                if (w->firstRace.iter >= 0 &&
+                    (race_iter < 0 || w->firstRace.iter < race_iter)) {
+                    race_iter = w->firstRace.iter;
+                    race_capture = &w->firstRace;
+                }
+            }
+        }
+
+        // Replay the sequential engine's loop over the merged records:
+        // fold coverage in iteration order, apply bug/threshold stop
+        // semantics, and cut off exactly where -jobs=1 would have
+        // stopped.
+        for (int i = fs.cursor + 1; i <= round_end; ++i) {
+            IterRecord *rec = by_iter[static_cast<size_t>(i)];
+            if (!rec)
+                break; // past the watermark: nothing more to merge
+            fs.cursor = i;
+            obs::ProfileScope merge_prof(obs::Stage::Merge);
+
+            IterationOutcome io;
+            io.exec = rec->exec;
+            io.dl = rec->dl;
+            io.wallMicros = rec->wallMicros;
+
+            if (measure_cov && rec->cov) {
+                fs.merged.mergeFrom(*rec->cov);
+                rec->cov.reset(); // folded; free the big part
+                io.coveragePct = fs.merged.percent();
+                result.finalCoverage = io.coveragePct;
+                // The saturation sample reads the canonical cumulative
+                // fold, so the series is identical for any worker
+                // count.
+                if (ecfg.collectCoverage)
+                    result.saturation.sample(i, fs.merged);
+            }
+
+            if (ecfg.profile)
+                result.profile.mergeFrom(rec->profileDelta);
+
+            if (i == race_iter) {
+                result.firstRaces = race_capture->races;
+                result.raceIteration = i;
+            }
+
+            // Fold this iteration's predictions in iteration order,
+            // keeping the first instance of each stable key — the same
+            // dedup a sequential pass over the traces would perform.
+            if (ecfg.predict) {
+                for (const analysis::Prediction &p :
+                     rec->predictions.predictions) {
+                    if (!seen_pred.insert(p.key()).second)
+                        continue;
+                    analysis::Prediction q = p;
+                    q.iteration = i;
+                    out.predict.report.predictions.push_back(
+                        std::move(q));
+                }
+            }
+
+            bool buggy = rec->coreBug || i == race_iter;
+            if (buggy && !result.bugFound) {
+                result.bugFound = true;
+                result.bugIteration = i;
+                // The worker that executed the canonical first
+                // detection necessarily captured it as its own first
+                // bug.
+                for (const auto &w : workers) {
+                    if (w->firstBug.iter == i) {
+                        SingleRun &sr = w->firstBug.sr;
+                        result.firstBug = sr.dl;
+                        result.firstBugExec = sr.exec;
+                        result.firstBugEct = sr.ect;
+                        engine::finalizeRecipe(sr);
+                        sr.recipe.kernel = cfg.programName;
+                        result.firstBugRecipe = sr.recipe;
+                        result.report = analysis::deadlockReportStr(
+                            sr.ect, *sr.tree, sr.dl);
+                        break;
+                    }
+                }
+            }
+
+            if (want_rows) {
+                obs::LedgerEntry e;
+                e.iteration = i;
+                e.seed = rec->seed;
+                e.delayBound = ecfg.delayBound;
+                e.outcome = runtime::runOutcomeName(rec->exec.outcome);
+                e.verdict = analysis::verdictName(rec->dl.verdict);
+                e.bug = buggy;
+                e.steps = rec->exec.steps;
+                e.coveragePct = io.coveragePct;
+                if (ecfg.collectCoverage && io.coveragePct >= 0) {
+                    e.satCovered =
+                        static_cast<int64_t>(fs.merged.coveredCount());
+                    e.satTotal = static_cast<int64_t>(
+                        fs.merged.totalRequirements());
+                }
+                e.wallMicros = rec->wallMicros;
+                e.worker = worker_of[static_cast<size_t>(i)];
+                e.workerSeq = wseq_of[static_cast<size_t>(i)];
+                if (cfg.lintBridge)
+                    e.staticWarnings = static_cast<int>(cfg.lint.size());
+                if (ecfg.profile) {
+                    e.hasProfile = true;
+                    e.profileDelta = rec->profileDelta;
+                }
+                if (ecfg.predict)
+                    e.predicted = static_cast<int>(
+                        rec->predictions.predictions.size());
+                e.metricsDelta = rec->metricsDelta;
+                fs.rows.push_back(std::move(e));
+            }
+
+            result.iterations.push_back(std::move(io));
+
+            if (buggy && ecfg.stopOnBug) {
+                fs.stopped = true;
+                break;
+            }
+            if (ecfg.collectCoverage &&
+                fs.merged.percent() >= ecfg.covThreshold) {
+                fs.stopped = true;
+                break;
+            }
+        }
+
+        if (checkpointing)
+            writeCheckpoint(cfg, fs, result, out);
+
+        // A gap in the merged prefix means the round was cut short by
+        // an interrupt — nothing further can fold.
+        if (fs.cursor < round_end && !fs.stopped)
+            break;
+    }
+
+    if (interruptRequested()) {
+        out.interrupted = true;
+        out.interruptSig = interruptSignal();
+    }
+
+    // Close out the merge-stage profiling before the recipe/minimize
+    // replays below: those execute the program on this thread and must
+    // not record into the campaign fold.
+    if (ecfg.profile) {
+        obs::ProfileSnapshot merge_delta = merge_profiler.drain();
+        merge_prof_scope.reset();
+        result.profile.mergeFrom(merge_delta);
+        for (const auto &w : workers)
+            for (const IterRecord &r : w->records)
+                out.executedProfile.mergeFrom(r.profileDelta);
+        out.executedProfile.mergeFrom(merge_delta);
+    }
+
+    out.cutoffIteration = fs.cursor;
+    out.executedIterations = fs.executed;
+    out.discardedIterations =
+        fs.executed - static_cast<int>(result.iterations.size());
+    out.respawns = fs.respawns;
+    out.crashes = fs.crashes;
+    out.timeouts = fs.timeouts;
+    out.coverage = std::move(fs.merged);
+
+    // Bug/race material restored from a checkpoint has no live
+    // capture; rehydrate it from the pure (config, iteration) function
+    // before the finalize stages consume it.
+    if (result.bugFound && result.report.empty() &&
+        result.bugIteration >= 1 &&
+        result.bugIteration <= static_cast<int>(fs.rows.size()))
+        materializeFirstBug(
+            cfg, program,
+            fs.rows[static_cast<size_t>(result.bugIteration) - 1],
+            result);
+    if (result.raceIteration > 0 && !result.firstRaces.any()) {
+        CoverageState scratch(ecfg.staticModel);
+        SingleRun sr = engine::runCampaignIteration(
+            ecfg, program, result.raceIteration, &scratch);
+        result.firstRaces = analysis::detectRaces(sr.ect);
+    }
+
+    finalizeCampaign(cfg, program, out, fs.rows, &by_iter, &workers,
+                     campaign_t0);
     return out;
+}
+
+/**
+ * Isolated driver (-isolate): shards in forked children under the
+ * supervisor; the parent folds shard digests in canonical iteration
+ * order, so crashes and timeouts become classified ledger rows instead
+ * of a dead campaign.
+ */
+CampaignResult
+runIsolatedCampaign(const CampaignConfig &cfg,
+                    const std::function<void()> &program)
+{
+    using std::chrono::steady_clock;
+    auto campaign_t0 = steady_clock::now();
+
+    const GoatConfig &ecfg = cfg.engine;
+    const bool measure_cov = ecfg.collectCoverage || ecfg.coverageGuided;
+    const bool checkpointing = !cfg.checkpointPath.empty();
+    int jobs = cfg.jobs < 1 ? 1 : cfg.jobs;
+    if (jobs > ecfg.maxIterations)
+        jobs = ecfg.maxIterations < 1 ? 1 : ecfg.maxIterations;
+
+    CampaignResult out;
+    out.jobs = jobs;
+    engine::GoatResult &result = out.merged;
+    FoldState fs(ecfg);
+
+    if (!cfg.resumePath.empty()) {
+        CheckpointData ck;
+        if (!loadResume(cfg, &ck, out))
+            return out;
+        restoreCheckpoint(ck, cfg, fs, result, out);
+    }
+
+    // Digests arrive in shard-completion order; buffer and fold the
+    // contiguous iteration prefix so every canonical consumer
+    // (coverage, saturation, stop semantics) sees sequential order.
+    std::map<int, ShardDigest> pending;
+    int last_ckpt = fs.cursor;
+
+    auto foldDigest = [&](ShardDigest &&d) {
+        obs::LedgerEntry row = std::move(d.row);
+        const int i = row.iteration;
+        fs.cursor = i;
+        if (cfg.lintBridge)
+            row.staticWarnings = static_cast<int>(cfg.lint.size());
+
+        IterationOutcome io = ioFromRow(row);
+        if (measure_cov) {
+            if (!d.covBitmap.empty())
+                fs.merged.restoreBitmap(d.covBitmap);
+            // Loss rows carry no bitmap; they inherit the cumulative
+            // state so the covered/req_total series stays monotone.
+            io.coveragePct = fs.merged.percent();
+            row.coveragePct = io.coveragePct;
+            result.finalCoverage = io.coveragePct;
+            if (ecfg.collectCoverage) {
+                row.satCovered =
+                    static_cast<int64_t>(fs.merged.coveredCount());
+                row.satTotal = static_cast<int64_t>(
+                    fs.merged.totalRequirements());
+                result.saturation.sample(i, fs.merged);
+            }
+        }
+
+        const bool buggy = row.bug;
+        if (buggy && !result.bugFound) {
+            result.bugFound = true;
+            result.bugIteration = i;
+        }
+        if (cfg.progress) {
+            cfg.progress->noteIteration(
+                static_cast<size_t>(verdictFromName(row.verdict)),
+                buggy);
+            if (measure_cov)
+                cfg.progress->noteCoveragePermille(static_cast<uint64_t>(
+                    fs.merged.percent() * 10.0));
+        }
+
+        const bool loss = supervisedLoss(row);
+        result.iterations.push_back(std::move(io));
+        fs.rows.push_back(std::move(row));
+
+        if (buggy && ecfg.stopOnBug && !loss)
+            fs.stopped = true;
+        else if (ecfg.collectCoverage &&
+                 fs.merged.percent() >= ecfg.covThreshold)
+            fs.stopped = true;
+    };
+
+    auto onEvent = [&](ShardEvent &&ev) {
+        pending.emplace(ev.iteration, std::move(ev.digest));
+        while (!fs.stopped) {
+            auto it = pending.find(fs.cursor + 1);
+            if (it == pending.end())
+                break;
+            ShardDigest d = std::move(it->second);
+            pending.erase(it);
+            foldDigest(std::move(d));
+        }
+        if (checkpointing &&
+            (fs.cursor - last_ckpt >= std::max(1, cfg.checkpointEvery) ||
+             fs.stopped)) {
+            writeCheckpoint(cfg, fs, result, out);
+            last_ckpt = fs.cursor;
+        }
+    };
+
+    SuperviseOutcome so;
+    if (!fs.stopped && fs.cursor < ecfg.maxIterations)
+        so = superviseCampaign(cfg, program, fs.cursor + 1, onEvent,
+                               [&] { return fs.stopped; });
+    fs.executed += so.executed;
+    fs.respawns += so.respawns;
+    fs.crashes += so.crashes;
+    fs.timeouts += so.timeouts;
+
+    if (so.interrupted || interruptRequested()) {
+        out.interrupted = true;
+        out.interruptSig = interruptSignal();
+    }
+    if (checkpointing && fs.cursor != last_ckpt)
+        writeCheckpoint(cfg, fs, result, out);
+
+    out.cutoffIteration = fs.cursor;
+    out.executedIterations = fs.executed;
+    out.discardedIterations =
+        fs.executed - static_cast<int>(result.iterations.size());
+    out.respawns = fs.respawns;
+    out.crashes = fs.crashes;
+    out.timeouts = fs.timeouts;
+    out.coverage = std::move(fs.merged);
+
+    if (result.bugFound && result.bugIteration >= 1 &&
+        result.bugIteration <= static_cast<int>(fs.rows.size()))
+        materializeFirstBug(
+            cfg, program,
+            fs.rows[static_cast<size_t>(result.bugIteration) - 1],
+            result);
+
+    finalizeCampaign(cfg, program, out, fs.rows, nullptr, nullptr,
+                     campaign_t0);
+    return out;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg,
+            const std::function<void()> &program)
+{
+    if (cfg.isolate)
+        return runIsolatedCampaign(cfg, program);
+    return runThreadedCampaign(cfg, program);
 }
 
 } // namespace goat::campaign

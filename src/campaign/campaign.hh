@@ -97,6 +97,51 @@ struct CampaignConfig
      * observability — does not affect the campaign's results.
      */
     obs::ProgressCounters *progress = nullptr;
+
+    // ---- Fault tolerance (src/campaign/supervisor.hh, checkpoint.hh)
+
+    /**
+     * Process isolation (-isolate): run the iteration shards in forked
+     * child processes under a supervisor that classifies abnormal
+     * exits (SIGSEGV, SIGABRT, OOM…) into crash-verdict ledger rows
+     * and respawns the shard, so one crashing iteration cannot take
+     * the campaign down.
+     */
+    bool isolate = false;
+    /**
+     * Per-iteration wall-clock watchdog in seconds (-iter-timeout;
+     * 0 = off, requires isolate). A shard stuck on one iteration past
+     * the deadline is killed and the iteration recorded as a timeout
+     * verdict with a seeded-policy repro recipe.
+     */
+    int iterTimeoutSecs = 0;
+    /**
+     * Address-space ceiling per shard in MiB (-mem-limit; 0 = off,
+     * requires isolate). A shard breaching it exits with the OOM
+     * marker and the iteration is recorded as an "oom" crash.
+     */
+    int memLimitMB = 0;
+    /**
+     * Respawn budget per shard (-max-respawns). When a shard exhausts
+     * it, its remaining iterations are synthesized as crash rows and
+     * the campaign completes degraded rather than spinning forever.
+     */
+    int maxRespawns = 16;
+    /**
+     * Periodic campaign checkpoint path (-checkpoint; "" = off).
+     * Snapshots the merged prefix every checkpointEvery iterations via
+     * atomic tmp+rename, so a killed campaign resumes losing at most
+     * one round of work.
+     */
+    std::string checkpointPath;
+    /** Iterations per checkpoint round (with checkpointPath). */
+    int checkpointEvery = 64;
+    /**
+     * Resume from a checkpoint written by a compatible configuration
+     * (-resume; "" = off). The merged result of a killed-and-resumed
+     * campaign is canonically identical to an uninterrupted run.
+     */
+    std::string resumePath;
 };
 
 /**
@@ -161,6 +206,37 @@ struct CampaignResult
      * -jobs value.
      */
     engine::PredictOutcome predict;
+
+    // ---- Fault tolerance
+
+    /** Shard respawns performed by the supervisor (with isolate). */
+    int respawns = 0;
+    /** Iterations recorded as supervised crashes (with isolate). */
+    int crashes = 0;
+    /** Iterations recorded as watchdog timeouts (with isolate). */
+    int timeouts = 0;
+    /**
+     * The campaign was cut short by SIGINT/SIGTERM: workers flushed
+     * their buffers, the contiguous finished prefix was merged, and
+     * the ledger/checkpoint were still written. interruptSig names the
+     * signal (the CLI exits 128+sig).
+     */
+    bool interrupted = false;
+    int interruptSig = 0;
+    /** False when a requested checkpoint file could not be written. */
+    bool checkpointOk = true;
+    /** The campaign restored state from a checkpoint. */
+    bool resumed = false;
+    /** Iterations restored from the checkpoint (0 = none). */
+    int resumeFrom = 0;
+    /**
+     * False when a requested resume failed (unreadable checkpoint or
+     * configuration-fingerprint mismatch); resumeError explains. The
+     * campaign does not run in that case — the CLI maps a fingerprint
+     * mismatch to the usage-error exit.
+     */
+    bool resumeOk = true;
+    std::string resumeError;
 };
 
 /**

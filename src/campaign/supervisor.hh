@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Campaign process isolation (-isolate): run the iteration shards in
+ * forked child processes under a parent supervisor, so an iteration
+ * that segfaults, aborts, runs away on memory, or livelocks takes
+ * down only its shard — the supervisor classifies the loss, records
+ * it as a crash/timeout ledger row with a replayable seeded-policy
+ * recipe, respawns the shard, and the campaign continues.
+ *
+ * Topology: jobs shards; shard c owns the iterations with
+ * (i - start) % jobs == c, a static partition — deterministic content
+ * per iteration (seed partitioning) makes placement irrelevant to the
+ * canonical merge, exactly as with in-process worker threads.
+ *
+ * Wire protocol (child → parent, one pipe per shard): length-prefixed
+ * frames — a 4-byte little-endian payload length, then the payload,
+ * whose first byte is the frame type:
+ *
+ *   'B' <iter>     about to run iteration <iter> (arms the watchdog)
+ *   'R' <digest>   iteration finished; serialized ShardDigest
+ *   'D'            shard done (graceful exit follows)
+ *
+ * Parent → child is a one-byte control pipe: any byte means "stop
+ * after the current iteration" (the early-stop broadcast and the
+ * SIGINT/SIGTERM drain); EOF means the parent is gone.
+ *
+ * Failure handling:
+ *  - abnormal child exit → classifyExitStatus() names the cause
+ *    ("sigsegv", "sigabrt", "oom", "exit_N", …); the in-flight
+ *    iteration (known from its 'B' frame) becomes a crash event;
+ *  - -iter-timeout=N → a shard past its per-iteration deadline is
+ *    SIGKILLed and the iteration becomes a timeout event;
+ *  - -mem-limit=M → the child runs under RLIMIT_AS with a
+ *    std::set_new_handler that exits 77, classified "oom";
+ *  - each loss respawns the shard (fresh fork continuing at the next
+ *    owed iteration) with exponential backoff, up to -max-respawns;
+ *    an exhausted budget degrades gracefully — the shard's remaining
+ *    iterations are recorded as "respawn_budget" crashes and the
+ *    campaign completes with what it has.
+ */
+
+#ifndef GOAT_CAMPAIGN_SUPERVISOR_HH
+#define GOAT_CAMPAIGN_SUPERVISOR_HH
+
+#include <functional>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "obs/ledger.hh"
+
+namespace goat::campaign {
+
+/**
+ * Classify a waitpid() status: "" for a clean exit 0, otherwise the
+ * crash-cause token recorded on the ledger row ("sigsegv", "sigabrt",
+ * "sigbus", "sigill", "sigfpe", "sigkill", "sigterm", "signal_N",
+ * "oom" for exit 77, "exit_N" for other nonzero exits).
+ */
+std::string classifyExitStatus(int wait_status);
+
+/**
+ * One iteration's result as shipped over the shard pipe: the ledger
+ * row (metrics pre-rendered to JSON) plus the iteration's private
+ * coverage bitmap, which the parent folds into the canonical merged
+ * state (the shard cannot know cumulative canonical coverage).
+ */
+struct ShardDigest
+{
+    obs::LedgerEntry row;
+    std::string covBitmap;
+};
+
+std::string digestToString(const ShardDigest &d);
+bool digestFromString(const std::string &text, ShardDigest *out);
+
+/**
+ * One supervision event, delivered to the campaign merge in arrival
+ * order (the merge buffers and folds the contiguous iteration prefix).
+ */
+struct ShardEvent
+{
+    enum class Kind
+    {
+        Result,  ///< Iteration completed; digest is the shard's.
+        Crash,   ///< Shard died on this iteration; digest synthesized.
+        Timeout, ///< Watchdog fired on this iteration; synthesized.
+    };
+    Kind kind = Kind::Result;
+    int iteration = 0;
+    int shard = 0;
+    /** Crash/timeout classification ("" for results). */
+    std::string cause;
+    ShardDigest digest;
+};
+
+/** Aggregate supervision tallies. */
+struct SuperviseOutcome
+{
+    int respawns = 0;
+    int crashes = 0;
+    int timeouts = 0;
+    /** Iterations resolved (results + synthesized losses). */
+    int executed = 0;
+    /** The drain was triggered by SIGINT/SIGTERM. */
+    bool interrupted = false;
+};
+
+/**
+ * Fork cfg.jobs shards covering iterations startIteration..
+ * engine.maxIterations and pump their pipes until every shard is done
+ * (or stopped). @p onEvent receives every event; @p stopRequested is
+ * polled between events — returning true broadcasts the stop byte and
+ * drains. Must be called from a thread that may fork (the campaign
+ * thread; no live Scheduler).
+ */
+SuperviseOutcome
+superviseCampaign(const CampaignConfig &cfg,
+                  const std::function<void()> &program,
+                  int startIteration,
+                  const std::function<void(ShardEvent &&)> &onEvent,
+                  const std::function<bool()> &stopRequested);
+
+} // namespace goat::campaign
+
+#endif // GOAT_CAMPAIGN_SUPERVISOR_HH

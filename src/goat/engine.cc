@@ -188,6 +188,43 @@ replayRecipe(const std::function<void()> &program,
              const trace::Recipe &recipe)
 {
     ReplayResult out;
+
+    if (recipe.seededPolicy) {
+        // Seeded-policy recipe (supervised crash/timeout rows): the
+        // shard died before its yield stream could be captured, so the
+        // schedule is re-derived from the seeded uniform policy exactly
+        // as the campaign iteration ran it. Replaying a crash recipe
+        // reproduces the crash (the process dies); a livelock recipe
+        // hangs until the step budget trips. No recorded trace
+        // fingerprint or verdict can be asserted in-process — the
+        // recorded values name the supervisor's classification.
+        perturb::ScheduleRecorder recorder;
+        perturb::YieldPerturber uniform(recipe.delayBound, recipe.seed);
+        runtime::PerturbHook inner;
+        if (recipe.delayBound > 0)
+            inner = uniform.hook();
+        out.sr = runOnceHooked(program, recipe.seed,
+                               recorder.wrap(std::move(inner)),
+                               recipe.noiseProb, recipe.stepBudget,
+                               recipe.delayBound);
+        trace::Recipe &r = out.sr.recipe;
+        r.kernel = recipe.kernel;
+        r.seed = recipe.seed;
+        r.delayBound = recipe.delayBound;
+        r.noiseProb = recipe.noiseProb;
+        r.stepBudget = recipe.stepBudget;
+        r.iteration = recipe.iteration;
+        r.hookCalls = recorder.calls();
+        r.yields = recorder.yields();
+        r.outcome = runtime::runOutcomeName(out.sr.exec.outcome);
+        r.verdict = analysis::verdictName(out.sr.dl.verdict);
+        finalizeRecipe(out.sr);
+        out.buggy = out.sr.dl.buggy() ||
+                    out.sr.exec.outcome == RunOutcome::StepBudget;
+        out.matched = true;
+        return out;
+    }
+
     perturb::ReplayPerturber rp(
         perturb::ReplayPerturber::callsOf(recipe));
     out.sr = runOnceHooked(program, recipe.seed, rp.hook(),

@@ -45,11 +45,26 @@ KernelRegistry::all() const
 {
     std::vector<const KernelInfo *> out;
     for (const auto &k : kernels_)
-        out.push_back(&k);
+        if (!k.hostile)
+            out.push_back(&k);
     std::sort(out.begin(), out.end(),
               [](const KernelInfo *a, const KernelInfo *b) {
                   if (a->project != b->project)
                       return a->project < b->project;
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<const KernelInfo *>
+KernelRegistry::allHostile() const
+{
+    std::vector<const KernelInfo *> out;
+    for (const auto &k : kernels_)
+        if (k.hostile)
+            out.push_back(&k);
+    std::sort(out.begin(), out.end(),
+              [](const KernelInfo *a, const KernelInfo *b) {
                   return a->name < b->name;
               });
     return out;
@@ -70,14 +85,15 @@ KernelRegistry::projects() const
 {
     std::set<std::string> names;
     for (const auto &k : kernels_)
-        names.insert(k.project);
+        if (!k.hostile)
+            names.insert(k.project);
     return {names.begin(), names.end()};
 }
 
 KernelAutoReg::KernelAutoReg(const char *name, const char *project,
                              BugClass cls, const char *desc,
                              std::function<void()> fn, const char *file,
-                             int line)
+                             int line, bool hostile)
 {
     KernelInfo info;
     info.name = name;
@@ -87,6 +103,7 @@ KernelAutoReg::KernelAutoReg(const char *name, const char *project,
     info.fn = std::move(fn);
     info.sourceFile = file;
     info.line = line;
+    info.hostile = hostile;
     KernelRegistry::instance().add(std::move(info));
 }
 
@@ -97,7 +114,12 @@ kernelSpan(const KernelInfo &kernel)
     // registration in the same file (or EOF).
     int begin = kernel.line;
     int end = 1 << 30;
-    for (const auto *k : KernelRegistry::instance().all()) {
+    KernelRegistry &reg = KernelRegistry::instance();
+    for (const auto *k : reg.all()) {
+        if (k->sourceFile == kernel.sourceFile && k->line > begin)
+            end = std::min(end, k->line);
+    }
+    for (const auto *k : reg.allHostile()) {
         if (k->sourceFile == kernel.sourceFile && k->line > begin)
             end = std::min(end, k->line);
     }

@@ -47,6 +47,14 @@ struct KernelInfo
     std::function<void()> fn;
     std::string sourceFile;  ///< __FILE__ of the kernel.
     int line = 0;            ///< Registration line (kernel start).
+    /**
+     * Hostile fault-injection kernel (GOKER_HOSTILE_KERNEL): crashes
+     * the process, livelocks the scheduler thread, or allocates
+     * unboundedly under some schedules. Exercises the campaign
+     * supervisor (-isolate); excluded from all() so plain sweeps and
+     * representative suites never run one in-process by accident.
+     */
+    bool hostile = false;
 };
 
 /**
@@ -62,8 +70,11 @@ class KernelRegistry
     /** Kernel by exact name (nullptr when unknown). */
     const KernelInfo *find(const std::string &name) const;
 
-    /** All kernels, sorted by (project, name). */
+    /** All non-hostile kernels, sorted by (project, name). */
     std::vector<const KernelInfo *> all() const;
+
+    /** All hostile kernels (see KernelInfo::hostile), sorted by name. */
+    std::vector<const KernelInfo *> allHostile() const;
 
     /** Kernels of one project, sorted by name. */
     std::vector<const KernelInfo *>
@@ -83,7 +94,7 @@ struct KernelAutoReg
 {
     KernelAutoReg(const char *name, const char *project, BugClass cls,
                   const char *desc, std::function<void()> fn,
-                  const char *file, int line);
+                  const char *file, int line, bool hostile = false);
 };
 
 /**
@@ -123,6 +134,20 @@ staticmodel::LintReport kernelLintReport(const KernelInfo &kernel);
     static const ::goat::goker::KernelAutoReg goker_reg_##kname(           \
         #kname, kproject, kclass, kdesc, &goker_body_##kname, __FILE__,    \
         __LINE__);                                                         \
+    static void goker_body_##kname()
+
+/**
+ * Define and register a *hostile* fault-injection kernel (project
+ * "hostile"): one that crashes, livelocks, or exhausts memory under
+ * some schedules. Hostile kernels are supervisor test fixtures — they
+ * are excluded from all() and only run via -kernel=<name> or the
+ * -kernel=hostile sweep, which require -isolate.
+ */
+#define GOKER_HOSTILE_KERNEL(kname, kdesc)                                 \
+    static void goker_body_##kname();                                      \
+    static const ::goat::goker::KernelAutoReg goker_reg_##kname(           \
+        #kname, "hostile", ::goat::goker::BugClass::MixedDeadlock,         \
+        kdesc, &goker_body_##kname, __FILE__, __LINE__, true);             \
     static void goker_body_##kname()
 
 } // namespace goat::goker

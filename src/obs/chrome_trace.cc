@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "base/fileio.hh"
 #include "base/fmt.hh"
 #include "runtime/goroutine.hh"
 #include "trace/event.hh"
@@ -181,13 +182,7 @@ chromeTraceJson(const Ect &ect)
 bool
 writeChromeTraceFile(const Ect &ect, const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
-    std::string json = chromeTraceJson(ect);
-    size_t n = std::fwrite(json.data(), 1, json.size(), f);
-    bool ok = n == json.size();
-    return std::fclose(f) == 0 && ok;
+    return goat::atomicWriteFile(path, chromeTraceJson(ect));
 }
 
 } // namespace goat::obs

@@ -45,10 +45,18 @@ ledgerEntryJson(const LedgerEntry &e)
         os << ",\"predicted\":" << e.predicted;
     if (e.predictedConfirmed >= 0)
         os << ",\"predicted_confirmed\":" << e.predictedConfirmed;
+    // Supervisor fields appear only on isolate-mode campaign ledgers.
+    if (!e.crashCause.empty())
+        os << ",\"crash_cause\":\"" << jsonEscape(e.crashCause) << '"';
+    if (e.respawns >= 0)
+        os << ",\"respawns\":" << e.respawns;
     // Per-iteration stage-profiler delta (compact: no buckets).
     if (e.hasProfile)
         os << ",\"profile\":" << e.profileDelta.jsonRowStr();
-    os << ",\"metrics\":" << e.metricsDelta.jsonStr() << '}';
+    os << ",\"metrics\":"
+       << (e.metricsJson.empty() ? e.metricsDelta.jsonStr()
+                                 : e.metricsJson)
+       << '}';
     return os.str();
 }
 

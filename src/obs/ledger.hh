@@ -136,6 +136,26 @@ struct LedgerEntry
      */
     bool hasProfile = false;
     ProfileSnapshot profileDelta;
+    /**
+     * Supervised-exit classification ("" = not a supervised crash).
+     * Emitted as "crash_cause" ("sigsegv", "sigabrt", "oom",
+     * "exit_N", ...); only ever set on crash-verdict rows produced by
+     * the campaign supervisor (src/campaign/supervisor.hh).
+     */
+    std::string crashCause;
+    /**
+     * Shard respawns charged to this iteration (-1 = not supervised).
+     * Emitted as "respawns". The value depends on shard placement, so
+     * check_ledger.py strips it from the canonical cross-jobs view.
+     */
+    int respawns = -1;
+    /**
+     * Pre-rendered metrics JSON ("" = render metricsDelta). Rows
+     * rehydrated from a checkpoint or received from a supervised
+     * shard carry the metrics object as the string it was originally
+     * rendered to, so the emitted line stays byte-identical.
+     */
+    std::string metricsJson;
     /** Metrics-registry delta over this iteration. */
     Snapshot metricsDelta;
 };

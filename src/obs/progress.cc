@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "base/fileio.hh"
 #include "base/fmt.hh"
 
 namespace goat::obs {
@@ -14,6 +15,7 @@ const char *const kVerdictKeys[ProgressCounters::kVerdicts] = {
     "partial_deadlock",
     "global_deadlock",
     "crash",
+    "timeout",
 };
 
 /** Short heartbeat labels in the same order. */
@@ -22,6 +24,7 @@ const char *const kVerdictShort[ProgressCounters::kVerdicts] = {
     "pdl",
     "gdl",
     "crash",
+    "to",
 };
 
 } // namespace
@@ -29,18 +32,7 @@ const char *const kVerdictShort[ProgressCounters::kVerdicts] = {
 bool
 atomicWriteFile(const std::string &path, const std::string &content)
 {
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f)
-        return false;
-    size_t n = std::fwrite(content.data(), 1, content.size(), f);
-    bool ok = n == content.size();
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return goat::atomicWriteFile(path, content);
 }
 
 ProgressReporter::ProgressReporter(ProgressConfig cfg,
@@ -130,6 +122,11 @@ ProgressReporter::emitHeartbeat()
             line += strFormat(", %s=%llu", kVerdictShort[i],
                               static_cast<unsigned long long>(v));
     }
+    uint64_t respawns =
+        counters_.respawns.load(std::memory_order_relaxed);
+    if (respawns)
+        line += strFormat(", respawns %llu",
+                          static_cast<unsigned long long>(respawns));
     if (cfg_.totalIterations > 0 && rate > 0 &&
         done < static_cast<uint64_t>(cfg_.totalIterations)) {
         double eta =
@@ -169,6 +166,10 @@ ProgressReporter::statusJson(bool done) const
     }
     out += strFormat(",\"bugs\":%llu",
                      static_cast<unsigned long long>(bugs));
+    out += strFormat(",\"respawns\":%llu",
+                     static_cast<unsigned long long>(
+                         counters_.respawns.load(
+                             std::memory_order_relaxed)));
     out += ",\"verdicts\":{";
     for (size_t i = 0; i < ProgressCounters::kVerdicts; ++i) {
         if (i)

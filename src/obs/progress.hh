@@ -32,13 +32,15 @@ namespace goat::obs {
 struct ProgressCounters
 {
     /** Number of verdict classes tracked (analysis::Verdict values). */
-    static constexpr size_t kVerdicts = 4;
+    static constexpr size_t kVerdicts = 5;
 
     std::atomic<uint64_t> executed{0};
     std::atomic<uint64_t> bugs{0};
     /** Cumulative coverage in 0.1% units (workers publish local max). */
     std::atomic<uint64_t> coveragePermille{0};
     std::atomic<uint64_t> verdict[kVerdicts]{};
+    /** Supervised shard respawns (isolate mode; see supervisor.hh). */
+    std::atomic<uint64_t> respawns{0};
 
     /** One-call worker-side update after each iteration. */
     void

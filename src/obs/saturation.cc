@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "base/fileio.hh"
 #include "base/fmt.hh"
 
 namespace goat::obs {
@@ -170,18 +171,9 @@ bool
 SaturationSeries::writeFiles(const std::string &path,
                              const std::string &title) const
 {
-    auto write_all = [](const std::string &p, const std::string &doc) {
-        std::FILE *f = std::fopen(p.c_str(), "w");
-        if (!f)
-            return false;
-        size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-        bool ok = n == doc.size();
-        ok = std::fclose(f) == 0 && ok;
-        return ok;
-    };
-    if (!write_all(path, jsonlStr()))
+    if (!goat::atomicWriteFile(path, jsonlStr()))
         return false;
-    return write_all(path + ".html", htmlStr(title));
+    return goat::atomicWriteFile(path + ".html", htmlStr(title));
 }
 
 } // namespace goat::obs

@@ -63,6 +63,9 @@ class SaturationSeries
     /** Sample @p cov as the cumulative state after iteration @p iter. */
     void sample(int iter, const analysis::CoverageState &cov);
 
+    /** Re-append a previously taken sample (checkpoint restore). */
+    void appendSample(const SaturationSample &s) { samples_.push_back(s); }
+
     const std::vector<SaturationSample> &samples() const { return samples_; }
 
     bool empty() const { return samples_.empty(); }

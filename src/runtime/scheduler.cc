@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/fmt.hh"
+#include "base/interrupt.hh"
 #include "base/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
@@ -558,11 +559,22 @@ Scheduler::run(std::function<void()> main_fn)
     uint64_t drain_start = 0;
     bool budget_hit = false;
 
+    uint64_t interrupt_check = 0;
     while (true) {
         if (panicked_)
             break;
         if (steps_ > cfg_.stepBudget) {
             budget_hit = true;
+            break;
+        }
+        // Poll the operator-interrupt flag every 256 dispatches: cheap
+        // enough for the hot loop, prompt enough that a SIGINT/SIGTERM
+        // ends the run within microseconds. The run winds down through
+        // the step-budget path so teardown (ring flush, tallies) is
+        // the normal one.
+        if ((++interrupt_check & 0xff) == 0 && interruptRequested()) {
+            budget_hit = true;
+            res.interrupted = true;
             break;
         }
         if (runq_.empty()) {

@@ -77,6 +77,13 @@ struct ExecResult
     std::vector<LeakInfo> leaked;
     uint64_t steps = 0;
     uint64_t seed = 0;
+    /**
+     * The run was cut short by a SIGINT/SIGTERM (base/interrupt.hh):
+     * the dispatch loop noticed the flag and ended the run through the
+     * step-budget path so rings and sinks flush normally. The outcome
+     * is not meaningful evidence about the program under test.
+     */
+    bool interrupted = false;
 
     bool
     anyLeak() const

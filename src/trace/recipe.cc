@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "base/fileio.hh"
 #include "base/fmt.hh"
 #include "trace/serialize.hh"
 
@@ -46,6 +47,8 @@ writeRecipe(const Recipe &r, std::ostream &os)
     os << "ect_hash " << strFormat("%016llx",
                                    static_cast<unsigned long long>(r.ectHash))
        << '\n';
+    if (r.seededPolicy)
+        os << "policy seeded\n";
     for (const RecipeYield &y : r.yields)
         os << "yield " << y.call << ' ' << y.kind << ' ' << y.file << ' '
            << y.line << '\n';
@@ -62,11 +65,7 @@ recipeToString(const Recipe &r)
 bool
 writeRecipeFile(const Recipe &r, const std::string &path)
 {
-    std::ofstream ofs(path);
-    if (!ofs)
-        return false;
-    writeRecipe(r, ofs);
-    return static_cast<bool>(ofs);
+    return atomicWriteFile(path, recipeToString(r));
 }
 
 bool
@@ -109,6 +108,10 @@ readRecipe(std::istream &in, Recipe &r)
             std::string hex;
             ls >> hex;
             r.ectHash = std::strtoull(hex.c_str(), nullptr, 16);
+        } else if (key == "policy") {
+            std::string mode;
+            ls >> mode;
+            r.seededPolicy = mode == "seeded";
         } else if (key == "yield") {
             RecipeYield y;
             if (!(ls >> y.call >> y.kind >> y.file >> y.line))

@@ -92,6 +92,15 @@ struct Recipe
     uint64_t ectHash = 0;
     /** Event count of the recorded ECT. */
     uint64_t ectEvents = 0;
+    /**
+     * Seeded-policy recipe (`policy seeded` line): the exact yield
+     * list is unknown — the run died (crash/timeout under the
+     * campaign supervisor) before it could be recorded — so replay
+     * re-derives the schedule from the seeded perturbation policy
+     * exactly as the campaign iteration did, instead of replaying an
+     * explicit yield list. ECT fingerprint assertions do not apply.
+     */
+    bool seededPolicy = false;
     /** Injected yields, in call order. */
     std::vector<RecipeYield> yields;
 };

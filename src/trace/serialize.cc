@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "base/fileio.hh"
 #include "base/fmt.hh"
 
 namespace goat::trace {
@@ -45,11 +46,7 @@ ectToString(const Ect &ect)
 bool
 writeEctFile(const Ect &ect, const std::string &path)
 {
-    std::ofstream ofs(path);
-    if (!ofs)
-        return false;
-    writeEct(ect, ofs);
-    return static_cast<bool>(ofs);
+    return atomicWriteFile(path, ectToString(ect));
 }
 
 bool

@@ -185,6 +185,40 @@ TEST(Cli, RecordReplayMinimizeFlags)
     EXPECT_TRUE(opt.minimize);
 }
 
+TEST(Cli, FaultToleranceFlagsDefaultOff)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({}, opt, &err));
+    EXPECT_FALSE(opt.isolate);
+    EXPECT_EQ(opt.iter_timeout, 0);
+    EXPECT_EQ(opt.mem_limit, 0);
+    EXPECT_EQ(opt.max_respawns, 16);
+    EXPECT_EQ(opt.checkpoint_out, "");
+    EXPECT_EQ(opt.checkpoint_every, 64);
+    EXPECT_EQ(opt.resume_in, "");
+    EXPECT_FALSE(opt.keep_going);
+}
+
+TEST(Cli, FaultToleranceFlags)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-isolate", "-iter-timeout=30", "-mem-limit=512",
+                       "-max-respawns=4", "-checkpoint=/tmp/c.ck",
+                       "-checkpoint-every=128", "-resume=/tmp/old.ck",
+                       "-keep-going"},
+                      opt, &err));
+    EXPECT_TRUE(opt.isolate);
+    EXPECT_EQ(opt.iter_timeout, 30);
+    EXPECT_EQ(opt.mem_limit, 512);
+    EXPECT_EQ(opt.max_respawns, 4);
+    EXPECT_EQ(opt.checkpoint_out, "/tmp/c.ck");
+    EXPECT_EQ(opt.checkpoint_every, 128);
+    EXPECT_EQ(opt.resume_in, "/tmp/old.ck");
+    EXPECT_TRUE(opt.keep_going);
+}
+
 // ---------------------------------------------------------------------
 // Exit-code contract, pinned against the real binary.
 // ---------------------------------------------------------------------
@@ -297,4 +331,41 @@ TEST(CliExit, RecordThenReplayRoundTrips)
     EXPECT_EQ(runGoat("-kernel=cockroach_1055 -replay=" + minimized), 0);
     std::remove(recipe.c_str());
     std::remove(minimized.c_str());
+}
+
+TEST(CliExit, CheckpointArtifactContract)
+{
+    // A checkpoint pointing at an unwritable path fails the run (1);
+    // a writable one leaves a parseable v1 snapshot behind.
+    EXPECT_EQ(runGoat(std::string(kBugRun) +
+                      " -checkpoint=/nonexistent-goat-dir/c.ck"),
+              1);
+    std::string ck = tmpPath("exit.ck");
+    std::remove(ck.c_str());
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -checkpoint=" + ck +
+                      " -checkpoint-every=1"),
+              0);
+    std::ifstream in(ck);
+    std::string magic;
+    std::getline(in, magic);
+    EXPECT_EQ(magic, "# goat-checkpoint v1");
+    std::remove(ck.c_str());
+}
+
+TEST(CliExit, ResumeErrorsFollowExitContract)
+{
+    // Unreadable checkpoint: I/O error (1). Mismatched fingerprint
+    // (different campaign flags): usage error (2).
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 "
+                      "-resume=/nonexistent-goat-dir/x.ck"),
+              1);
+    std::string ck = tmpPath("mismatch.ck");
+    std::remove(ck.c_str());
+    ASSERT_EQ(runGoat(std::string(kBugRun) + " -checkpoint=" + ck +
+                      " -checkpoint-every=1"),
+              0);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=3 -freq=50 -resume=" +
+                      ck),
+              2);
+    std::remove(ck.c_str());
 }

@@ -1,7 +1,8 @@
 /**
  * @file
- * Benchmark-suite tests: registry integrity (68 kernels, GoBench's
- * per-project distribution), per-kernel CU models, and — as a
+ * Benchmark-suite tests: registry integrity (68 GoBench kernels plus
+ * the 3 hostile fault-injection kernels, GoBench's per-project
+ * distribution), per-kernel CU models, and — as a
  * parameterized property suite — that GoAT (the best of D0–D4)
  * detects every kernel's bug within an iteration budget while every
  * kernel also terminates cleanly when its buggy interleaving is not
@@ -23,7 +24,12 @@ using namespace goat::engine;
 
 TEST(GokerRegistry, Has68Kernels)
 {
-    EXPECT_EQ(KernelRegistry::instance().size(), 68u);
+    // 68 GoBench kernels + the 3 hostile_* fault injectors
+    // (src/goker/goker_hostile.cc), which live in the registry so the
+    // CLI can address them but are segregated from regular sweeps.
+    EXPECT_EQ(KernelRegistry::instance().size(), 71u);
+    EXPECT_EQ(KernelRegistry::instance().all().size(), 68u);
+    EXPECT_EQ(KernelRegistry::instance().allHostile().size(), 3u);
 }
 
 TEST(GokerRegistry, GoBenchProjectDistribution)

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for the campaign fault-tolerance subsystem: exit-status
+ * classification and the shard-digest wire format (campaign/
+ * supervisor.hh), the checkpoint serializer (campaign/checkpoint.hh),
+ * and — via subprocess runs of the real binary over the hostile
+ * kernels — the supervised campaign's crash/timeout/OOM triage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+#include "campaign/checkpoint.hh"
+#include "campaign/supervisor.hh"
+#include "goker/registry.hh"
+
+using namespace goat;
+using campaign::CampaignConfig;
+using campaign::CheckpointData;
+using campaign::ShardDigest;
+
+namespace {
+
+/** Encode a waitpid status for a normal exit with @p code (glibc). */
+int
+exitedStatus(int code)
+{
+    return (code & 0xff) << 8;
+}
+
+/** Encode a waitpid status for death by @p sig (glibc). */
+int
+signaledStatus(int sig)
+{
+    return sig & 0x7f;
+}
+
+/** Run the real goat binary; return its exit status (-1 on spawn fail). */
+int
+runGoat(const std::string &args)
+{
+    std::string cmd = std::string(GOAT_CLI_BIN) + " " + args +
+                      " >/dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    return rc < 0 ? -1 : (WIFEXITED(rc) ? WEXITSTATUS(rc) : -1);
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "goat_supervisor_" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Count ledger lines containing @p needle. */
+int
+countLines(const std::string &path, const std::string &needle)
+{
+    std::ifstream in(path);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line))
+        if (line.find(needle) != std::string::npos)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// classifyExitStatus
+// ---------------------------------------------------------------------
+
+TEST(ClassifyExit, CleanExitIsEmpty)
+{
+    EXPECT_EQ(campaign::classifyExitStatus(exitedStatus(0)), "");
+}
+
+TEST(ClassifyExit, FatalSignalsByName)
+{
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGSEGV)),
+              "sigsegv");
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGABRT)),
+              "sigabrt");
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGBUS)),
+              "sigbus");
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGILL)),
+              "sigill");
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGFPE)),
+              "sigfpe");
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGKILL)),
+              "sigkill");
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGTERM)),
+              "sigterm");
+}
+
+TEST(ClassifyExit, UnnamedSignalGetsNumber)
+{
+    EXPECT_EQ(campaign::classifyExitStatus(signaledStatus(SIGUSR1)),
+              "signal_" + std::to_string(SIGUSR1));
+}
+
+TEST(ClassifyExit, OomMarkerExitCode)
+{
+    EXPECT_EQ(campaign::classifyExitStatus(exitedStatus(77)), "oom");
+}
+
+TEST(ClassifyExit, OtherNonzeroExits)
+{
+    EXPECT_EQ(campaign::classifyExitStatus(exitedStatus(1)), "exit_1");
+    EXPECT_EQ(campaign::classifyExitStatus(exitedStatus(42)),
+              "exit_42");
+}
+
+// ---------------------------------------------------------------------
+// Shard-digest wire format
+// ---------------------------------------------------------------------
+
+namespace {
+
+obs::LedgerEntry
+sampleRow()
+{
+    obs::LedgerEntry e;
+    e.iteration = 17;
+    e.seed = 0x123456789abcdefULL;
+    e.delayBound = 2;
+    e.outcome = "ok";
+    e.verdict = "pass";
+    e.bug = false;
+    e.steps = 431;
+    e.coveragePct = 63.125;
+    e.wallMicros = 184;
+    e.worker = 3;
+    e.workerSeq = 6;
+    e.metricsJson =
+        R"({"counters":{"sched.runs":1},"gauges":{},"histograms":{}})";
+    return e;
+}
+
+} // namespace
+
+TEST(ShardDigest, RoundTripsEveryField)
+{
+    ShardDigest d;
+    d.row = sampleRow();
+    d.covBitmap = "1 chan:a.cc:10 blocked\n1 chan:a.cc:10 nop\n";
+
+    ShardDigest back;
+    ASSERT_TRUE(campaign::digestFromString(campaign::digestToString(d),
+                                           &back));
+    EXPECT_EQ(back.row.iteration, d.row.iteration);
+    EXPECT_EQ(back.row.seed, d.row.seed);
+    EXPECT_EQ(back.row.delayBound, d.row.delayBound);
+    EXPECT_EQ(back.row.outcome, d.row.outcome);
+    EXPECT_EQ(back.row.verdict, d.row.verdict);
+    EXPECT_EQ(back.row.bug, d.row.bug);
+    EXPECT_EQ(back.row.steps, d.row.steps);
+    EXPECT_EQ(back.row.coveragePct, d.row.coveragePct);
+    EXPECT_EQ(back.row.worker, d.row.worker);
+    EXPECT_EQ(back.row.workerSeq, d.row.workerSeq);
+    EXPECT_EQ(back.row.metricsJson, d.row.metricsJson);
+    EXPECT_EQ(back.covBitmap, d.covBitmap);
+}
+
+TEST(ShardDigest, LossFieldsSurvive)
+{
+    ShardDigest d;
+    d.row = sampleRow();
+    d.row.outcome = "crashed";
+    d.row.verdict = "crash";
+    d.row.bug = true;
+    d.row.steps = 0;
+    d.row.crashCause = "sigsegv";
+    d.row.respawns = 3;
+
+    ShardDigest back;
+    ASSERT_TRUE(campaign::digestFromString(campaign::digestToString(d),
+                                           &back));
+    EXPECT_EQ(back.row.crashCause, "sigsegv");
+    EXPECT_EQ(back.row.respawns, 3);
+    EXPECT_EQ(back.row.outcome, "crashed");
+    EXPECT_TRUE(back.row.bug);
+}
+
+TEST(ShardDigest, RendersIdenticalLedgerLine)
+{
+    // The digest must preserve everything the ledger line renders:
+    // a row that crossed the pipe emits byte-identically.
+    ShardDigest d;
+    d.row = sampleRow();
+    ShardDigest back;
+    ASSERT_TRUE(campaign::digestFromString(campaign::digestToString(d),
+                                           &back));
+    EXPECT_EQ(obs::ledgerEntryJson(back.row),
+              obs::ledgerEntryJson(d.row));
+}
+
+TEST(ShardDigest, RejectsGarbage)
+{
+    ShardDigest back;
+    EXPECT_FALSE(campaign::digestFromString("not a digest", &back));
+    EXPECT_FALSE(campaign::digestFromString("", &back));
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint serializer
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripsFullState)
+{
+    CheckpointData d;
+    d.fingerprint = "kernel=x;seed=1;d=2";
+    // Rows must be contiguous from 1 through cursor (the parser
+    // enforces it), so the single sample row is iteration 1.
+    d.cursor = 1;
+    d.executed = 131;
+    d.respawns = 2;
+    d.crashes = 1;
+    d.timeouts = 1;
+    d.bugIteration = 97;
+    d.raceIteration = -1;
+    d.stopped = false;
+    d.covBitmap = "1 chan:a.cc:10 blocked\n";
+    obs::SaturationSample s;
+    s.iter = 1;
+    s.covered = 41;
+    s.total = 96;
+    s.blocked = 12;
+    s.unblocking = 15;
+    s.nop = 11;
+    s.blocking = 3;
+    d.satSamples.push_back(s);
+    d.rows.push_back(sampleRow());
+    d.rows.back().iteration = 1;
+
+    CheckpointData back;
+    std::string err;
+    ASSERT_TRUE(campaign::parseCheckpoint(
+        campaign::checkpointToString(d), &back, &err))
+        << err;
+    EXPECT_EQ(back.fingerprint, d.fingerprint);
+    EXPECT_EQ(back.cursor, d.cursor);
+    EXPECT_EQ(back.executed, d.executed);
+    EXPECT_EQ(back.respawns, d.respawns);
+    EXPECT_EQ(back.crashes, d.crashes);
+    EXPECT_EQ(back.timeouts, d.timeouts);
+    EXPECT_EQ(back.bugIteration, d.bugIteration);
+    EXPECT_EQ(back.raceIteration, d.raceIteration);
+    EXPECT_EQ(back.stopped, d.stopped);
+    EXPECT_EQ(back.covBitmap, d.covBitmap);
+    ASSERT_EQ(back.satSamples.size(), 1u);
+    EXPECT_EQ(back.satSamples[0].covered, 41u);
+    EXPECT_EQ(back.satSamples[0].blocking, 3u);
+    ASSERT_EQ(back.rows.size(), 1u);
+    EXPECT_EQ(obs::ledgerEntryJson(back.rows[0]),
+              obs::ledgerEntryJson(d.rows[0]));
+}
+
+TEST(Checkpoint, RejectsBadMagicAndTruncation)
+{
+    CheckpointData back;
+    std::string err;
+    EXPECT_FALSE(campaign::parseCheckpoint("bogus\n", &back, &err));
+    EXPECT_FALSE(err.empty());
+
+    CheckpointData d;
+    d.fingerprint = "f";
+    d.cursor = 1;
+    d.rows.push_back(sampleRow());
+    d.rows.back().iteration = 1;
+    std::string text = campaign::checkpointToString(d);
+    // Chop inside the row block: the contiguity check must fire.
+    text.resize(text.size() / 2);
+    EXPECT_FALSE(campaign::parseCheckpoint(text, &back, &err));
+}
+
+TEST(Checkpoint, FileRoundTripIsAtomicWrite)
+{
+    CheckpointData d;
+    d.fingerprint = "f";
+    d.cursor = 1;
+    d.rows.push_back(sampleRow());
+    d.rows.back().iteration = 1;
+    std::string path = tmpPath("ck_roundtrip");
+    ASSERT_TRUE(campaign::writeCheckpointFile(path, d));
+    CheckpointData back;
+    std::string err;
+    ASSERT_TRUE(campaign::readCheckpointFile(path, &back, &err))
+        << err;
+    EXPECT_EQ(back.cursor, 1);
+    // No tmp-file droppings next to the artifact.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintTracksContentKnobsOnly)
+{
+    CampaignConfig a;
+    a.programName = "k";
+    a.engine.delayBound = 2;
+    a.engine.maxIterations = 100;
+    a.jobs = 1;
+    CampaignConfig b = a;
+
+    // Placement/budget knobs are excluded: resuming with more
+    // iterations or a different worker count is legal.
+    b.engine.maxIterations = 100000;
+    b.jobs = 8;
+    EXPECT_EQ(campaign::configFingerprint(a),
+              campaign::configFingerprint(b));
+
+    // Content knobs are included.
+    b.engine.delayBound = 3;
+    EXPECT_NE(campaign::configFingerprint(a),
+              campaign::configFingerprint(b));
+}
+
+// ---------------------------------------------------------------------
+// Hostile kernels: registry segregation
+// ---------------------------------------------------------------------
+
+TEST(HostileKernels, SegregatedFromRegularSweeps)
+{
+    auto &reg = goker::KernelRegistry::instance();
+    auto hostile = reg.allHostile();
+    ASSERT_GE(hostile.size(), 3u);
+    for (const auto *k : hostile) {
+        EXPECT_TRUE(k->hostile);
+        // Never in the default sweep…
+        for (const auto *r : reg.all())
+            EXPECT_NE(r->name, k->name);
+        // …but reachable by name.
+        EXPECT_EQ(reg.find(k->name), k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervised campaigns over the hostile kernels (subprocess)
+// ---------------------------------------------------------------------
+
+TEST(Supervised, SegfaultsBecomeClassifiedRows)
+{
+    std::string ledger = tmpPath("seg.jsonl");
+    std::remove(ledger.c_str());
+    EXPECT_EQ(runGoat("-kernel=hostile_segfault -isolate -d=2 "
+                      "-freq=12 -jobs=2 -ledger=" +
+                      ledger),
+              0);
+    EXPECT_GE(countLines(ledger, "\"crash_cause\":\"sigsegv\""), 1);
+    // Crashes must not stop the campaign: passing rows surround them.
+    EXPECT_GE(countLines(ledger, "\"outcome\":\"ok\""), 1);
+    std::remove(ledger.c_str());
+}
+
+TEST(Supervised, WatchdogConvertsLivelockToTimeout)
+{
+    std::string ledger = tmpPath("lv.jsonl");
+    std::remove(ledger.c_str());
+    EXPECT_EQ(runGoat("-kernel=hostile_livelock -isolate "
+                      "-iter-timeout=1 -d=2 -freq=6 -jobs=2 -ledger=" +
+                      ledger),
+              0);
+    EXPECT_GE(countLines(ledger, "\"outcome\":\"timeout\""), 1);
+    std::remove(ledger.c_str());
+}
+
+TEST(Supervised, MemLimitBreachesClassifiedOom)
+{
+    std::string ledger = tmpPath("oom.jsonl");
+    std::remove(ledger.c_str());
+    EXPECT_EQ(runGoat("-kernel=hostile_oom -isolate -mem-limit=192 "
+                      "-d=2 -freq=6 -jobs=2 -ledger=" +
+                      ledger),
+              0);
+    EXPECT_GE(countLines(ledger, "\"crash_cause\":\"oom\""), 1);
+    std::remove(ledger.c_str());
+}
+
+TEST(Supervised, WellBehavedKernelMatchesThreadedRun)
+{
+    // Same campaign, in-process vs supervised: the ledger rows modulo
+    // wall clock and placement must agree — spot-checked here via the
+    // deterministic seed of iteration 1 (full canonical comparison
+    // lives in tools/check_ledger.py).
+    std::string l1 = tmpPath("t1.jsonl");
+    std::string l2 = tmpPath("t2.jsonl");
+    std::remove(l1.c_str());
+    std::remove(l2.c_str());
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=10 -ledger=" +
+                      l1),
+              0);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=10 -isolate "
+                      "-jobs=2 -ledger=" +
+                      l2),
+              0);
+    std::string a = readFile(l1), b = readFile(l2);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    std::string seed1 = a.substr(a.find("\"seed\""), 30);
+    EXPECT_NE(b.find(seed1), std::string::npos);
+    EXPECT_EQ(countLines(l1, "\"bug\":true"),
+              countLines(l2, "\"bug\":true"));
+    std::remove(l1.c_str());
+    std::remove(l2.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Gating matrix (subprocess exit 2)
+// ---------------------------------------------------------------------
+
+TEST(SupervisedGating, WatchdogRequiresIsolate)
+{
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 "
+                      "-iter-timeout=1"),
+              2);
+}
+
+TEST(SupervisedGating, MemLimitRequiresIsolate)
+{
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 "
+                      "-mem-limit=256"),
+              2);
+}
+
+TEST(SupervisedGating, HostileKernelsRequireIsolate)
+{
+    EXPECT_EQ(runGoat("-kernel=hostile_segfault -d=2 -freq=5"), 2);
+    EXPECT_EQ(runGoat("-kernel=hostile -d=2 -freq=5"), 2);
+}
+
+TEST(SupervisedGating, IsolateRejectsInProcessOnlyModes)
+{
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 -isolate "
+                      "-race"),
+              2);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 -isolate "
+                      "-predict"),
+              2);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 -isolate "
+                      "-profile"),
+              2);
+}
+
+TEST(SupervisedGating, CheckpointRejectsSweepsAndPredict)
+{
+    std::string ck = tmpPath("gate.ck");
+    EXPECT_EQ(runGoat("-kernel=all -d=0 -freq=2 -checkpoint=" + ck),
+              2);
+    EXPECT_EQ(runGoat("-kernel=cockroach_1055 -d=2 -freq=5 -predict "
+                      "-checkpoint=" +
+                      ck),
+              2);
+}

@@ -28,7 +28,12 @@ Runs a tiny campaign through the goat CLI with -ledger and
   * with -cov, rows carry the paired covered/req_total counters
     (covered monotone nondecreasing, never above req_total), and the
     -saturation-out JSONL series is byte-identical between -jobs=1
-    and -jobs=4 with its standalone HTML report alongside.
+    and -jobs=4 with its standalone HTML report alongside;
+  * an -isolate campaign (forked shards under the supervisor) yields
+    the same canonical rows as the in-process -jobs=1 run;
+  * a supervised campaign over the hostile_segfault fixture survives
+    real child crashes: exit 0, classified "crashed" rows carrying
+    crash_cause/respawns, and passing rows interleaved.
 
 Usage: check_ledger.py /path/to/goat [kernel]
 
@@ -129,6 +134,32 @@ def check_ledger(path, expect_min_lines):
         if obj["bug"] and obj["verdict"] == "pass" \
                 and obj["outcome"] == "ok":
             fail(f"ledger line {i}: bug=true but outcome/verdict clean")
+        # Supervised-loss rows (forked shard died or tripped the
+        # watchdog): synthesized by the parent, so no steps/schedule,
+        # always flagged as bugs, and the only rows that may carry
+        # crash_cause / respawns.
+        loss = obj["outcome"] in ("crashed", "timeout")
+        if loss:
+            want = "crash" if obj["outcome"] == "crashed" else "timeout"
+            if obj["verdict"] != want:
+                fail(f"ledger line {i}: {obj['outcome']} row has "
+                     f"verdict {obj['verdict']!r}, expected {want!r}")
+            if not obj["bug"]:
+                fail(f"ledger line {i}: supervised loss with bug=false")
+            if obj["steps"] != 0:
+                fail(f"ledger line {i}: loss row has steps "
+                     f"{obj['steps']}, expected 0")
+        if "crash_cause" in obj:
+            v = obj["crash_cause"]
+            if obj["outcome"] != "crashed":
+                fail(f"ledger line {i}: crash_cause on outcome "
+                     f"{obj['outcome']!r}")
+            if not isinstance(v, str) or not v:
+                fail(f"ledger line {i}: bad crash_cause {v!r}")
+        if "respawns" in obj:
+            if not loss:
+                fail(f"ledger line {i}: respawns on a non-loss row")
+            check_counter(i, obj, "respawns")
         # Repro fields are optional and only legal on bug rows.
         if "recipe" in obj:
             if not obj["bug"]:
@@ -262,8 +293,11 @@ def canonical_rows(lines):
     for line in lines:
         obj = json.loads(line)
         # "recipe" holds the caller-chosen -record path, which differs
-        # between the two campaigns by construction.
-        for key in ("wall_us", "metrics", "worker", "wseq", "recipe"):
+        # between the two campaigns by construction; "respawns" counts
+        # the owning shard's prior deaths, a wall-clock accident of
+        # where earlier crashes landed.
+        for key in ("wall_us", "metrics", "worker", "wseq", "recipe",
+                    "respawns"):
             obj.pop(key, None)
         # Profile sum_ns is sampled wall time (host noise); the entry
         # counters total/count are deterministic and stay canonical.
@@ -359,6 +393,45 @@ def main():
             print(f"check_ledger: OK — {len(lines)} ledger line(s) "
                   f"(identical at -jobs=4), no bug surfaced so no "
                   f"trace expected")
+
+        # Process-isolated campaign: the same iterations executed in
+        # forked shard children and folded through the supervisor's
+        # pipe protocol must reproduce the in-process canonical rows
+        # exactly (seed partitioning makes shard placement
+        # irrelevant; worker/wseq/respawns are stripped as
+        # placement accidents).
+        isol = Path(tmp) / "isolate.jsonl"
+        run_goat(goat, kernel, iterations, isol, jobs=3,
+                 extra=["-isolate"])
+        ilines = check_ledger(isol, expect_min_lines=1)
+        if canonical_rows(lines) != canonical_rows(ilines):
+            fail("-isolate ledger content differs from in-process")
+        print(f"check_ledger: OK — isolated campaign: {len(ilines)} "
+              f"row(s) canonical with the in-process run")
+
+        # Supervised crash triage: the hostile_segfault fixture
+        # genuinely segfaults its shard when the perturber delays the
+        # publisher. The campaign must survive every death (exit 0),
+        # classify each as a "crashed"/"sigsegv" row, and keep
+        # executing the surrounding iterations.
+        chaos = Path(tmp) / "chaos.jsonl"
+        run_goat(goat, "hostile_segfault", 12, chaos, jobs=2,
+                 cov=False, extra=["-isolate"])
+        crows = [json.loads(l)
+                 for l in check_ledger(chaos, expect_min_lines=12)]
+        crashed = [r for r in crows if r["outcome"] == "crashed"]
+        if not crashed:
+            fail("hostile_segfault campaign produced no crash row")
+        for r in crashed:
+            if r.get("crash_cause") != "sigsegv":
+                fail(f"crash row {r['iter']} classified "
+                     f"{r.get('crash_cause')!r}, expected 'sigsegv'")
+        if not any(r["outcome"] == "ok" for r in crows):
+            fail("hostile_segfault campaign has no passing rows "
+                 "(crashes must not stop the campaign)")
+        print(f"check_ledger: OK — supervised campaign: "
+              f"{len(crashed)} classified crash(es) among "
+              f"{len(crows)} row(s), campaign survived")
 
         # Lint-guided campaigns stamp static_warnings on every row
         # (and confirmed_warnings on the bug row); both are computed

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Fault-tolerance validator: checkpoint/resume and graceful signals.
+
+Drives the goat CLI through the failure scenarios the campaign
+supervisor and checkpoint subsystem exist for, and asserts the core
+durability contract: a campaign that is killed partway through and
+resumed from its last checkpoint produces a merged ledger whose
+canonical view is IDENTICAL to an uninterrupted run.
+
+Scenarios:
+
+  * baseline: an uninterrupted -keep-going campaign at -jobs=1 is the
+    reference ledger;
+  * SIGKILL at a random mid-campaign moment, then -resume: the resumed
+    run's ledger is canonical-identical to the reference, at -jobs=1
+    and at -jobs=4 (and a -jobs=4 checkpoint resumes at -jobs=1 —
+    the fingerprint deliberately excludes the worker count);
+  * SIGTERM mid-campaign: graceful flush — the process exits 143
+    (128+SIGTERM), the checkpoint and the ledger agree on the merged
+    prefix, the prefix is canonical with the reference, and the
+    checkpoint resumes cleanly;
+  * a checkpoint written under different campaign flags is refused
+    with exit 2 (fingerprint mismatch); an unreadable -resume path is
+    exit 1.
+
+Usage: check_resume.py /path/to/goat
+
+Registered as the `check_resume` ctest; exits non-zero (with a
+diagnostic on stderr) on the first violation.
+"""
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+KERNEL = "cockroach_7504"
+DELAY = 1
+ITERS = 20000
+EVERY = 512
+
+
+def fail(msg):
+    print(f"check_resume: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def canonical_rows(path):
+    """Ledger rows minus host-dependent and placement fields (same
+    definition as check_ledger.py)."""
+    rows = []
+    for line in path.read_text().splitlines():
+        obj = json.loads(line)
+        for key in ("wall_us", "metrics", "worker", "wseq", "recipe",
+                    "respawns"):
+            obj.pop(key, None)
+        for hist in obj.get("profile", {}).values():
+            hist.pop("sum_ns", None)
+        rows.append(obj)
+    return rows
+
+
+def cmd(goat, ledger, jobs=1, checkpoint=None, resume=None,
+        iters=ITERS):
+    c = [goat, f"-kernel={KERNEL}", f"-d={DELAY}", f"-freq={iters}",
+         "-keep-going", f"-jobs={jobs}", f"-ledger={ledger}"]
+    if checkpoint is not None:
+        c += [f"-checkpoint={checkpoint}", f"-checkpoint-every={EVERY}"]
+    if resume is not None:
+        c += [f"-resume={resume}"]
+    return c
+
+
+def run(goat, ledger, **kw):
+    proc = subprocess.run(cmd(goat, ledger, **kw),
+                          capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        fail(f"goat exited {proc.returncode}: {proc.stdout}"
+             f"{proc.stderr}")
+
+
+def kill_mid_run(goat, ledger, checkpoint, sig, jobs=1):
+    """Start a checkpointed campaign, deliver @sig at a random moment
+    after the first checkpoint lands, and return the exit status."""
+    proc = subprocess.Popen(cmd(goat, ledger, jobs=jobs,
+                                checkpoint=checkpoint),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if checkpoint.exists():
+            break
+        if proc.poll() is not None:
+            fail(f"campaign exited {proc.returncode} before its first "
+                 f"checkpoint")
+        time.sleep(0.01)
+    else:
+        fail("no checkpoint appeared within 60s")
+    # A random extra beat so the kill lands at an arbitrary point in
+    # some later round, not right at the first snapshot.
+    time.sleep(random.uniform(0.0, 0.3))
+    if proc.poll() is None:
+        proc.send_signal(sig)
+    proc.wait(timeout=60)
+    return proc.returncode
+
+
+def read_cursor(checkpoint):
+    for line in checkpoint.read_text().splitlines():
+        if line.startswith("cursor "):
+            return int(line.split()[1])
+    fail(f"checkpoint {checkpoint} has no cursor line")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_resume.py /path/to/goat")
+    goat = sys.argv[1]
+    random.seed()  # wall-clock entropy is the point: vary the kill
+
+    with tempfile.TemporaryDirectory(prefix="goat_resume_") as tmp:
+        tmp = Path(tmp)
+        ref_ledger = tmp / "ref.jsonl"
+        run(goat, ref_ledger)
+        ref = canonical_rows(ref_ledger)
+        if len(ref) != ITERS:
+            fail(f"reference campaign has {len(ref)} rows, expected "
+                 f"{ITERS} (is -keep-going broken?)")
+
+        # SIGKILL + resume at the same worker count, for jobs=1 and 4.
+        for jobs in (1, 4):
+            ck = tmp / f"kill_j{jobs}.ck"
+            part = tmp / f"part_j{jobs}.jsonl"
+            rc = kill_mid_run(goat, part, ck, signal.SIGKILL,
+                              jobs=jobs)
+            if rc != -signal.SIGKILL:
+                fail(f"SIGKILL run exited {rc}, expected "
+                     f"{-signal.SIGKILL}")
+            cursor = read_cursor(ck)
+            if not 0 < cursor < ITERS:
+                fail(f"jobs={jobs} kill landed outside the campaign "
+                     f"(cursor {cursor}) — timing too coarse")
+            res = tmp / f"res_j{jobs}.jsonl"
+            run(goat, res, jobs=jobs, resume=ck)
+            if canonical_rows(res) != ref:
+                fail(f"jobs={jobs} killed+resumed ledger differs from "
+                     f"the uninterrupted run (cursor was {cursor})")
+            print(f"check_resume: OK — SIGKILL at iteration {cursor}, "
+                  f"resume at -jobs={jobs} canonical-identical "
+                  f"({ITERS} rows)")
+
+        # Cross-worker-count resume: the fingerprint excludes jobs, so
+        # the jobs=4 checkpoint must resume at jobs=1 with the same
+        # canonical result.
+        cross = tmp / "cross.jsonl"
+        run(goat, cross, jobs=1, resume=tmp / "kill_j4.ck")
+        if canonical_rows(cross) != ref:
+            fail("-jobs=4 checkpoint resumed at -jobs=1 differs from "
+                 "the uninterrupted run")
+        print("check_resume: OK — -jobs=4 checkpoint resumes at "
+              "-jobs=1 canonical-identical")
+
+        # SIGTERM: graceful flush. Exit 143, ledger and checkpoint
+        # agree on the merged prefix, prefix canonical, resumable.
+        ckg = tmp / "term.ck"
+        partg = tmp / "term.jsonl"
+        rc = kill_mid_run(goat, partg, ckg, signal.SIGTERM)
+        if rc != 128 + signal.SIGTERM:
+            fail(f"SIGTERM run exited {rc}, expected "
+                 f"{128 + signal.SIGTERM}")
+        cursor = read_cursor(ckg)
+        flushed = canonical_rows(partg)
+        if len(flushed) != cursor:
+            fail(f"SIGTERM flush wrote {len(flushed)} ledger rows but "
+                 f"checkpointed cursor {cursor}")
+        if flushed != ref[:cursor]:
+            fail("SIGTERM-flushed ledger prefix is not canonical with "
+                 "the uninterrupted run")
+        resg = tmp / "term_res.jsonl"
+        run(goat, resg, resume=ckg)
+        if canonical_rows(resg) != ref:
+            fail("resume after SIGTERM differs from the uninterrupted "
+                 "run")
+        print(f"check_resume: OK — SIGTERM at iteration {cursor}: "
+              f"exit 143, ledger/checkpoint prefix agree, resume "
+              f"canonical-identical")
+
+        # Refusal paths: wrong-config checkpoint is a usage error (2),
+        # unreadable checkpoint an I/O error (1).
+        proc = subprocess.run(
+            [goat, f"-kernel={KERNEL}", "-d=2", f"-freq={ITERS}",
+             "-keep-going", f"-resume={ckg}",
+             f"-ledger={tmp / 'refused.jsonl'}"],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 2:
+            fail(f"fingerprint-mismatch resume exited "
+                 f"{proc.returncode}, expected 2")
+        if "fingerprint" not in proc.stderr + proc.stdout:
+            fail("fingerprint-mismatch refusal does not mention the "
+                 "fingerprint")
+        proc = subprocess.run(
+            [goat, f"-kernel={KERNEL}", f"-d={DELAY}", "-freq=10",
+             f"-resume={tmp / 'missing.ck'}"],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 1:
+            fail(f"unreadable-checkpoint resume exited "
+                 f"{proc.returncode}, expected 1")
+        print("check_resume: OK — mismatched checkpoint refused "
+              "(exit 2), unreadable checkpoint is exit 1")
+
+
+if __name__ == "__main__":
+    main()

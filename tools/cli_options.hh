@@ -75,6 +75,26 @@ struct Options
      * 16-row floor in trace/ect_ring.cc still applies.
      */
     uint64_t ring_capacity = 0;
+    /**
+     * Run campaign shards in forked child processes under a
+     * supervisor that classifies crashes and respawns shards
+     * (src/campaign/supervisor.hh).
+     */
+    bool isolate = false;
+    /** Per-iteration wall-clock watchdog, seconds (requires -isolate). */
+    int iter_timeout = 0;
+    /** Per-shard address-space ceiling, MiB (requires -isolate). */
+    int mem_limit = 0;
+    /** Respawn budget per shard (requires -isolate). */
+    int max_respawns = 16;
+    /** Periodic campaign checkpoint path ("" = off). */
+    std::string checkpoint_out;
+    /** Iterations per checkpoint round (with -checkpoint). */
+    int checkpoint_every = 64;
+    /** Resume from a checkpoint written by a compatible config. */
+    std::string resume_in;
+    /** Run every iteration instead of stopping at the first bug. */
+    bool keep_going = false;
 };
 
 /**
@@ -155,6 +175,22 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.seed = std::strtoull(v, nullptr, 0);
         } else if (const char *v = val("-ring-capacity=")) {
             opt.ring_capacity = std::strtoull(v, nullptr, 0);
+        } else if (arg == "-isolate") {
+            opt.isolate = true;
+        } else if (const char *v = val("-iter-timeout=")) {
+            opt.iter_timeout = std::atoi(v);
+        } else if (const char *v = val("-mem-limit=")) {
+            opt.mem_limit = std::atoi(v);
+        } else if (const char *v = val("-max-respawns=")) {
+            opt.max_respawns = std::atoi(v);
+        } else if (const char *v = val("-checkpoint=")) {
+            opt.checkpoint_out = v;
+        } else if (const char *v = val("-checkpoint-every=")) {
+            opt.checkpoint_every = std::atoi(v);
+        } else if (const char *v = val("-resume=")) {
+            opt.resume_in = v;
+        } else if (arg == "-keep-going") {
+            opt.keep_going = true;
         } else {
             if (error)
                 *error = arg;

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "base/fileio.hh"
+#include "base/interrupt.hh"
 #include "base/logging.hh"
 #include "analysis/goroutine_tree.hh"
 #include "analysis/html_report.hh"
@@ -107,7 +109,29 @@ usage()
         "  -ring-capacity=N\n"
         "                  ECT ring buffer rows per worker (default\n"
         "                  4096, floor 16); smaller rings bound trace\n"
-        "                  memory and flush in batches\n");
+        "                  memory and flush in batches\n"
+        "  -isolate        run campaign shards in forked child\n"
+        "                  processes; crashes become classified\n"
+        "                  ledger rows and the campaign continues\n"
+        "                  (also unlocks -kernel=hostile)\n"
+        "  -iter-timeout=N kill a shard stuck on one iteration for N\n"
+        "                  seconds and record a timeout verdict\n"
+        "                  (requires -isolate)\n"
+        "  -mem-limit=N    per-shard address-space ceiling in MiB;\n"
+        "                  breaching it is recorded as an 'oom' crash\n"
+        "                  (requires -isolate)\n"
+        "  -max-respawns=N respawn budget per shard (default 16,\n"
+        "                  requires -isolate)\n"
+        "  -checkpoint=PATH\n"
+        "                  snapshot the merged campaign state to PATH\n"
+        "                  periodically (atomic tmp+rename)\n"
+        "  -checkpoint-every=N\n"
+        "                  iterations per checkpoint round (default 64)\n"
+        "  -resume=PATH    restore a checkpoint and continue; merged\n"
+        "                  results are identical to an uninterrupted\n"
+        "                  run\n"
+        "  -keep-going     run every iteration instead of stopping\n"
+        "                  at the first bug (soak campaigns)\n");
 }
 
 bool
@@ -210,14 +234,11 @@ runLint(const Options &opt)
             std::printf("%zu finding(s)\n", report.size());
         return 0;
     }
-    std::FILE *f = std::fopen(opt.lint_out.c_str(), "w");
-    if (!f) {
+    if (!atomicWriteFile(opt.lint_out, doc)) {
         std::fprintf(stderr, "goat: cannot write %s\n",
                      opt.lint_out.c_str());
         return 1;
     }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
     std::printf("%zu finding(s) written to %s (%s)\n", report.size(),
                 opt.lint_out.c_str(), opt.lint_format.c_str());
     return 0;
@@ -240,7 +261,7 @@ printCulprits(const trace::Recipe &r)
 
 int
 runKernel(const goker::KernelInfo &kernel, const Options &opt,
-          bool &artifact_fail)
+          bool &artifact_fail, int &special_exit)
 {
     campaign::CampaignConfig ccfg;
     GoatConfig &cfg = ccfg.engine;
@@ -249,6 +270,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
     cfg.collectCoverage = opt.cov;
     cfg.raceDetect = opt.race;
     cfg.covThreshold = 200.0;
+    cfg.stopOnBug = !opt.keep_going;
     cfg.seedBase = opt.seed;
     cfg.ledgerPath = opt.ledger_out;
     cfg.profile = opt.profile;
@@ -258,6 +280,13 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
     ccfg.programName = kernel.name;
     ccfg.recordPath = opt.record_out;
     ccfg.minimize = opt.minimize;
+    ccfg.isolate = opt.isolate;
+    ccfg.iterTimeoutSecs = opt.iter_timeout;
+    ccfg.memLimitMB = opt.mem_limit;
+    ccfg.maxRespawns = opt.max_respawns;
+    ccfg.checkpointPath = opt.checkpoint_out;
+    ccfg.checkpointEvery = opt.checkpoint_every;
+    ccfg.resumePath = opt.resume_in;
     if (opt.lint_guided) {
         ccfg.lint = goker::kernelLintReport(kernel);
         ccfg.lintBridge = true;
@@ -294,6 +323,22 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
         }
     }
 
+    if (!cres.resumeOk) {
+        std::fprintf(stderr, "goat: cannot resume from %s: %s\n",
+                     opt.resume_in.c_str(), cres.resumeError.c_str());
+        // A fingerprint mismatch is a usage error (the flags disagree
+        // with the checkpoint); an unreadable file is an I/O failure.
+        special_exit =
+            cres.resumeError.find("fingerprint mismatch") !=
+                    std::string::npos
+                ? 2
+                : 1;
+        return 0;
+    }
+    if (cres.resumed)
+        std::printf("%-22s resumed from %s (%d merged iteration(s))\n",
+                    "", opt.resume_in.c_str(), cres.resumeFrom);
+
     std::printf("%-22s ", kernel.name.c_str());
     if (result.bugFound) {
         std::printf("%s at iteration %d/%zu",
@@ -306,6 +351,15 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
     if (opt.cov)
         std::printf(", coverage %.1f%%", result.finalCoverage);
     std::printf("\n");
+
+    if (opt.isolate)
+        std::printf("%-22s supervised: %d crash(es), %d timeout(s), "
+                    "%d respawn(s)\n",
+                    "", cres.crashes, cres.timeouts, cres.respawns);
+    if (result.bugFound && result.firstBugRecipe.seededPolicy &&
+        !result.firstBug.panicMsg.empty())
+        std::printf("%-22s crash cause: %s\n", "",
+                    result.firstBug.panicMsg.c_str());
 
     if (result.raceIteration > 0) {
         std::printf("%-22s %zu data race(s) at iteration %d\n", "",
@@ -338,11 +392,8 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
             std::printf("%s", po.report.str().c_str());
         if (!opt.predict_out.empty()) {
             std::string doc = po.report.jsonDocStr(kernel.name);
-            std::FILE *f = std::fopen(opt.predict_out.c_str(), "w");
-            if (f) {
-                std::fwrite(doc.data(), 1, doc.size(), f);
-                std::fputc('\n', f);
-                std::fclose(f);
+            doc += '\n';
+            if (atomicWriteFile(opt.predict_out, doc)) {
                 std::printf("prediction findings written to %s\n",
                             opt.predict_out.c_str());
             } else {
@@ -352,23 +403,34 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
             }
         }
     }
+    // A supervised crash/timeout bug has no trace: the child died (or
+    // was killed) before one could be shipped. Trace-derived artifacts
+    // are skipped; the seeded-policy recipe (-record) still replays it.
+    const bool traceless =
+        result.bugFound && result.firstBugRecipe.seededPolicy;
+    if (traceless &&
+        (opt.stats || !opt.html_out.empty() || !opt.trace_out.empty() ||
+         !opt.chrome_out.empty()))
+        std::fprintf(stderr,
+                     "goat: first bug is a supervised %s; skipping "
+                     "trace-derived outputs (-stats/-trace/-html/"
+                     "-chrome-trace)\n",
+                     result.firstBugRecipe.verdict.c_str());
+
     if (result.bugFound && opt.report && !result.report.empty())
         std::printf("\n%s\n", result.report.c_str());
-    if (result.bugFound && opt.stats) {
+    if (result.bugFound && opt.stats && !traceless) {
         std::printf("\n-- trace statistics --\n%s",
                     analysis::computeStats(result.firstBugEct)
                         .str()
                         .c_str());
     }
-    if (result.bugFound && !opt.html_out.empty()) {
+    if (result.bugFound && !opt.html_out.empty() && !traceless) {
         analysis::GoroutineTree tree(result.firstBugEct);
         std::string html = analysis::htmlReportStr(
             kernel.name, result.firstBugEct, tree, result.firstBug,
             opt.cov ? &cres.coverage : nullptr);
-        std::FILE *f = std::fopen(opt.html_out.c_str(), "w");
-        if (f) {
-            std::fwrite(html.data(), 1, html.size(), f);
-            std::fclose(f);
+        if (atomicWriteFile(opt.html_out, html)) {
             std::printf("HTML report written to %s\n",
                         opt.html_out.c_str());
         } else {
@@ -377,7 +439,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
             artifact_fail = true;
         }
     }
-    if (result.bugFound && !opt.trace_out.empty()) {
+    if (result.bugFound && !opt.trace_out.empty() && !traceless) {
         if (trace::writeEctFile(result.firstBugEct, opt.trace_out)) {
             std::printf("buggy ECT written to %s\n",
                         opt.trace_out.c_str());
@@ -387,7 +449,7 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
             artifact_fail = true;
         }
     }
-    if (result.bugFound && !opt.chrome_out.empty()) {
+    if (result.bugFound && !opt.chrome_out.empty() && !traceless) {
         if (obs::writeChromeTraceFile(result.firstBugEct,
                                       opt.chrome_out)) {
             std::printf("chrome trace written to %s\n",
@@ -409,7 +471,11 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
             artifact_fail = true;
         }
     }
-    if (result.bugFound && opt.minimize) {
+    if (result.bugFound && opt.minimize && traceless) {
+        std::printf("minimize skipped: supervised %s bugs replay via "
+                    "their seeded-policy recipe\n",
+                    result.firstBugRecipe.verdict.c_str());
+    } else if (result.bugFound && opt.minimize) {
         const engine::MinimizeResult &mr = cres.minimize;
         if (mr.reproduced) {
             std::printf(
@@ -432,6 +498,18 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
         std::fprintf(stderr, "goat: cannot write %s\n",
                      opt.ledger_out.c_str());
         artifact_fail = true;
+    }
+    if (!opt.checkpoint_out.empty() && !cres.checkpointOk) {
+        std::fprintf(stderr, "goat: cannot write %s\n",
+                     opt.checkpoint_out.c_str());
+        artifact_fail = true;
+    }
+    if (cres.interrupted) {
+        std::fprintf(stderr,
+                     "goat: interrupted by signal %d; merged %d "
+                     "finished iteration(s)\n",
+                     cres.interruptSig, cres.cutoffIteration);
+        special_exit = 128 + cres.interruptSig;
     }
     if (!opt.saturation_out.empty()) {
         if (cres.merged.saturation.writeFiles(opt.saturation_out,
@@ -507,11 +585,8 @@ runReplay(const goker::KernelInfo &kernel, const Options &opt)
             std::printf("%s", po.report.str().c_str());
         if (!opt.predict_out.empty()) {
             std::string doc = po.report.jsonDocStr(kernel.name);
-            std::FILE *f = std::fopen(opt.predict_out.c_str(), "w");
-            if (f) {
-                std::fwrite(doc.data(), 1, doc.size(), f);
-                std::fputc('\n', f);
-                std::fclose(f);
+            doc += '\n';
+            if (atomicWriteFile(opt.predict_out, doc)) {
                 std::printf("prediction findings written to %s\n",
                             opt.predict_out.c_str());
             } else {
@@ -562,6 +637,37 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+
+    // Fault-tolerance flag compatibility: the watchdog/mem-limit knobs
+    // only exist under the supervisor, and isolation/checkpointing are
+    // incompatible with the modes that need live in-process traces.
+    if (!opt.isolate &&
+        (opt.iter_timeout > 0 || opt.mem_limit > 0 ||
+         opt.max_respawns != 16)) {
+        std::printf("-iter-timeout/-mem-limit/-max-respawns require "
+                    "-isolate\n");
+        return 2;
+    }
+    if (opt.isolate &&
+        (opt.race || opt.predict || !opt.predict_out.empty() ||
+         opt.profile || !opt.replay_in.empty())) {
+        std::printf("-isolate is incompatible with "
+                    "-race/-predict/-profile/-replay\n");
+        return 2;
+    }
+    if ((!opt.checkpoint_out.empty() || !opt.resume_in.empty()) &&
+        (opt.predict || !opt.predict_out.empty() || opt.profile)) {
+        std::printf("-checkpoint/-resume are incompatible with "
+                    "-predict/-profile\n");
+        return 2;
+    }
+    if ((!opt.checkpoint_out.empty() || !opt.resume_in.empty()) &&
+        (opt.kernel == "all" || opt.kernel == "hostile")) {
+        std::printf("-checkpoint/-resume need a single kernel, not a "
+                    "sweep\n");
+        return 2;
+    }
+
     if (opt.ring_capacity)
         trace::setDefaultEctRingCapacity(opt.ring_capacity);
     auto &registry = goker::KernelRegistry::instance();
@@ -572,6 +678,10 @@ main(int argc, char **argv)
         for (const auto *k : registry.all())
             std::printf("%-22s %-12s %-14s %s\n", k->name.c_str(),
                         k->project.c_str(), bugClassName(k->bugClass),
+                        k->description.substr(0, 60).c_str());
+        for (const auto *k : registry.allHostile())
+            std::printf("%-22s %-12s %-14s %s\n", k->name.c_str(),
+                        k->project.c_str(), "hostile",
                         k->description.substr(0, 60).c_str());
         return 0;
     }
@@ -584,6 +694,7 @@ main(int argc, char **argv)
         return 2;
     }
     setQuiet(true);
+    installInterruptHandlers();
 
     if (!opt.replay_in.empty()) {
         // Replay mode: re-execute one recorded recipe on one kernel.
@@ -601,12 +712,36 @@ main(int argc, char **argv)
     }
 
     bool artifact_fail = false;
+    int special_exit = 0;
     if (opt.kernel == "all") {
         int bugs = 0;
-        for (const auto *k : registry.all())
-            bugs += runKernel(*k, opt, artifact_fail);
+        for (const auto *k : registry.all()) {
+            bugs += runKernel(*k, opt, artifact_fail, special_exit);
+            if (special_exit)
+                return special_exit;
+        }
         std::printf("\n%d of %zu kernels exposed their bug\n", bugs,
-                    registry.size());
+                    registry.all().size());
+        if (opt.metrics)
+            std::printf("%s\n",
+                        obs::Registry::global().snapshot().jsonStr().c_str());
+        return artifact_fail ? 1 : 0;
+    }
+    if (opt.kernel == "hostile") {
+        // The fault-injection sweep: only meaningful supervised.
+        if (!opt.isolate) {
+            std::printf("-kernel=hostile requires -isolate (these "
+                        "kernels crash the process on purpose)\n");
+            return 2;
+        }
+        int losses = 0;
+        for (const auto *k : registry.allHostile()) {
+            losses += runKernel(*k, opt, artifact_fail, special_exit);
+            if (special_exit)
+                return special_exit;
+        }
+        std::printf("\n%d of %zu hostile kernels exposed a failure\n",
+                    losses, registry.allHostile().size());
         if (opt.metrics)
             std::printf("%s\n",
                         obs::Registry::global().snapshot().jsonStr().c_str());
@@ -618,7 +753,14 @@ main(int argc, char **argv)
                     opt.kernel.c_str());
         return 2;
     }
-    runKernel(*k, opt, artifact_fail);
+    if (k->hostile && !opt.isolate) {
+        std::printf("kernel '%s' is hostile and requires -isolate\n",
+                    opt.kernel.c_str());
+        return 2;
+    }
+    runKernel(*k, opt, artifact_fail, special_exit);
+    if (special_exit)
+        return special_exit;
     if (opt.metrics)
         std::printf("%s\n",
                     obs::Registry::global().snapshot().jsonStr().c_str());

@@ -44,8 +44,10 @@ racyMetrics()
         });
     }
     goNamed("stats-reporter", [sh] {
-        // BUG: lock-free fast path reads while handlers write.
-        int current = sh->requests.load();
+        // BUG: lock-free fast path reads while handlers write. The
+        // race is the point of this example, so the static finding is
+        // acknowledged inline rather than fixed.
+        int current = sh->requests.load(); // goat:nolint(GL008)
         (void)current;
     });
     sleepMs(5);

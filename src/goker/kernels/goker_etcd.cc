@@ -241,10 +241,25 @@ GOKER_KERNEL(etcd_7492, "etcd", BugClass::MixedDeadlock,
     struct St
     {
         Mutex mu;
+        Mutex sessions;
+        Mutex tokens;
         Chan<Unit> ack;
         St() : ack(0) {}
     };
     auto st = std::make_shared<St>();
+    // Sequential store recovery before the keeper starts: the initial
+    // token load nests tokens under sessions, the pre-run compaction
+    // nests them the other way round. Both phases run on the main
+    // goroutine before any spawn, so the AB-BA shape can never
+    // deadlock (the flow-aware lint demotes this cycle to a note).
+    st->sessions.lock();
+    st->tokens.lock();
+    st->tokens.unlock();
+    st->sessions.unlock();
+    st->tokens.lock();
+    st->sessions.lock();
+    st->sessions.unlock();
+    st->tokens.unlock();
     goNamed("ttl-keeper", [st] {
         for (int tick = 0; tick < 2; ++tick) {
             st->mu.lock(); // blocked while addSimpleToken holds mu

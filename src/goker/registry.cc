@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "staticmodel/flowgraph.hh"
+#include "staticmodel/mhp.hh"
 #include "staticmodel/scanner.hh"
 
 namespace goat::goker {
@@ -145,6 +147,24 @@ kernelLintReport(const KernelInfo &kernel)
     auto [begin, end] = kernelSpan(kernel);
     return staticmodel::lintScan(
         staticmodel::scanRegionsFile(kernel.sourceFile), begin, end);
+}
+
+std::string
+kernelMhpPairsStr(const KernelInfo &kernel)
+{
+    auto [begin, end] = kernelSpan(kernel);
+    staticmodel::FlowGraph fg = staticmodel::buildFlowGraph(
+        staticmodel::scanRegionsFile(kernel.sourceFile), begin, end);
+    return staticmodel::mhpPairsStr(staticmodel::MhpAnalysis(fg));
+}
+
+std::vector<SourceLoc>
+kernelMhpSites(const KernelInfo &kernel)
+{
+    auto [begin, end] = kernelSpan(kernel);
+    staticmodel::FlowGraph fg = staticmodel::buildFlowGraph(
+        staticmodel::scanRegionsFile(kernel.sourceFile), begin, end);
+    return staticmodel::mhpSites(staticmodel::MhpAnalysis(fg));
 }
 
 } // namespace goat::goker

@@ -119,6 +119,20 @@ std::pair<uint32_t, uint32_t> kernelSpan(const KernelInfo &kernel);
 staticmodel::LintReport kernelLintReport(const KernelInfo &kernel);
 
 /**
+ * Flow-aware MHP pair dump of one kernel's span (the `-mhp-out=`
+ * format, staticmodel/mhp.hh mhpPairsStr): one sorted line per site
+ * pair the fork-join analysis cannot order.
+ */
+std::string kernelMhpPairsStr(const KernelInfo &kernel);
+
+/**
+ * Unique source sites on at least one MHP pair of @p kernel — the
+ * priority seed set a `-mhp-prune` campaign feeds to the guided
+ * perturber. Static input, so identical across workers and runs.
+ */
+std::vector<SourceLoc> kernelMhpSites(const KernelInfo &kernel);
+
+/**
  * Define and register a bug kernel:
  *
  * @code

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Goroutine-flow graph over the scanner's block/region layer — the
+ * structural substrate of the flow-aware static tier (MHP + lock
+ * sets, DESIGN.md; ROADMAP "Flow-aware MHP + lock-set static tier").
+ *
+ * Nodes are the recognized operations of one SrcScan (channel, lock,
+ * sync, go and SharedVar access sites); they are partitioned into
+ * *flow units* — the code one goroutine frame executes. A unit is the
+ * file scope, a top-level function body, or a lambda/function body
+ * that is the target of a `go()`/`goNamed()` spawn. Nested lambdas
+ * that are never spawned (Select arms, `.range()` callbacks, helper
+ * HOF callbacks) run inline on their caller, so their operations
+ * merge into the enclosing unit in textual position.
+ *
+ * Edges are happens-before constraints:
+ *  - sequential: consecutive operations of one unit, textual order;
+ *  - fork: a go() site to the first operation of the unit it spawns
+ *    (everything before the spawn happens before the child body);
+ *  - join: every `wg.done()` to every `wg.wait()` on the same object
+ *    (a wait returns only after the dones), and every send on a
+ *    *known-unbuffered* channel to every cross-unit recv/range on it
+ *    (the rendezvous orders the send body before recv completion).
+ *
+ * Spawn targets are matched first positionally (a task-root scope
+ * opening on the go() call's own line inside the same scope), then by
+ * name: the scanner records each task root's declName and the go
+ * call's argument text, so `auto f = [..]{...}; go(f); go(f);` (the
+ * GoKer double-close shape) resolves both spawn sites to one unit,
+ * marking it multi-instance.
+ */
+
+#ifndef GOAT_STATICMODEL_FLOWGRAPH_HH
+#define GOAT_STATICMODEL_FLOWGRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "staticmodel/scanner.hh"
+
+namespace goat::staticmodel {
+
+/** One flow-graph node: a recognized operation site. */
+struct FlowNode
+{
+    SrcOp op;
+    /** Owning flow unit (index into FlowGraph::units). */
+    int unit = 0;
+};
+
+/** One flow unit: the operations of a single goroutine frame. */
+struct FlowUnit
+{
+    /** Task-root scope id in the scan (0 = file scope). */
+    int scope = 0;
+    /** declName of the body ("" when anonymous). */
+    std::string name;
+    /** Target of at least one fork edge. */
+    bool spawned = false;
+    /** Number of distinct go() sites spawning this unit. */
+    int spawnSites = 0;
+    /**
+     * More than one instance of this frame can be live at once:
+     * spawned from two or more sites, spawned from a loop, or spawned
+     * (transitively) by a unit that is itself multi-instance.
+     */
+    bool multiInstance = false;
+    /** Node ids of this unit, textual order. */
+    std::vector<int> nodes;
+    /** Units this unit spawns (fork targets), deduplicated. */
+    std::vector<int> spawns;
+    /** Units spawning this unit. */
+    std::vector<int> spawnedBy;
+    /** Root units (never-spawned units) whose spawn tree reaches this
+     *  unit — usually one; two units can interleave only when their
+     *  root sets intersect (a whole-file scan holds many independent
+     *  top-level functions that never overlap in time). */
+    std::vector<int> roots;
+};
+
+/**
+ * The goroutine-flow graph of one scan (optionally restricted to a
+ * line range, e.g. a GoKer kernel span).
+ */
+struct FlowGraph
+{
+    const char *file = "?";
+    std::vector<FlowNode> nodes;
+    std::vector<FlowUnit> units;
+    /** Happens-before successor lists (seq + fork + join edges). */
+    std::vector<std::vector<int>> succ;
+
+    /** First node at @p loc (file + line), or -1. */
+    int nodeAt(const SourceLoc &loc) const;
+    /** All nodes at @p loc (several ops can share a line). */
+    std::vector<int> nodesAt(const SourceLoc &loc) const;
+};
+
+/**
+ * Build the flow graph of @p scan over ops/scopes whose begin line
+ * lies in [beginLine, endLine).
+ */
+FlowGraph buildFlowGraph(const SrcScan &scan, uint32_t beginLine = 0,
+                         uint32_t endLine = 0xffffffffu);
+
+/**
+ * Last component of a receiver chain ("st->mu" -> "mu") — the name
+ * under which the same shared object is compared across units that
+ * capture it through different access paths.
+ */
+std::string flowObjName(const std::string &object);
+
+/** Display name of a node's operation ("send", "close", "load"...). */
+std::string flowOpName(const SrcOp &op);
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_FLOWGRAPH_HH

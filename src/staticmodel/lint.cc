@@ -6,7 +6,10 @@
 #include <tuple>
 
 #include "base/fmt.hh"
+#include "staticmodel/flowgraph.hh"
 #include "staticmodel/lockgraph.hh"
+#include "staticmodel/lockset.hh"
+#include "staticmodel/mhp.hh"
 #include "trace/ect.hh"
 #include "trace/event.hh"
 
@@ -48,6 +51,10 @@ lintRules()
          LintSeverity::Error},
         {"GL007", "wg-unbalanced",
          "WaitGroup add() total differs from done() count",
+         LintSeverity::Warning},
+        {"GL008", "statically-racy-access",
+         "May-happen-in-parallel accesses to the same channel or "
+         "shared variable with no common lock",
          LintSeverity::Warning},
     };
     return rules;
@@ -343,7 +350,15 @@ lintScan(const SrcScan &scan, uint32_t beginLine, uint32_t endLine)
     for (const auto &[unit, ops] : unitOps)
         analyzeUnit(scan, unit, ops, unitReturns[unit], graph, rep);
 
-    // GL002: cycles in the cross-unit lock-order graph.
+    // Flow-aware tier: goroutine-flow graph, MHP relation, and
+    // must-held lock sets over the same op range.
+    const FlowGraph fg = buildFlowGraph(scan, beginLine, endLine);
+    const MhpAnalysis mhp(fg);
+    const LockSetAnalysis locks(scan, fg);
+
+    // GL002: cycles in the cross-unit lock-order graph. A cycle whose
+    // acquisition sites are provably flow-ordered (never MHP) cannot
+    // actually deadlock — demote it to a note.
     for (const auto &cyc : graph.cycles()) {
         std::vector<std::string> order;
         std::vector<SourceLoc> related;
@@ -354,11 +369,100 @@ lintScan(const SrcScan &scan, uint32_t beginLine, uint32_t endLine)
             related.push_back(e.heldAt);
             related.push_back(e.acquiredAt);
         }
-        rep.findings.push_back(makeFinding(
+        bool concurrent = true;
+        for (size_t i = 0; i < cyc.size() && concurrent; ++i)
+            for (size_t j = i + 1; j < cyc.size() && concurrent; ++j)
+                if (!(cyc[i].acquiredAt == cyc[j].acquiredAt) &&
+                    !mhp.mayHappenInParallel(cyc[i].acquiredAt,
+                                             cyc[j].acquiredAt))
+                    concurrent = false;
+        LintFinding f = makeFinding(
             "GL002", cyc.front().acquiredAt,
             strFormat("lock-order inversion: %s",
                       strJoin(order, "; ").c_str()),
-            std::move(related)));
+            std::move(related));
+        if (!concurrent) {
+            f.severity = LintSeverity::Note;
+            f.message += "; acquisition sites are flow-ordered and "
+                         "cannot interleave";
+        }
+        rep.findings.push_back(std::move(f));
+    }
+
+    // GL008: statically-racy shared access — a may-happen-in-parallel
+    // pair touching the same channel (close/close, send/close) or
+    // SharedVar (any access pair with at least one write) with
+    // disjoint must-held lock sets.
+    {
+        std::set<std::string> emitted;
+        const int n = static_cast<int>(fg.nodes.size());
+        for (int a = 0; a < n; ++a) {
+            const SrcOp &oa = fg.nodes[a].op;
+            const bool aClose = oa.kind == CuKind::Close;
+            const bool aSend = oa.kind == CuKind::Send;
+            const bool aVar = oa.isVarAccess();
+            if (!aClose && !aSend && !aVar)
+                continue;
+            for (int b = a; b < n; ++b) {
+                const SrcOp &ob = fg.nodes[b].op;
+                enum { None, CloseClose, SendClose, VarRace } haz = None;
+                if (aClose && ob.kind == CuKind::Close)
+                    haz = CloseClose;
+                else if ((aClose && ob.kind == CuKind::Send) ||
+                         (aSend && ob.kind == CuKind::Close))
+                    haz = SendClose;
+                else if (aVar && ob.isVarAccess() &&
+                         (oa.isVarWrite() || ob.isVarWrite()))
+                    haz = VarRace;
+                if (haz == None)
+                    continue;
+                std::string name = flowObjName(oa.object);
+                if (name.empty() || name != flowObjName(ob.object))
+                    continue;
+                if (!mhp.mayHappenInParallel(a, b) ||
+                    locks.shareLock(a, b))
+                    continue;
+                // Primary site: the textually later op (send for
+                // send/close — where the panic would surface).
+                const SrcOp &prim =
+                    haz == SendClose ? (aSend ? oa : ob) : ob;
+                const SrcOp &other = &prim == &oa ? ob : oa;
+                std::string msg;
+                if (haz == CloseClose && a == b)
+                    msg = strFormat(
+                        "channel '%s' may be closed concurrently by "
+                        "two instances of this goroutine (double "
+                        "close panics)",
+                        name.c_str());
+                else if (haz == CloseClose)
+                    msg = strFormat(
+                        "channel '%s' may be closed here and at %s "
+                        "concurrently (double close panics)",
+                        name.c_str(), other.loc.str().c_str());
+                else if (haz == SendClose)
+                    msg = strFormat(
+                        "send on channel '%s' may interleave with the "
+                        "close at %s (send on closed channel panics)",
+                        name.c_str(), other.loc.str().c_str());
+                else
+                    msg = strFormat(
+                        "unsynchronized access to '%s': %s here may "
+                        "interleave with %s at %s and no common lock "
+                        "is held",
+                        name.c_str(), prim.method.c_str(),
+                        other.method.c_str(), other.loc.str().c_str());
+                std::string key = prim.loc.str() + "|" +
+                                  other.loc.str() + "|" + name;
+                if (!emitted.insert(key).second)
+                    continue;
+                std::vector<SourceLoc> related;
+                if (!(other.loc == prim.loc))
+                    related.push_back(other.loc);
+                rep.findings.push_back(makeFinding(
+                    "GL008", prim.loc, std::move(msg),
+                    std::move(related)));
+            }
+        }
     }
 
     // GL007: static WaitGroup balance, per object basename, only when
@@ -417,6 +521,20 @@ lintScan(const SrcScan &scan, uint32_t beginLine, uint32_t endLine)
             std::move(related)));
     }
 
+    // Inline suppression: drop findings whose primary line carries a
+    // covering `goat:nolint` comment, but keep count of them.
+    if (!scan.nolint.empty()) {
+        std::vector<LintFinding> kept;
+        kept.reserve(rep.findings.size());
+        for (auto &f : rep.findings) {
+            if (scan.nolintAt(f.loc.line, f.ruleId))
+                ++rep.suppressed;
+            else
+                kept.push_back(std::move(f));
+        }
+        rep.findings = std::move(kept);
+    }
+
     rep.rank();
     return rep;
 }
@@ -463,6 +581,21 @@ LintReport::merge(const LintReport &other)
 {
     findings.insert(findings.end(), other.findings.begin(),
                     other.findings.end());
+    suppressed += other.suppressed;
+}
+
+void
+LintReport::dedupe()
+{
+    std::set<std::tuple<std::string, std::string, uint32_t>> seen;
+    std::vector<LintFinding> kept;
+    kept.reserve(findings.size());
+    for (auto &f : findings)
+        if (seen.insert({std::string(f.ruleId), f.loc.basename(),
+                         f.loc.line})
+                .second)
+            kept.push_back(std::move(f));
+    findings = std::move(kept);
 }
 
 void
@@ -541,7 +674,7 @@ LintReport::jsonStr() const
         out += strFormat("],\"confirmed\":%s}",
                          f.confirmed ? "true" : "false");
     }
-    out += "]}";
+    out += strFormat("],\"suppressed\":%zu}", suppressed);
     return out;
 }
 
@@ -600,7 +733,8 @@ LintReport::sarifStr() const
         }
         out += '}';
     }
-    out += "]}]}";
+    out += strFormat("],\"properties\":{\"suppressed\":%zu}}]}",
+                     suppressed);
     return out;
 }
 

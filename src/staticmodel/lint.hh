@@ -13,6 +13,17 @@
  *                              by function end (prefer LockGuard)
  *   GL006 wg-done-skipped      return path that skips a wg.done()
  *   GL007 wg-unbalanced        literal add() total != done() count
+ *   GL008 statically-racy      MHP pair on the same channel/variable
+ *                              with disjoint must-held lock sets
+ *
+ * GL002 and GL008 consult the flow-aware tier (flowgraph.hh, mhp.hh,
+ * lockset.hh): a lock-order cycle whose acquisition sites are provably
+ * flow-ordered is demoted to a note, and GL008 only fires on pairs the
+ * MHP analysis cannot order.
+ *
+ * Inline suppression: a `// goat:nolint(GL003)` (or bare
+ * `// goat:nolint`) comment on a finding's primary line drops the
+ * finding and counts it in LintReport::suppressed.
  *
  * Findings are advisory (the scanner is lexical, not a compiler), so
  * every finding can be cross-checked against a dynamic campaign:
@@ -80,6 +91,8 @@ struct LintFinding
 struct LintReport
 {
     std::vector<LintFinding> findings;
+    /** Findings dropped by `goat:nolint` suppression comments. */
+    size_t suppressed = 0;
 
     size_t size() const { return findings.size(); }
     bool empty() const { return findings.empty(); }
@@ -88,6 +101,10 @@ struct LintReport
 
     /** Sort by (severity, file, line, rule id). */
     void rank();
+
+    /** Drop repeated (rule, file, line) findings, keeping the first —
+     *  used when merged lints cover overlapping source spans. */
+    void dedupe();
 
     /** Unique primary+related sites — the campaign priority seeds. */
     std::vector<SourceLoc> sites() const;

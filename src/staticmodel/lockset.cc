@@ -1,0 +1,61 @@
+#include "staticmodel/lockset.hh"
+
+#include <map>
+
+namespace goat::staticmodel {
+
+namespace {
+
+struct Held
+{
+    int count = 0;
+    bool guard = false; ///< LockGuard: released at guardScope exit.
+    int guardScope = 0;
+};
+
+} // namespace
+
+LockSetAnalysis::LockSetAnalysis(const SrcScan &scan, const FlowGraph &g)
+{
+    held_.assign(g.nodes.size(), {});
+    for (const FlowUnit &u : g.units) {
+        std::map<std::string, Held> held;
+        for (int n : u.nodes) {
+            const SrcOp &op = g.nodes[n].op;
+            // A LockGuard's lock dies with its scope: release guards
+            // whose scope no longer encloses the current op.
+            for (auto &[name, h] : held)
+                if (h.guard && h.count > 0 &&
+                    !scan.scopeWithin(op.scope, h.guardScope))
+                    h.count = 0;
+            for (const auto &[name, h] : held)
+                if (h.count > 0)
+                    held_[n].insert(name);
+            std::string obj = flowObjName(op.object);
+            if (op.kind == CuKind::Lock && !obj.empty() &&
+                op.method != "tryLock") {
+                Held &h = held[obj];
+                ++h.count;
+                if (op.method == "LockGuard") {
+                    h.guard = true;
+                    h.guardScope = op.scope;
+                }
+            } else if (op.kind == CuKind::Unlock && !obj.empty()) {
+                Held &h = held[obj];
+                if (h.count > 0)
+                    --h.count;
+            }
+        }
+    }
+}
+
+bool
+LockSetAnalysis::shareLock(int a, int b) const
+{
+    for (const std::string &l : held_[a])
+        if (held_[b].count(l))
+            return true;
+    return false;
+}
+
+} // namespace goat::staticmodel

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Must-held lock sets per flow-graph node (the lotus LockSetAnalysis
+ * shape). Where the lint pass tracks a lexical lock stack inside one
+ * analysis unit, this propagates the set of locks *provably held* to
+ * every operation site of every flow unit, keyed by the object's
+ * trailing name so units that capture the same mutex through
+ * different paths ("mu" vs "st->mu") still compare equal.
+ *
+ * The propagation is intentionally must (under-approximating held
+ * locks): `tryLock` contributes nothing, a `LockGuard` releases at
+ * its scope's end, and a fork never inherits the spawner's held set —
+ * the child runs on its own stack. GL008 uses the sets in the safe
+ * direction: a pair is only reported when the *intersection* of two
+ * must-held sets is empty, so under-approximation can at most miss
+ * races, never invent ordering.
+ */
+
+#ifndef GOAT_STATICMODEL_LOCKSET_HH
+#define GOAT_STATICMODEL_LOCKSET_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "staticmodel/flowgraph.hh"
+
+namespace goat::staticmodel {
+
+class LockSetAnalysis
+{
+  public:
+    LockSetAnalysis(const SrcScan &scan, const FlowGraph &g);
+
+    /** Lock names provably held on entry to node @p node. */
+    const std::set<std::string> &at(int node) const { return held_[node]; }
+
+    /** Do the held sets of two nodes share a lock? */
+    bool shareLock(int a, int b) const;
+
+  private:
+    std::vector<std::set<std::string>> held_;
+};
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_LOCKSET_HH

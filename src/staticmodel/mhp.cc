@@ -1,0 +1,147 @@
+#include "staticmodel/mhp.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "base/fmt.hh"
+
+namespace goat::staticmodel {
+
+MhpAnalysis::MhpAnalysis(const FlowGraph &g) : g_(&g)
+{
+    const size_t n = g.nodes.size();
+    reach_.assign(n, std::vector<char>(n, 0));
+    // Forward reachability from every node (graphs are small: one
+    // source file or kernel span).
+    for (size_t s = 0; s < n; ++s) {
+        std::vector<int> todo{static_cast<int>(s)};
+        while (!todo.empty()) {
+            int v = todo.back();
+            todo.pop_back();
+            for (int w : g.succ[v])
+                if (!reach_[s][w]) {
+                    reach_[s][w] = 1;
+                    todo.push_back(w);
+                }
+        }
+    }
+    // Multi-instance ancestors (self included) per unit, following
+    // spawnedBy links upward.
+    multiAnc_.assign(g.units.size(), {});
+    for (size_t u = 0; u < g.units.size(); ++u) {
+        std::vector<int> todo{static_cast<int>(u)};
+        std::vector<char> seen(g.units.size(), 0);
+        while (!todo.empty()) {
+            int v = todo.back();
+            todo.pop_back();
+            if (seen[v])
+                continue;
+            seen[v] = 1;
+            if (g.units[v].multiInstance)
+                multiAnc_[u].push_back(v);
+            for (int p : g.units[v].spawnedBy)
+                todo.push_back(p);
+        }
+        std::sort(multiAnc_[u].begin(), multiAnc_[u].end());
+    }
+}
+
+bool
+MhpAnalysis::reaches(int a, int b) const
+{
+    return a >= 0 && b >= 0 && reach_[a][b];
+}
+
+bool
+MhpAnalysis::mayHappenInParallel(int a, int b) const
+{
+    if (a < 0 || b < 0)
+        return false;
+    const int ua = g_->nodes[a].unit;
+    const int ub = g_->nodes[b].unit;
+    if (ua == ub)
+        return g_->units[ua].multiInstance;
+    // Different spawn trees never overlap in time.
+    const auto &ra = g_->units[ua].roots;
+    const auto &rb = g_->units[ub].roots;
+    bool sameTree = false;
+    for (int r : ra)
+        if (std::find(rb.begin(), rb.end(), r) != rb.end()) {
+            sameTree = true;
+            break;
+        }
+    if (!sameTree)
+        return false;
+    // A shared multi-instance ancestor makes intra-instance HB paths
+    // meaningless across instances: conservatively parallel.
+    for (int m : multiAnc_[ua])
+        if (std::binary_search(multiAnc_[ub].begin(), multiAnc_[ub].end(),
+                               m))
+            return true;
+    return !reach_[a][b] && !reach_[b][a];
+}
+
+bool
+MhpAnalysis::mayHappenInParallel(const SourceLoc &a,
+                                 const SourceLoc &b) const
+{
+    std::vector<int> na = g_->nodesAt(a);
+    std::vector<int> nb = g_->nodesAt(b);
+    if (na.empty() || nb.empty())
+        return true; // no flow information: cannot prove ordered
+    for (int x : na)
+        for (int y : nb)
+            if (mayHappenInParallel(x, y))
+                return true;
+    return false;
+}
+
+std::vector<std::pair<int, int>>
+MhpAnalysis::pairs() const
+{
+    std::vector<std::pair<int, int>> out;
+    const int n = static_cast<int>(g_->nodes.size());
+    for (int a = 0; a < n; ++a)
+        for (int b = a; b < n; ++b)
+            if (mayHappenInParallel(a, b))
+                out.emplace_back(a, b);
+    return out;
+}
+
+std::string
+mhpPairsStr(const MhpAnalysis &mhp)
+{
+    const FlowGraph &g = mhp.graph();
+    std::set<std::string> lines;
+    for (auto [a, b] : mhp.pairs()) {
+        std::string sa = g.nodes[a].op.loc.str() + " " +
+                         flowOpName(g.nodes[a].op);
+        std::string sb = g.nodes[b].op.loc.str() + " " +
+                         flowOpName(g.nodes[b].op);
+        if (sb < sa)
+            std::swap(sa, sb);
+        lines.insert(sa + " <-> " + sb);
+    }
+    std::string out;
+    for (const std::string &l : lines)
+        out += l + "\n";
+    return out;
+}
+
+std::vector<SourceLoc>
+mhpSites(const MhpAnalysis &mhp)
+{
+    const FlowGraph &g = mhp.graph();
+    std::set<std::string> seen;
+    std::vector<SourceLoc> out;
+    for (auto [a, b] : mhp.pairs())
+        for (int n : {a, b}) {
+            const SourceLoc &loc = g.nodes[n].op.loc;
+            if (seen.insert(loc.str()).second)
+                out.push_back(loc);
+        }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace goat::staticmodel

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fork-join may-happen-in-parallel analysis over the goroutine-flow
+ * graph (the lotus MHPAnalysis shape; PAPERS.md arXiv:2004.12859).
+ *
+ * Two operation sites may happen in parallel when no happens-before
+ * path (sequential / fork / join edges) orders them, they belong to
+ * the same spawn tree (independent top-level functions never overlap
+ * in time), and their units are not the same single-instance frame.
+ * Operations of a multi-instance unit (spawned from several sites or
+ * from a loop) may additionally interleave with themselves and with
+ * anything in that unit's spawn subtree, because two instances of the
+ * frame can be live at once — the intra-instance program order says
+ * nothing across instances.
+ *
+ * The relation is deliberately an over-approximation: `true` means
+ * "cannot be proven ordered". Consumers demote or filter on proven
+ * `false` only (GL002 demotion), or combine `true` with a second
+ * filter (GL008 requires disjoint lock sets on top of MHP).
+ */
+
+#ifndef GOAT_STATICMODEL_MHP_HH
+#define GOAT_STATICMODEL_MHP_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "staticmodel/flowgraph.hh"
+
+namespace goat::staticmodel {
+
+class MhpAnalysis
+{
+  public:
+    explicit MhpAnalysis(const FlowGraph &g);
+
+    /** May nodes @p a and @p b (ids into g.nodes) interleave?
+     *  a == b asks whether the site can race with itself (true only
+     *  for multi-instance units — e.g. a close() in a goroutine
+     *  spawned twice). */
+    bool mayHappenInParallel(int a, int b) const;
+
+    /** Location form: true when any node pair at the two sites may
+     *  interleave. Locations with no node are conservatively treated
+     *  as parallel (absence of flow information proves nothing). */
+    bool mayHappenInParallel(const SourceLoc &a, const SourceLoc &b) const;
+
+    /** Is there a happens-before path from node @p a to node @p b? */
+    bool reaches(int a, int b) const;
+
+    /** All MHP node pairs, a <= b, in node order. */
+    std::vector<std::pair<int, int>> pairs() const;
+
+    const FlowGraph &graph() const { return *g_; }
+
+  private:
+    const FlowGraph *g_;
+    /** reach_[a][b]: b reachable from a via HB edges (a != b). */
+    std::vector<std::vector<char>> reach_;
+    /** Multi-instance units on each unit's spawn-ancestor chain. */
+    std::vector<std::vector<int>> multiAnc_;
+};
+
+/**
+ * Render the MHP pair set as the stable `-mhp-out=` dump: one line
+ * per unique site pair, `fileA:lineA opA <-> fileB:lineB opB`,
+ * lexicographically sorted.
+ */
+std::string mhpPairsStr(const MhpAnalysis &mhp);
+
+/**
+ * Unique source sites participating in at least one MHP pair, sorted
+ * by location — the priority seed set for `-mhp-prune` campaigns.
+ */
+std::vector<SourceLoc> mhpSites(const MhpAnalysis &mhp);
+
+} // namespace goat::staticmodel
+
+#endif // GOAT_STATICMODEL_MHP_HH

@@ -63,6 +63,20 @@ constexpr MethodKind methodKinds[] = {
 
 } // namespace
 
+bool
+SrcOp::isVarAccess() const
+{
+    return kind == CuKind::NumCuKinds &&
+           (method == "load" || method == "store" || method == "update");
+}
+
+bool
+SrcOp::isVarWrite() const
+{
+    return kind == CuKind::NumCuKinds &&
+           (method == "store" || method == "update");
+}
+
 std::string
 stripCommentsAndStrings(const std::string &text)
 {
@@ -265,6 +279,20 @@ SrcScan::inLoop(int scope, int root) const
     return false;
 }
 
+bool
+SrcScan::nolintAt(uint32_t line, const std::string &ruleId) const
+{
+    auto it = nolint.find(line);
+    if (it == nolint.end())
+        return false;
+    if (it->second.empty())
+        return true; // bare `goat:nolint` covers every rule
+    for (const auto &r : it->second)
+        if (r == ruleId)
+            return true;
+    return false;
+}
+
 namespace {
 
 /** Keywords whose parenthesized head does not open a function body. */
@@ -291,6 +319,41 @@ scanRegions(const std::string &text, const std::string &filename)
 {
     SrcScan scan;
     scan.file = trace::internString(pathBasename(filename));
+
+    // Suppression comments live inside comments, so they must be
+    // harvested from the raw text before stripping.
+    {
+        std::istringstream iss(text);
+        std::string ln;
+        uint32_t no = 0;
+        while (std::getline(iss, ln)) {
+            ++no;
+            size_t p = ln.find("goat:nolint");
+            if (p == std::string::npos || ln.rfind("//", p) == std::string::npos)
+                continue;
+            std::vector<std::string> rules;
+            size_t q = p + 11; // past "goat:nolint"
+            if (q < ln.size() && ln[q] == '(') {
+                size_t e = ln.find(')', q);
+                std::string list =
+                    ln.substr(q + 1,
+                              e == std::string::npos ? std::string::npos
+                                                     : e - q - 1);
+                std::string cur;
+                for (char ch : list + ",") {
+                    if (ch == ',') {
+                        if (!cur.empty())
+                            rules.push_back(cur);
+                        cur.clear();
+                    } else if (isIdentChar(ch)) {
+                        cur += ch;
+                    }
+                }
+            }
+            scan.nolint[no] = std::move(rules);
+        }
+    }
+
     const std::string clean = stripCommentsAndStrings(text);
 
     SrcScope root;
@@ -315,6 +378,9 @@ scanRegions(const std::string &text, const std::string &filename)
     bool chanDecl = false; // inside a `Chan<...> name...;` declaration
     bool condStmt = false; // in the braceless body of an if/else
     std::vector<std::string> bracketChain; // chain saved at each '['
+    // Left-hand identifier of the current `name = ...` statement; a
+    // lambda body opening before the next ';' is bound to this name.
+    std::string pendingAssign;
 
     size_t i = 0;
     uint32_t line = 1;
@@ -404,6 +470,16 @@ scanRegions(const std::string &text, const std::string &filename)
                     if (mk->kind == CuKind::Add)
                         op.addArg = intArgAt(k);
                     scan.ops.push_back(std::move(op));
+                } else if (w == "load" || w == "store" || w == "update") {
+                    // SharedVar access: not a CU (kind stays the
+                    // NumCuKinds sentinel) but the GL008 race check
+                    // needs the site.
+                    SrcOp op;
+                    op.loc = SourceLoc(scan.file, line);
+                    op.object = chainReceiver;
+                    op.method = w;
+                    op.scope = stack.back();
+                    scan.ops.push_back(std::move(op));
                 }
             } else if (calls) {
                 // Word-start call site.
@@ -411,6 +487,7 @@ scanRegions(const std::string &text, const std::string &filename)
                     SrcOp op;
                     op.loc = SourceLoc(scan.file, line);
                     op.kind = CuKind::Go;
+                    op.object = argTextAt(k); // for named-spawn matching
                     op.method = w;
                     op.scope = stack.back();
                     scan.ops.push_back(std::move(op));
@@ -497,6 +574,7 @@ scanRegions(const std::string &text, const std::string &filename)
             s.beginLine = line;
             if (prevTok == "]") {
                 s.taskRoot = true; // captureless-parameter lambda body
+                s.declName = pendingAssign;
             } else if (prevTok == ")") {
                 const std::string &id = lastClosedParenIdent;
                 if (id == "if" || id == "switch")
@@ -505,8 +583,12 @@ scanRegions(const std::string &text, const std::string &filename)
                     s.loop = true;
                 else if (id == "catch")
                     ; // plain scope
-                else
+                else {
                     s.taskRoot = true; // function/ctor/lambda body
+                    // `[..](args) {` binds the assignment name;
+                    // `name(args) {` binds the function name.
+                    s.declName = id == "]" ? pendingAssign : id;
+                }
             } else if (prevTok == "else") {
                 s.conditional = true;
             } else if (prevTok == "do") {
@@ -550,9 +632,30 @@ scanRegions(const std::string &text, const std::string &filename)
                 pendingSelect = -1;
             chanDecl = false;
             condStmt = false;
+            pendingAssign.clear();
             chain.clear();
             chainReceiver.clear();
             setPrev(";");
+            break;
+          case '=':
+            if (i + 1 < clean.size() && clean[i + 1] == '=') {
+                chain.clear();
+                chainReceiver.clear();
+                setPrev("==");
+                ++i;
+            } else {
+                // Simple assignment: remember the left-hand name so a
+                // lambda body on the right picks it up as declName.
+                // Compound forms (`!=`, `<=`, `+=`, ...) leave an
+                // operator in prevTok and are skipped here.
+                if (!prevTok.empty() &&
+                    (std::isalpha(static_cast<unsigned char>(prevTok[0])) ||
+                     prevTok[0] == '_'))
+                    pendingAssign = prevTok;
+                chain.clear();
+                chainReceiver.clear();
+                setPrev("=");
+            }
             break;
           default:
             chain.clear();

@@ -66,12 +66,21 @@ std::string stripCommentsAndStrings(const std::string &text);
 
 /**
  * One recognized operation with its lexical context.
+ *
+ * Besides the CU kinds, the region scan records SharedVar accesses
+ * (`.load(` / `.store(` / `.update(`) with kind NumCuKinds and the
+ * method name preserved — they are not CUs (no dynamic schedule
+ * event) but the flow-aware GL008 race check needs them.
  */
 struct SrcOp
 {
     SourceLoc loc;
     CuKind kind = CuKind::NumCuKinds;
-    /** Receiver expression of a `.method(` call ("st->mu"); else "". */
+    /**
+     * Receiver expression of a `.method(` call ("st->mu"); for
+     * go()/goNamed() ops, the call's argument text (used to resolve
+     * goroutines spawned by lambda/function name); else "".
+     */
     std::string object;
     /** Raw callee name ("lock", "rlock", "Select", "go", ...). */
     std::string method;
@@ -81,6 +90,11 @@ struct SrcOp
     bool selectDefault = false;
     /** Add ops: integer-literal delta, or -1 when not a literal. */
     int addArg = -1;
+
+    /** SharedVar access (load/store/update)? */
+    bool isVarAccess() const;
+    /** SharedVar write (store/update)? */
+    bool isVarWrite() const;
 };
 
 /**
@@ -104,6 +118,14 @@ struct SrcScope
     bool loop = false;
     /** Body of an `if`/`else` statement (conditional path). */
     bool conditional = false;
+    /**
+     * Task roots only: the name bound to this body — the variable a
+     * lambda is assigned to (`auto f = [..]{...}` -> "f") or the
+     * function name (`void worker() {...}` -> "worker"). Used to
+     * resolve `go(f)` spawns of named lambdas/functions; "" when
+     * anonymous.
+     */
+    std::string declName;
 };
 
 /** One `return` statement (an early-exit path). */
@@ -138,6 +160,16 @@ struct SrcScan
      * Consulted only for objects that carry channel operations.
      */
     std::map<std::string, int> chanCap;
+    /**
+     * Inline suppression comments, harvested from the raw text before
+     * comment stripping: line carrying `// goat:nolint(GL003,GL004)`
+     * (or the bare `// goat:nolint`) → listed rule ids (empty vector
+     * = suppress every rule on that line).
+     */
+    std::map<uint32_t, std::vector<std::string>> nolint;
+
+    /** True when a goat:nolint comment on @p line covers @p ruleId. */
+    bool nolintAt(uint32_t line, const std::string &ruleId) const;
 
     /** True when @p ancestor is @p scope or one of its ancestors. */
     bool scopeWithin(int scope, int ancestor) const;

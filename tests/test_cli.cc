@@ -369,3 +369,86 @@ TEST(CliExit, ResumeErrorsFollowExitContract)
               2);
     std::remove(ck.c_str());
 }
+
+// ---------------------------------------------------------------------
+// Static-tier flags: -lint-fail-on=, -mhp-out=, -mhp-prune.
+// ---------------------------------------------------------------------
+
+TEST(Cli, StaticTierFlagsDefaultOff)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({}, opt, &err));
+    EXPECT_EQ(opt.lint_fail_on, "none");
+    EXPECT_FALSE(opt.mhp_prune);
+    EXPECT_EQ(opt.mhp_out, "");
+}
+
+TEST(Cli, StaticTierFlagsParse)
+{
+    Options opt;
+    std::string err;
+    EXPECT_TRUE(parse({"-lint", "-lint-fail-on=warn", "-mhp-prune",
+                       "-mhp-out=/tmp/pairs.txt"},
+                      opt, &err));
+    EXPECT_EQ(opt.lint_fail_on, "warn");
+    EXPECT_TRUE(opt.mhp_prune);
+    EXPECT_EQ(opt.mhp_out, "/tmp/pairs.txt");
+}
+
+TEST(CliExit, LintFailOnWarnExitsThreeOnFindings)
+{
+    // etcd_7492 carries static findings (GL003 + the demoted GL002).
+    EXPECT_EQ(runGoat("-lint -kernel=etcd_7492 -lint-fail-on=warn"), 3);
+    // The default policy always exits 0 on a successful lint.
+    EXPECT_EQ(runGoat("-lint -kernel=etcd_7492"), 0);
+    EXPECT_EQ(runGoat("-lint -kernel=etcd_7492 -lint-fail-on=none"), 0);
+}
+
+TEST(CliExit, LintFailOnWarnIsZeroWhenClean)
+{
+    // The examples lint clean (race_hunt's seeded race is nolint'ed),
+    // so the strict policy still exits 0.
+    EXPECT_EQ(runGoat("-lint -lint-path=examples -lint-fail-on=warn"),
+              0);
+}
+
+TEST(CliExit, UnknownLintFailOnPolicyIsUsageError)
+{
+    EXPECT_EQ(runGoat("-lint -kernel=etcd_7492 -lint-fail-on=bogus"),
+              2);
+}
+
+TEST(CliExit, MhpOutWritesThePairDump)
+{
+    std::string out = tmpPath("pairs.txt");
+    std::remove(out.c_str());
+    ASSERT_EQ(runGoat("-kernel=cockroach_7504 -mhp-out=" + out), 0);
+    std::FILE *f = std::fopen(out.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[256];
+    ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+    EXPECT_NE(std::string(buf).find(" <-> "), std::string::npos);
+    std::fclose(f);
+    std::remove(out.c_str());
+}
+
+TEST(CliExit, MhpOutUsageErrors)
+{
+    // The dump is per-kernel static mode: it needs one named kernel.
+    EXPECT_EQ(runGoat("-mhp-out=/tmp/p.txt"), 2);
+    EXPECT_EQ(runGoat("-kernel=all -mhp-out=/tmp/p.txt"), 2);
+    EXPECT_EQ(runGoat("-kernel=no_such -mhp-out=/tmp/p.txt"), 2);
+}
+
+TEST(CliExit, MhpOutWriteFailureIsOne)
+{
+    EXPECT_EQ(runGoat("-kernel=cockroach_7504 "
+                      "-mhp-out=/nonexistent-dir/p.txt"),
+              1);
+}
+
+TEST(CliExit, MhpPruneCampaignCompletes)
+{
+    EXPECT_EQ(runGoat(std::string(kBugRun) + " -mhp-prune"), 0);
+}

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/coverage.hh"
+#include "campaign/campaign.hh"
 #include "chan/chan.hh"
 #include "goat/engine.hh"
 #include "goker/registry.hh"
@@ -123,5 +124,98 @@ TEST(Guided, NeverWorseAtDetectingTheAblationSubset)
         cfg.maxIterations = 500;
         engine::GoatEngine eng(cfg);
         EXPECT_TRUE(eng.run(k->fn).bugFound) << name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static MHP pruning (-mhp-prune): seeding the perturber with the
+// statically-interleavable sites.
+// ---------------------------------------------------------------------
+
+namespace {
+
+enum class SeedMode
+{
+    Unguided,
+    MhpPruned,
+    LintGuided,
+};
+
+/** First-detection iteration of a campaign (0 = no bug). */
+int
+detectionIteration(const goat::goker::KernelInfo &kernel, uint64_t seed,
+                   SeedMode mode)
+{
+    campaign::CampaignConfig ccfg;
+    ccfg.engine.delayBound = 2;
+    ccfg.engine.maxIterations = 100;
+    ccfg.engine.seedBase = seed;
+    ccfg.engine.staticModel = goker::kernelCuTable(kernel);
+    if (mode == SeedMode::MhpPruned) {
+        ccfg.engine.prioritySites = goker::kernelMhpSites(kernel);
+    } else if (mode == SeedMode::LintGuided) {
+        ccfg.lint = goker::kernelLintReport(kernel);
+        ccfg.lintBridge = true;
+        ccfg.engine.prioritySites = ccfg.lint.sites();
+    }
+    auto cres = campaign::runCampaign(ccfg, kernel.fn);
+    return cres.merged.bugFound ? cres.merged.bugIteration : 0;
+}
+
+} // namespace
+
+TEST(MhpPrune, SeedSitesAreStaticAndNonEmptyOnBuggyKernels)
+{
+    for (const char *name : {"cockroach_1462", "etcd_6873",
+                             "kubernetes_6632"}) {
+        const auto *k = goker::KernelRegistry::instance().find(name);
+        ASSERT_NE(k, nullptr);
+        auto sites = goker::kernelMhpSites(*k);
+        EXPECT_FALSE(sites.empty()) << name;
+    }
+}
+
+TEST(MhpPrune, BeatsUnguidedOnInterleavingKernels)
+{
+    // The acceptance experiment: on kernels whose bug needs a real
+    // interleaving, restricting priority yields to the statically
+    // MHP sites must reduce total iterations to first detection.
+    for (const char *name : {"cockroach_1462", "etcd_6873",
+                             "kubernetes_6632"}) {
+        const auto *k = goker::KernelRegistry::instance().find(name);
+        ASSERT_NE(k, nullptr);
+        int pruned_total = 0, unguided_total = 0;
+        for (uint64_t seed = 1; seed <= 5; ++seed) {
+            int p = detectionIteration(*k, seed, SeedMode::MhpPruned);
+            int u = detectionIteration(*k, seed, SeedMode::Unguided);
+            ASSERT_GT(p, 0) << name << ": pruned missed at seed "
+                            << seed;
+            ASSERT_GT(u, 0) << name << ": unguided missed at seed "
+                            << seed;
+            pruned_total += p;
+            unguided_total += u;
+        }
+        EXPECT_LT(pruned_total, unguided_total) << name;
+    }
+}
+
+TEST(MhpPrune, NoWorseThanLintGuided)
+{
+    // MHP pruning seeds a superset of the lint sites (every site that
+    // can interleave, not only flagged ones); on kernels where both
+    // guide well it must not lose to the lint bridge.
+    for (const char *name : {"etcd_6873", "kubernetes_6632"}) {
+        const auto *k = goker::KernelRegistry::instance().find(name);
+        ASSERT_NE(k, nullptr);
+        int pruned_total = 0, lint_total = 0;
+        for (uint64_t seed = 1; seed <= 5; ++seed) {
+            int p = detectionIteration(*k, seed, SeedMode::MhpPruned);
+            int l = detectionIteration(*k, seed, SeedMode::LintGuided);
+            ASSERT_GT(p, 0) << name;
+            ASSERT_GT(l, 0) << name;
+            pruned_total += p;
+            lint_total += l;
+        }
+        EXPECT_LE(pruned_total, lint_total) << name;
     }
 }

@@ -292,6 +292,166 @@ TEST(Lint, LoopedAddSkipsTheTally)
 }
 
 // ---------------------------------------------------------------------
+// GL008 statically-racy shared access (flow-aware tier) and the
+// MHP-based GL002 demotion.
+// ---------------------------------------------------------------------
+
+TEST(Lint, DoubleCloseOfNamedLambdaFlagged)
+{
+    // The GoKer shape: one body spawned from two sites; its close()
+    // may race with the other instance's close().
+    LintReport r = lint("auto worker = [st] {\n"
+                        "    st->c.close();\n"
+                        "};\n"
+                        "go(worker);\n"
+                        "go(worker);\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL008");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Warning);
+    EXPECT_EQ(r.findings[0].loc.line, 2u);
+}
+
+TEST(Lint, SendMayInterleaveWithCloseFlagged)
+{
+    LintReport r = lint("go([st] {\n"
+                        "    st->c.send(1);\n"
+                        "});\n"
+                        "st->c.close();\n");
+    bool hit = false;
+    for (const auto &f : r.findings)
+        hit = hit || std::string(f.ruleId) == "GL008";
+    EXPECT_TRUE(hit) << r.textStr();
+}
+
+TEST(Lint, RacyVarAccessWithoutCommonLockFlagged)
+{
+    LintReport r = lint("go([st] {\n"
+                        "    st->hits.update(bump);\n"
+                        "});\n"
+                        "st->hits.load();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL008");
+}
+
+TEST(Lint, CommonLockSuppressesTheRacePair)
+{
+    EXPECT_TRUE(lint("go([st] {\n"
+                     "    st->mu.lock();\n"
+                     "    st->hits.update(bump);\n"
+                     "    st->mu.unlock();\n"
+                     "});\n"
+                     "mu.lock();\n"
+                     "st->hits.load();\n"
+                     "mu.unlock();\n")
+                    .empty());
+}
+
+TEST(Lint, JoinOrderedAccessesAreClean)
+{
+    // done()/wait() orders the write before the read: not a race.
+    EXPECT_TRUE(lint("go([st] {\n"
+                     "    st->hits.update(bump);\n"
+                     "    st->wg.done();\n"
+                     "});\n"
+                     "st->wg.wait();\n"
+                     "st->hits.load();\n")
+                    .empty());
+}
+
+TEST(Lint, ReadOnlyParallelAccessesAreClean)
+{
+    EXPECT_TRUE(lint("go([st] {\n"
+                     "    st->hits.load();\n"
+                     "});\n"
+                     "st->hits.load();\n")
+                    .empty());
+}
+
+TEST(Lint, SequentialLockHandoffDemotedToNote)
+{
+    // AB then BA entirely on one frame: a static cycle that can never
+    // deadlock. The MHP refinement keeps the finding as a note.
+    LintReport r = lint("a.lock();\nb.lock();\nb.unlock();\na.unlock();\n"
+                        "b.lock();\na.lock();\na.unlock();\nb.unlock();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL002");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(r.findings[0].message.find("flow-ordered"),
+              std::string::npos);
+}
+
+TEST(Lint, ConcurrentInversionStaysAnError)
+{
+    LintReport r = lint("go([st] {\n"
+                        "    st->a.lock();\n    st->b.lock();\n"
+                        "    st->b.unlock();\n    st->a.unlock();\n"
+                        "});\n"
+                        "go([st] {\n"
+                        "    st->b.lock();\n    st->a.lock();\n"
+                        "    st->a.unlock();\n    st->b.unlock();\n"
+                        "});\n");
+    ASSERT_GE(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL002");
+    EXPECT_EQ(r.findings[0].severity, LintSeverity::Error);
+}
+
+// ---------------------------------------------------------------------
+// Inline suppression and report dedup.
+// ---------------------------------------------------------------------
+
+TEST(Lint, NolintSuppressesTheNamedRule)
+{
+    LintReport r =
+        lint("m.lock();\n"
+             "m.lock(); // goat:nolint(GL001)\n"
+             "m.unlock();\nm.unlock();\n");
+    EXPECT_TRUE(r.empty()) << r.textStr();
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Lint, BareNolintSuppressesEveryRuleOnTheLine)
+{
+    LintReport r = lint("m.lock();\n"
+                        "m.lock(); // goat:nolint\n"
+                        "m.unlock();\nm.unlock();\n");
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Lint, NolintForAnotherRuleKeepsTheFinding)
+{
+    LintReport r =
+        lint("m.lock();\n"
+             "m.lock(); // goat:nolint(GL003,GL008)\n"
+             "m.unlock();\nm.unlock();\n");
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_STREQ(r.findings[0].ruleId, "GL001");
+    EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(Lint, SuppressedCountSurvivesTheRenderers)
+{
+    LintReport r = lint("m.lock();\n"
+                        "m.lock(); // goat:nolint\n"
+                        "m.unlock();\nm.unlock();\n");
+    EXPECT_NE(r.jsonStr().find("\"suppressed\":1"), std::string::npos);
+    EXPECT_NE(r.sarifStr().find("\"suppressed\":1"), std::string::npos);
+}
+
+TEST(Lint, DedupeDropsRepeatedRuleFileLine)
+{
+    LintReport r =
+        lint("m.lock();\nm.lock();\nm.unlock();\nm.unlock();\n");
+    ASSERT_EQ(r.size(), 1u);
+    LintReport twice = r;
+    twice.merge(r);
+    ASSERT_EQ(twice.size(), 2u);
+    twice.dedupe();
+    EXPECT_EQ(twice.size(), 1u);
+    EXPECT_EQ(twice.suppressed, r.suppressed * 2);
+}
+
+// ---------------------------------------------------------------------
 // Report mechanics: ranking, sites, renderers.
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the flow-aware static tier (staticmodel/flowgraph.hh,
+ * mhp.hh, lockset.hh): flow-graph construction over synthetic
+ * sources, the fork/join happens-before relation and its MHP
+ * complement, must-held lock-set propagation, and the corpus-facing
+ * helpers (kernelMhpPairsStr golden dump, kernelMhpSites seed set).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "goker/registry.hh"
+#include "staticmodel/flowgraph.hh"
+#include "staticmodel/lockset.hh"
+#include "staticmodel/mhp.hh"
+#include "staticmodel/scanner.hh"
+
+using namespace goat;
+using namespace goat::staticmodel;
+
+namespace {
+
+FlowGraph
+graphOf(const std::string &src)
+{
+    return buildFlowGraph(scanRegions(src, "t.cc"));
+}
+
+/** First node on @p line, asserting it exists. */
+int
+node(const FlowGraph &g, uint32_t line)
+{
+    int n = g.nodeAt(SourceLoc("t.cc", line));
+    EXPECT_GE(n, 0) << "no node at line " << line;
+    return n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Flow-graph construction.
+// ---------------------------------------------------------------------
+
+TEST(FlowGraph, SpawnedLambdaBecomesItsOwnUnit)
+{
+    FlowGraph g = graphOf("st->a.send(1);\n"
+                          "go([st] {\n"
+                          "    st->b.recv();\n"
+                          "});\n"
+                          "st->c.close();\n");
+    int send = node(g, 1), recv = node(g, 3), close = node(g, 5);
+    EXPECT_EQ(g.nodes[send].unit, g.nodes[close].unit);
+    EXPECT_NE(g.nodes[send].unit, g.nodes[recv].unit);
+    const FlowUnit &child = g.units[g.nodes[recv].unit];
+    EXPECT_TRUE(child.spawned);
+    EXPECT_EQ(child.spawnSites, 1);
+    EXPECT_FALSE(child.multiInstance);
+}
+
+TEST(FlowGraph, UnspawnedNestedLambdaMergesIntoParentUnit)
+{
+    // A Select arm / helper callback is never spawned: its operations
+    // run inline on the enclosing frame.
+    FlowGraph g = graphOf("go([st] {\n"
+                          "    st->a.send(1);\n"
+                          "    auto cb = [st] {\n"
+                          "        st->b.recv();\n"
+                          "    };\n"
+                          "    st->c.close();\n"
+                          "});\n");
+    int send = node(g, 2), recv = node(g, 4), close = node(g, 6);
+    EXPECT_EQ(g.nodes[send].unit, g.nodes[recv].unit);
+    EXPECT_EQ(g.nodes[recv].unit, g.nodes[close].unit);
+}
+
+TEST(FlowGraph, ObjAndOpNames)
+{
+    EXPECT_EQ(flowObjName("st->mu"), "mu");
+    EXPECT_EQ(flowObjName("a.b.c"), "c");
+    EXPECT_EQ(flowObjName("plain"), "plain");
+    SrcOp op;
+    op.method = "close";
+    EXPECT_EQ(flowOpName(op), "close");
+}
+
+// ---------------------------------------------------------------------
+// MHP: fork edges.
+// ---------------------------------------------------------------------
+
+TEST(Mhp, ForkOrdersPrefixBeforeChildBody)
+{
+    FlowGraph g = graphOf("st->a.send(1);\n"
+                          "go([st] {\n"
+                          "    st->b.recv();\n"
+                          "});\n"
+                          "st->c.close();\n");
+    MhpAnalysis mhp(g);
+    int send = node(g, 1), recv = node(g, 3), close = node(g, 5);
+    // Everything before the spawn happens before the child body.
+    EXPECT_TRUE(mhp.reaches(send, recv));
+    EXPECT_FALSE(mhp.mayHappenInParallel(send, recv));
+    // The child runs concurrently with the spawner's continuation.
+    EXPECT_TRUE(mhp.mayHappenInParallel(recv, close));
+    // Sequential ops of one unit never interleave.
+    EXPECT_FALSE(mhp.mayHappenInParallel(send, close));
+    // A single-instance site cannot race with itself.
+    EXPECT_FALSE(mhp.mayHappenInParallel(recv, recv));
+}
+
+TEST(Mhp, NestedSpawnIsParallelWithBothAncestors)
+{
+    FlowGraph g = graphOf("go([st] {\n"
+                          "    go([st] {\n"
+                          "        st->a.close();\n"
+                          "    });\n"
+                          "    st->b.close();\n"
+                          "});\n"
+                          "st->c.close();\n");
+    MhpAnalysis mhp(g);
+    int grand = node(g, 3), child = node(g, 5), root = node(g, 7);
+    EXPECT_TRUE(mhp.mayHappenInParallel(grand, child));
+    EXPECT_TRUE(mhp.mayHappenInParallel(grand, root));
+    EXPECT_TRUE(mhp.mayHappenInParallel(child, root));
+    EXPECT_FALSE(mhp.mayHappenInParallel(grand, grand));
+}
+
+// ---------------------------------------------------------------------
+// MHP: multi-instance units.
+// ---------------------------------------------------------------------
+
+TEST(Mhp, LoopSpawnedBodyMayRaceWithItself)
+{
+    FlowGraph g = graphOf("for (int i = 0; i < 3; ++i) {\n"
+                          "    go([st] {\n"
+                          "        st->c.close();\n"
+                          "    });\n"
+                          "}\n");
+    MhpAnalysis mhp(g);
+    int close = node(g, 3);
+    EXPECT_TRUE(g.units[g.nodes[close].unit].multiInstance);
+    EXPECT_TRUE(mhp.mayHappenInParallel(close, close));
+}
+
+TEST(Mhp, NamedLambdaSpawnedTwiceMayRaceWithItself)
+{
+    // The GoKer double-close shape: both go() sites resolve by name
+    // to one body, so two instances of the frame can be live at once.
+    FlowGraph g = graphOf("auto worker = [st] {\n"
+                          "    st->c.close();\n"
+                          "};\n"
+                          "go(worker);\n"
+                          "go(worker);\n");
+    MhpAnalysis mhp(g);
+    int close = node(g, 2);
+    const FlowUnit &u = g.units[g.nodes[close].unit];
+    EXPECT_EQ(u.name, "worker");
+    EXPECT_EQ(u.spawnSites, 2);
+    EXPECT_TRUE(u.multiInstance);
+    EXPECT_TRUE(mhp.mayHappenInParallel(close, close));
+}
+
+// ---------------------------------------------------------------------
+// MHP: join edges.
+// ---------------------------------------------------------------------
+
+TEST(Mhp, WaitGroupJoinOrdersChildBeforeContinuation)
+{
+    FlowGraph g = graphOf("go([st] {\n"
+                          "    st->x.store(1);\n"
+                          "    st->wg.done();\n"
+                          "});\n"
+                          "st->wg.wait();\n"
+                          "st->x.load();\n");
+    MhpAnalysis mhp(g);
+    int store = node(g, 2), load = node(g, 6);
+    EXPECT_TRUE(mhp.reaches(store, load));
+    EXPECT_FALSE(mhp.mayHappenInParallel(store, load));
+}
+
+TEST(Mhp, WithoutTheWaitTheAccessesStayParallel)
+{
+    FlowGraph g = graphOf("go([st] {\n"
+                          "    st->x.store(1);\n"
+                          "    st->wg.done();\n"
+                          "});\n"
+                          "st->x.load();\n");
+    MhpAnalysis mhp(g);
+    EXPECT_TRUE(mhp.mayHappenInParallel(node(g, 2), node(g, 5)));
+}
+
+TEST(Mhp, UnbufferedRendezvousOrdersSenderPrefix)
+{
+    FlowGraph g = graphOf("Chan<int> done(0);\n"
+                          "go([st] {\n"
+                          "    st->x.store(1);\n"
+                          "    done.send(1);\n"
+                          "});\n"
+                          "done.recv();\n"
+                          "st->x.load();\n");
+    MhpAnalysis mhp(g);
+    int store = node(g, 3), load = node(g, 7);
+    EXPECT_TRUE(mhp.reaches(store, load));
+    EXPECT_FALSE(mhp.mayHappenInParallel(store, load));
+}
+
+TEST(Mhp, BufferedChannelCarriesNoJoinEdge)
+{
+    // A buffered send completes without a rendezvous, so the recv
+    // proves nothing about the sender's earlier writes.
+    FlowGraph g = graphOf("Chan<int> done(4);\n"
+                          "go([st] {\n"
+                          "    st->x.store(1);\n"
+                          "    done.send(1);\n"
+                          "});\n"
+                          "done.recv();\n"
+                          "st->x.load();\n");
+    MhpAnalysis mhp(g);
+    EXPECT_TRUE(mhp.mayHappenInParallel(node(g, 3), node(g, 7)));
+}
+
+// ---------------------------------------------------------------------
+// MHP: spawn-tree separation and the location form.
+// ---------------------------------------------------------------------
+
+TEST(Mhp, IndependentTopLevelFunctionsNeverOverlap)
+{
+    // Two never-spawned functions in one file have disjoint spawn
+    // trees: a whole-file scan must not pair their operations.
+    FlowGraph g = graphOf("void setup()\n"
+                          "{\n"
+                          "    st->a.lock();\n"
+                          "    st->a.unlock();\n"
+                          "}\n"
+                          "void teardown()\n"
+                          "{\n"
+                          "    st->a.lock();\n"
+                          "    st->a.unlock();\n"
+                          "}\n");
+    MhpAnalysis mhp(g);
+    EXPECT_FALSE(mhp.mayHappenInParallel(node(g, 3), node(g, 8)));
+}
+
+TEST(Mhp, UnknownLocationIsConservativelyParallel)
+{
+    FlowGraph g = graphOf("st->a.send(1);\n");
+    MhpAnalysis mhp(g);
+    EXPECT_TRUE(mhp.mayHappenInParallel(SourceLoc("t.cc", 1),
+                                        SourceLoc("other.cc", 99)));
+}
+
+TEST(Mhp, PairsAreCanonicalAndRenderable)
+{
+    FlowGraph g = graphOf("go([st] {\n"
+                          "    st->b.recv();\n"
+                          "});\n"
+                          "st->c.close();\n");
+    MhpAnalysis mhp(g);
+    auto pairs = mhp.pairs();
+    ASSERT_FALSE(pairs.empty());
+    for (auto [a, b] : pairs)
+        EXPECT_LE(a, b);
+    std::string dump = mhpPairsStr(mhp);
+    EXPECT_NE(dump.find(" <-> "), std::string::npos);
+    EXPECT_NE(dump.find("t.cc:2 recv"), std::string::npos);
+    std::vector<SourceLoc> sites = mhpSites(mhp);
+    ASSERT_GE(sites.size(), 2u);
+    for (size_t i = 1; i < sites.size(); ++i)
+        EXPECT_TRUE(sites[i - 1] < sites[i]);
+}
+
+// ---------------------------------------------------------------------
+// Lock sets.
+// ---------------------------------------------------------------------
+
+TEST(LockSet, HeldBetweenLockAndUnlockOnly)
+{
+    SrcScan scan = scanRegions("st->mu.lock();\n"
+                               "st->x.store(1);\n"
+                               "st->mu.unlock();\n"
+                               "st->x.store(2);\n",
+                               "t.cc");
+    FlowGraph g = buildFlowGraph(scan);
+    LockSetAnalysis locks(scan, g);
+    int inside = node(g, 2), outside = node(g, 4);
+    EXPECT_EQ(locks.at(inside).count("mu"), 1u);
+    EXPECT_TRUE(locks.at(outside).empty());
+    // The lock op itself runs with the set it found on entry.
+    EXPECT_TRUE(locks.at(node(g, 1)).empty());
+}
+
+TEST(LockSet, GuardReleasesAtScopeExit)
+{
+    SrcScan scan = scanRegions("{\n"
+                               "    LockGuard gl(st->mu);\n"
+                               "    st->x.store(1);\n"
+                               "}\n"
+                               "st->x.store(2);\n",
+                               "t.cc");
+    FlowGraph g = buildFlowGraph(scan);
+    LockSetAnalysis locks(scan, g);
+    EXPECT_EQ(locks.at(node(g, 3)).count("mu"), 1u);
+    EXPECT_TRUE(locks.at(node(g, 5)).empty());
+}
+
+TEST(LockSet, ShareLockComparesByTrailingName)
+{
+    // Units capture the same mutex through different paths; the sets
+    // still intersect because they are keyed by the trailing name.
+    SrcScan scan = scanRegions("go([st] {\n"
+                               "    st->mu.lock();\n"
+                               "    st->x.store(1);\n"
+                               "    st->mu.unlock();\n"
+                               "});\n"
+                               "mu.lock();\n"
+                               "st->x.store(2);\n"
+                               "mu.unlock();\n",
+                               "t.cc");
+    FlowGraph g = buildFlowGraph(scan);
+    LockSetAnalysis locks(scan, g);
+    EXPECT_TRUE(locks.shareLock(node(g, 3), node(g, 7)));
+    EXPECT_FALSE(locks.shareLock(node(g, 2), node(g, 6)));
+}
+
+TEST(LockSet, ForkDoesNotInheritTheSpawnersLocks)
+{
+    SrcScan scan = scanRegions("st->mu.lock();\n"
+                               "go([st] {\n"
+                               "    st->x.store(1);\n"
+                               "});\n"
+                               "st->mu.unlock();\n",
+                               "t.cc");
+    FlowGraph g = buildFlowGraph(scan);
+    LockSetAnalysis locks(scan, g);
+    EXPECT_TRUE(locks.at(node(g, 3)).empty());
+}
+
+// ---------------------------------------------------------------------
+// Corpus-facing helpers.
+// ---------------------------------------------------------------------
+
+TEST(MhpCorpus, Cockroach7504MatchesGoldenDump)
+{
+    const auto *k =
+        goker::KernelRegistry::instance().find("cockroach_7504");
+    ASSERT_NE(k, nullptr);
+    std::FILE *f = std::fopen(
+        GOAT_SOURCE_DIR "/tests/golden/mhp_cockroach_7504.txt", "rb");
+    ASSERT_NE(f, nullptr);
+    std::string golden;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        golden.append(buf, n);
+    std::fclose(f);
+    EXPECT_EQ(goker::kernelMhpPairsStr(*k), golden);
+}
+
+TEST(MhpCorpus, SitesAreUniqueSortedAndStatic)
+{
+    const auto *k =
+        goker::KernelRegistry::instance().find("cockroach_7504");
+    ASSERT_NE(k, nullptr);
+    std::vector<SourceLoc> a = goker::kernelMhpSites(*k);
+    std::vector<SourceLoc> b = goker::kernelMhpSites(*k);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i] == b[i]);
+        if (i > 0)
+            EXPECT_TRUE(a[i - 1] < a[i]);
+    }
+}
+
+TEST(MhpCorpus, SequentialKernelSpanHasNoPairs)
+{
+    // etcd_7492's recovery prefix runs entirely on the main goroutine
+    // before any spawn; only sites at or after the first go() may
+    // participate in MHP pairs.
+    const auto *k = goker::KernelRegistry::instance().find("etcd_7492");
+    ASSERT_NE(k, nullptr);
+    std::string dump = goker::kernelMhpPairsStr(*k);
+    EXPECT_EQ(dump.find("sessions"), std::string::npos) << dump;
+    EXPECT_EQ(dump.find("tokens"), std::string::npos) << dump;
+}

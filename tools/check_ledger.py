@@ -459,6 +459,24 @@ def main():
               f"{len(lrows1)} row(s), static/confirmed warning "
               f"stamps identical at -jobs=4")
 
+        # MHP-pruned campaigns seed the perturber from the static MHP
+        # pair set — a pure function of the kernel source, identical
+        # across workers — so the jobs=1 vs jobs=4 byte-identity
+        # guarantee must extend to -mhp-prune unchanged.
+        mhpl1 = Path(tmp) / "mhp_j1.jsonl"
+        mhpl4 = Path(tmp) / "mhp_j4.jsonl"
+        run_goat(goat, kernel, iterations, mhpl1,
+                 extra=["-mhp-prune"])
+        run_goat(goat, kernel, iterations, mhpl4, jobs=4,
+                 extra=["-mhp-prune"])
+        mrows1 = check_ledger(mhpl1, expect_min_lines=1)
+        mrows4 = check_ledger(mhpl4, expect_min_lines=1)
+        if canonical_rows(mrows1) != canonical_rows(mrows4):
+            fail("-mhp-prune -jobs=4 ledger differs from -jobs=1")
+        print(f"check_ledger: OK — mhp-pruned campaign: "
+              f"{len(mrows1)} row(s), canonical content identical "
+              f"at -jobs=4")
+
         # Predictive campaign: every row of a -predict run carries the
         # predicted stamp, confirmed iterations carry
         # predicted_confirmed, and the merged findings document plus

@@ -48,7 +48,11 @@ def check_location(loc, where):
 
 
 def check_sarif(doc):
-    """Validate one parsed SARIF document; returns the result count."""
+    """Validate one parsed SARIF document.
+
+    Returns (result count, driver rule ids, suppressed count summed
+    over runs that declare the goat run-level properties bag).
+    """
     if doc.get("version") != "2.1.0":
         fail(f"version is {doc.get('version')!r}, expected '2.1.0'")
     schema = doc.get("$schema", "")
@@ -58,6 +62,8 @@ def check_sarif(doc):
     if not isinstance(runs, list) or not runs:
         fail("no runs[] array")
     total_results = 0
+    total_suppressed = 0
+    all_rule_ids = []
     for ri, run in enumerate(runs):
         where = f"runs[{ri}]"
         driver = run.get("tool", {}).get("driver")
@@ -112,7 +118,15 @@ def check_sarif(doc):
             for loc in res.get("relatedLocations", []):
                 check_location(loc, f"{swhere}.relatedLocations")
         total_results += len(results)
-    return total_results
+        all_rule_ids.extend(rule_ids)
+        props = run.get("properties")
+        if props is not None:
+            supp = props.get("suppressed")
+            if not isinstance(supp, int) or isinstance(supp, bool) \
+                    or supp < 0:
+                fail(f"{where}: bad properties.suppressed {supp!r}")
+            total_suppressed += supp
+    return total_results, all_rule_ids, total_suppressed
 
 
 def load(path):
@@ -139,8 +153,9 @@ def run_lint(goat, out, lint_path=None, kernel=None):
 
 def main():
     if len(sys.argv) >= 3 and sys.argv[1] == "--file":
-        n = check_sarif(load(sys.argv[2]))
-        print(f"check_sarif: OK — {sys.argv[2]}: {n} result(s)")
+        n, _, supp = check_sarif(load(sys.argv[2]))
+        print(f"check_sarif: OK — {sys.argv[2]}: {n} result(s), "
+              f"{supp} suppressed")
         return
     if len(sys.argv) < 2:
         fail("usage: check_sarif.py --file report.sarif | "
@@ -153,20 +168,29 @@ def main():
         # All bug kernels: the seeded bugs must surface as findings.
         kernels = Path(tmp) / "kernels.sarif"
         run_lint(goat, kernels, kernel="all")
-        n_kernels = check_sarif(load(kernels))
+        n_kernels, rule_ids, _ = check_sarif(load(kernels))
         if n_kernels == 0:
             fail("lint over the bug kernels produced no findings")
+        # The flow-aware tier's rule must ship in the driver table.
+        if "GL008" not in rule_ids:
+            fail("driver rules lack GL008 (flow-aware race rule)")
 
         # The clean examples must lint clean — but the document still
         # has to be structurally valid SARIF (empty results array).
         examples = Path(tmp) / "examples.sarif"
         run_lint(goat, examples, lint_path=srcdir / "examples")
-        n_examples = check_sarif(load(examples))
+        n_examples, _, n_supp = check_sarif(load(examples))
         if n_examples != 0:
             fail(f"clean examples produced {n_examples} finding(s)")
+        # race_hunt.cpp acknowledges its seeded race inline; the
+        # suppression must be accounted for, not silently dropped.
+        if n_supp < 1:
+            fail("examples document reports no suppressed findings "
+                 "(expected the race_hunt goat:nolint)")
 
     print(f"check_sarif: OK — kernels: {n_kernels} result(s), "
-          f"examples: clean, both documents valid SARIF 2.1.0")
+          f"examples: clean ({n_supp} suppressed), both documents "
+          f"valid SARIF 2.1.0")
 
 
 if __name__ == "__main__":

@@ -50,6 +50,13 @@ struct Options
     std::string lint_path;
     /** Seed the campaign's priority yield sites from the lint pass. */
     bool lint_guided = false;
+    /** Exit policy for -lint: "none" (always 0) or "warn" (exit 3 on
+     *  any finding). */
+    std::string lint_fail_on = "none";
+    /** Seed priority yield sites from the static MHP pair set. */
+    bool mhp_prune = false;
+    /** Write the kernel's MHP pair dump here and exit (static mode). */
+    std::string mhp_out;
     /** Enable the hot-path stage profiler and print its table. */
     bool profile = false;
     /**
@@ -155,6 +162,12 @@ parseOptions(int argc, char **argv, Options &opt, std::string *error)
             opt.lint_path = v;
         } else if (arg == "-lint-guided") {
             opt.lint_guided = true;
+        } else if (const char *v = val("-lint-fail-on=")) {
+            opt.lint_fail_on = v;
+        } else if (arg == "-mhp-prune") {
+            opt.mhp_prune = true;
+        } else if (const char *v = val("-mhp-out=")) {
+            opt.mhp_out = v;
         } else if (arg == "-predict") {
             opt.predict = true;
         } else if (const char *v = val("-predict-out=")) {

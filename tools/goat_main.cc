@@ -94,6 +94,14 @@ usage()
         "  -lint-guided    seed the campaign's priority yield sites\n"
         "                  from the lint findings and cross-check them\n"
         "                  against the first bug trace\n"
+        "  -lint-fail-on=P exit policy for -lint: none (default;\n"
+        "                  always exit 0) or warn (exit 3 when any\n"
+        "                  finding survives suppression)\n"
+        "  -mhp-prune      seed the campaign's priority yield sites\n"
+        "                  from the static may-happen-in-parallel\n"
+        "                  pair set (flow-aware fork-join analysis)\n"
+        "  -mhp-out=PATH   write the kernel's MHP pair dump to PATH\n"
+        "                  and exit (static mode, like -lint)\n"
         "  -metrics        print the final metrics snapshot as JSON\n"
         "  -profile        profile the runtime's hot-path stages and\n"
         "                  print per-stage latency totals\n"
@@ -195,6 +203,11 @@ collectLintPaths(const std::string &spec)
 int
 runLint(const Options &opt)
 {
+    if (opt.lint_fail_on != "none" && opt.lint_fail_on != "warn") {
+        std::printf("unknown -lint-fail-on '%s' (none or warn)\n",
+                    opt.lint_fail_on.c_str());
+        return 2;
+    }
     staticmodel::LintReport report;
     if (!opt.lint_path.empty()) {
         report =
@@ -205,6 +218,9 @@ runLint(const Options &opt)
             for (const auto *k : registry.all())
                 report.merge(goker::kernelLintReport(*k));
             report.rank();
+            // Kernels sharing a source span can report the same
+            // (rule, file, line) twice; keep the first.
+            report.dedupe();
         } else {
             const goker::KernelInfo *k = registry.find(opt.kernel);
             if (!k) {
@@ -228,11 +244,19 @@ runLint(const Options &opt)
             opt.lint_format.c_str());
         return 2;
     }
+    // `warn` makes findings CI-visible: exit 3 when any survive
+    // suppression (write failures below still win with exit 1).
+    const int fail_rc =
+        opt.lint_fail_on == "warn" && !report.empty() ? 3 : 0;
     if (opt.lint_out.empty()) {
         std::fwrite(doc.data(), 1, doc.size(), stdout);
-        if (opt.lint_format == "text")
-            std::printf("%zu finding(s)\n", report.size());
-        return 0;
+        if (opt.lint_format == "text") {
+            std::printf("%zu finding(s)", report.size());
+            if (report.suppressed)
+                std::printf(", %zu suppressed", report.suppressed);
+            std::printf("\n");
+        }
+        return fail_rc;
     }
     if (!atomicWriteFile(opt.lint_out, doc)) {
         std::fprintf(stderr, "goat: cannot write %s\n",
@@ -241,6 +265,38 @@ runLint(const Options &opt)
     }
     std::printf("%zu finding(s) written to %s (%s)\n", report.size(),
                 opt.lint_out.c_str(), opt.lint_format.c_str());
+    return fail_rc;
+}
+
+/**
+ * -mhp-out= mode: dump the flow-aware MHP pair set of one kernel.
+ * @return the process exit code (0 ok, 1 write failure, 2 usage).
+ */
+int
+runMhpOut(const Options &opt)
+{
+    if (opt.kernel.empty() || opt.kernel == "all" ||
+        opt.kernel == "hostile") {
+        std::printf("-mhp-out needs a single -kernel=NAME\n");
+        return 2;
+    }
+    const goker::KernelInfo *k =
+        goker::KernelRegistry::instance().find(opt.kernel);
+    if (!k) {
+        std::printf("unknown kernel '%s' (try -list)\n",
+                    opt.kernel.c_str());
+        return 2;
+    }
+    std::string doc = goker::kernelMhpPairsStr(*k);
+    if (!atomicWriteFile(opt.mhp_out, doc)) {
+        std::fprintf(stderr, "goat: cannot write %s\n",
+                     opt.mhp_out.c_str());
+        return 1;
+    }
+    std::printf("%zu MHP pair(s) written to %s\n",
+                static_cast<size_t>(
+                    std::count(doc.begin(), doc.end(), '\n')),
+                opt.mhp_out.c_str());
     return 0;
 }
 
@@ -291,6 +347,14 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
         ccfg.lint = goker::kernelLintReport(kernel);
         ccfg.lintBridge = true;
         cfg.prioritySites = ccfg.lint.sites();
+    }
+    if (opt.mhp_prune) {
+        // Static fork-join MHP pairs: perturbation is only worth
+        // spending at sites that can actually interleave. The pair
+        // set is computed from source, so every worker sees the same
+        // priority sites and jobs-merge identity is preserved.
+        for (const SourceLoc &s : goker::kernelMhpSites(kernel))
+            cfg.prioritySites.push_back(s);
     }
 
     // Live progress: workers bump the counters; the reporter thread
@@ -368,6 +432,10 @@ runKernel(const goker::KernelInfo &kernel, const Options &opt,
         if (opt.report)
             std::printf("%s", result.firstRaces.str().c_str());
     }
+    if (opt.mhp_prune)
+        std::printf("%-22s mhp-prune: %zu statically-interleavable "
+                    "priority site(s)\n",
+                    "", cfg.prioritySites.size());
     if (opt.lint_guided) {
         std::printf("%-22s lint-guided: %zu static warning(s)", "",
                     cres.lint.size());
@@ -688,6 +756,10 @@ main(int argc, char **argv)
     if (opt.lint) {
         // Pure static mode: no kernel execution at all.
         return runLint(opt);
+    }
+    if (!opt.mhp_out.empty()) {
+        // Also static: dump the MHP pair set and exit.
+        return runMhpOut(opt);
     }
     if (opt.kernel.empty()) {
         usage();
